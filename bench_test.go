@@ -1,0 +1,320 @@
+package lightator_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"lightator"
+	"lightator/internal/dataset"
+	"lightator/internal/experiments"
+	"lightator/internal/mapping"
+	"lightator/internal/models"
+	"lightator/internal/nn"
+	"lightator/internal/oc"
+	"lightator/internal/photonics"
+	"lightator/internal/sensor"
+	"lightator/internal/train"
+)
+
+// ---------------------------------------------------------------------------
+// Device-level micro-benchmarks (E1 support).
+
+// BenchmarkMRTransmission measures one add-drop transfer evaluation — the
+// innermost operation of the exact photonic model (Fig. 1).
+func BenchmarkMRTransmission(b *testing.B) {
+	r := photonics.WeightBankRing(photonics.CBandCenter)
+	lam := photonics.CBandCenter + 0.3e-9
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.ThroughTransmission(lam)
+	}
+	_ = sink
+}
+
+// BenchmarkSolveWeight measures programming one MR to a target weight
+// (bisection over the detuning).
+func BenchmarkSolveWeight(b *testing.B) {
+	r := photonics.WeightBankRing(photonics.CBandCenter)
+	for i := 0; i < b.N; i++ {
+		if _, err := r.SolveWeight(photonics.CBandCenter, 0.42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBankModelCoefficients measures the quantized fast path: the
+// 9-channel crosstalk-aware coefficients of one programmed arm.
+func BenchmarkBankModelCoefficients(b *testing.B) {
+	bm, err := photonics.NewBankModel(9, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	levels := []int{0, 3, 7, 8, 11, 15, 5, 9, 12}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bm.Coefficients(levels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOCMatVec measures one 64x81 photonic matrix-vector multiply
+// through the physical (crosstalk) model, programming included.
+func BenchmarkOCMatVec(b *testing.B) {
+	core, err := oc.NewCore(4, 4, oc.Physical)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	w := make([][]float64, 64)
+	for r := range w {
+		w[r] = make([]float64, 81)
+		for i := range w[r] {
+			w[r][i] = rng.Float64()*2 - 1
+		}
+	}
+	x := make([]float64, 81)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MatVec(w, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSensorCapture measures a full 256x256 ADC-less frame capture
+// (mosaic, exposure, 983k comparator evaluations).
+func BenchmarkSensorCapture(b *testing.B) {
+	arr := sensor.Default()
+	scene := sensor.NewImage(256, 256, 3)
+	rng := rand.New(rand.NewSource(2))
+	for i := range scene.Pix {
+		scene.Pix[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arr.Capture(scene); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCACompress measures the Compressive Acquisitor: a 256x256
+// frame fused to 128x128 grayscale through the optical path (E4 support).
+func BenchmarkCACompress(b *testing.B) {
+	acc, err := lightator.New(lightator.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	scene := lightator.NewImage(256, 256, 3)
+	rng := rand.New(rand.NewSource(3))
+	for i := range scene.Pix {
+		scene.Pix[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := acc.AcquireCompressed(scene); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhotonicLeNetForward measures one LeNet inference through the
+// compiled photonic executor (crosstalk fidelity) — the end-to-end MVM
+// path of Fig. 5.
+func BenchmarkPhotonicLeNetForward(b *testing.B) {
+	net := models.BuildLeNet(10, 4)
+	net.InitHe(4)
+	// Calibrate activation scales.
+	rng := rand.New(rand.NewSource(5))
+	x := nn.NewTensor(2, 1, 28, 28)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	if _, err := net.Forward(x, true); err != nil {
+		b.Fatal(err)
+	}
+	nn.FreezeActQuant(net, true)
+	nn.EnableQAT(net, 4)
+	pe, err := nn.NewPhotonicExec(net, 4, oc.Physical)
+	if err != nil {
+		b.Fatal(err)
+	}
+	one := nn.NewTensor(1, 1, 28, 28)
+	for i := range one.Data {
+		one.Data[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pe.Forward(one); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainingEpoch measures one LeNet training epoch on synthetic
+// digits (the application level of the evaluation framework, Fig. 7).
+func BenchmarkTrainingEpoch(b *testing.B) {
+	ds := dataset.NewDigits(256, 9)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		net := models.BuildLeNet(10, 4)
+		net.InitHe(int64(i))
+		cfg := train.DefaultConfig()
+		cfg.Epochs = 1
+		cfg.QATEpochs = 0
+		cfg.Workers = 8
+		b.StartTimer()
+		if _, err := train.Train(net, ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// One benchmark per paper table/figure (DESIGN.md §3). The heavy ones
+// memoise through the experiments engine, so iterations after the first
+// are cheap.
+
+// BenchmarkFig8LeNetPower regenerates Fig. 8 (E3) and reports the paper's
+// headline: the [3:4] max power in watts.
+func BenchmarkFig8LeNetPower(b *testing.B) {
+	var maxP float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxP = res.Reports[1].MaxPower
+	}
+	b.ReportMetric(maxP, "maxPowerW[3:4]")
+}
+
+// BenchmarkFig9VGG9Power regenerates Fig. 9 (E4, E9) and reports the CA
+// first-layer reduction percentage.
+func BenchmarkFig9VGG9Power(b *testing.B) {
+	var red float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		red = res.L1Reduction * 100
+	}
+	b.ReportMetric(red, "L1reduction%")
+}
+
+// BenchmarkFig10ExecTime regenerates Fig. 10 (E6) and reports Lightator's
+// AlexNet latency in ms.
+func BenchmarkFig10ExecTime(b *testing.B) {
+	var ms float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range res.Entries {
+			if e.Design == "Lightator" {
+				ms = e.AlexNet * 1e3
+			}
+		}
+	}
+	b.ReportMetric(ms, "alexnet-ms")
+}
+
+// BenchmarkTable1Comparison regenerates Table 1 (E5, E8, E10) at the
+// Smoke training profile (the quick/full profiles are for
+// cmd/lightator-bench). First iteration trains every configuration; the
+// engine memoises afterwards.
+func BenchmarkTable1Comparison(b *testing.B) {
+	opt := experiments.Options{Profile: experiments.Smoke, Seed: 7, Workers: 8}
+	var gpuReduction float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gpuReduction = res.PowerReductionGPU
+	}
+	b.ReportMetric(gpuReduction, "powerReductionVsGPU")
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches (DESIGN.md A1-A5).
+
+// BenchmarkAblationCompressiveAcquisition (A1): CA on/off.
+func BenchmarkAblationCompressiveAcquisition(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationCA()
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.SpeedUp
+	}
+	b.ReportMetric(speedup, "frameSpeedup")
+}
+
+// BenchmarkAblationKernelMapping (A2): per-kernel-size MR utilisation.
+func BenchmarkAblationKernelMapping(b *testing.B) {
+	var util float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationKernelMapping()
+		if err != nil {
+			b.Fatal(err)
+		}
+		util = rows[6].MRUtilisation // 7x7 kernel
+	}
+	b.ReportMetric(util*100, "7x7-utilisation%")
+}
+
+// BenchmarkAblationCrosstalkNoise (A3): accuracy across analog
+// fidelities (trains one Smoke-profile LeNet on first iteration).
+func BenchmarkAblationCrosstalkNoise(b *testing.B) {
+	opt := experiments.Options{Profile: experiments.Smoke, Seed: 7, Workers: 8}
+	var drop float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationFidelity(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drop = (res.Ideal - res.PhysicalNoisy) * 100
+	}
+	b.ReportMetric(drop, "accDropCrosstalk+Noise-pts")
+}
+
+// BenchmarkAblationActivationModulation (A4): DMVA vs activation MRs.
+func BenchmarkAblationActivationModulation(b *testing.B) {
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		factor = experiments.AblationActivationModulation().Factor
+	}
+	b.ReportMetric(factor, "activationMR-overhead-x")
+}
+
+// BenchmarkAblationRemapLatency (A5): PIN vs thermal tuning.
+func BenchmarkAblationRemapLatency(b *testing.B) {
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationRemapLatency("alexnet")
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown = res.Slowdown
+	}
+	b.ReportMetric(slowdown, "thermal-slowdown-x")
+}
+
+// BenchmarkScheduleLayer measures the hardware mapper on a deep VGG
+// layer.
+func BenchmarkScheduleLayer(b *testing.B) {
+	d := mapping.LayerDims{Kind: mapping.Conv, Name: "c", InC: 512, OutC: 512, K: 3, Stride: 1, Pad: 1, InH: 14, InW: 14}
+	for i := 0; i < b.N; i++ {
+		if _, err := mapping.ScheduleLayer(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

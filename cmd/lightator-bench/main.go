@@ -1,0 +1,103 @@
+// Command lightator-bench regenerates the paper's tables and figures
+// (DESIGN.md §3 maps each experiment to its source).
+//
+// Usage:
+//
+//	lightator-bench -exp all -profile quick
+//	lightator-bench -exp fig8
+//	lightator-bench -exp table1 -profile full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lightator/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, table1, ablations, all")
+	profile := flag.String("profile", "quick", "training budget for accuracy columns: smoke, quick, full")
+	seed := flag.Int64("seed", 7, "experiment seed")
+	workers := flag.Int("workers", 8, "training worker goroutines")
+	flag.Parse()
+
+	var prof experiments.Profile
+	switch *profile {
+	case "smoke":
+		prof = experiments.Smoke
+	case "quick":
+		prof = experiments.Quick
+	case "full":
+		prof = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "lightator-bench: unknown profile %q\n", *profile)
+		os.Exit(1)
+	}
+	opt := experiments.Options{Profile: prof, Seed: *seed, Workers: *workers}
+
+	run := func(name string, f func() (string, error)) {
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lightator-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Println()
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("fig8") {
+		run("fig8", func() (string, error) {
+			r, err := experiments.Fig8()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if want("fig9") {
+		run("fig9", func() (string, error) {
+			r, err := experiments.Fig9()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if want("fig10") {
+		run("fig10", func() (string, error) {
+			r, err := experiments.Fig10()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if want("table1") {
+		run("table1", func() (string, error) {
+			fmt.Printf("(training accuracy columns at %q profile; this is the slow part)\n", *profile)
+			r, err := experiments.Table1(opt)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if want("ablations") {
+		run("ablations", experiments.RenderAllCheapAblations)
+		run("ablation-fidelity", func() (string, error) {
+			r, err := experiments.AblationFidelity(opt)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if !want("fig8") && !want("fig9") && !want("fig10") && !want("table1") && !want("ablations") {
+		fmt.Fprintf(os.Stderr, "lightator-bench: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+// Command lightator-sim runs a DNN model through the Lightator
+// architecture simulator and prints the per-layer power breakdown and
+// headline performance numbers.
+//
+// Usage:
+//
+//	lightator-sim -model vgg9-ca -w 3 -a 4
+//	lightator-sim -model lenet -w 4 -a 4 -mx-first 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lightator"
+	"lightator/internal/report"
+)
+
+func main() {
+	model := flag.String("model", "lenet", "model to simulate: "+strings.Join(lightator.Models(), ", "))
+	wBits := flag.Int("w", 4, "weight bits (MR tuning levels)")
+	aBits := flag.Int("a", 4, "activation bits (VCSEL drive levels)")
+	mxFirst := flag.Int("mx-first", 0, "Lightator-MX: keep the first weight layer at this precision (0 = uniform)")
+	csv := flag.Bool("csv", false, "emit the layer table as CSV")
+	flag.Parse()
+
+	acc, err := lightator.New(lightator.Config{
+		Precision: lightator.Precision{WBits: *wBits, ABits: *aBits, MXFirstWBits: *mxFirst},
+		Fidelity:  lightator.Physical,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lightator-sim:", err)
+		os.Exit(1)
+	}
+	rep, err := acc.Simulate(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lightator-sim:", err)
+		os.Exit(1)
+	}
+
+	tb := report.Table{
+		Title:   fmt.Sprintf("%s on Lightator %s", rep.Model, rep.Precision.Name()),
+		Headers: []string{"Layer", "Kind", "W", "Cycles", "Remaps", "Time", "ADCs", "DACs", "DMVA", "TUN", "BPD", "Misc", "Total"},
+	}
+	for _, l := range rep.Layers {
+		tb.AddRow(l.Name, l.Kind.String(), fmt.Sprint(l.WBits),
+			fmt.Sprint(l.Schedule.ComputeCycles), fmt.Sprint(l.Schedule.RemapEvents),
+			report.FormatSI(l.Time, 2)+"s",
+			report.FormatSI(l.Power.ADCs, 2)+"W",
+			report.FormatSI(l.Power.DACs, 2)+"W",
+			report.FormatSI(l.Power.DMVA, 2)+"W",
+			report.FormatSI(l.Power.TUN, 2)+"W",
+			report.FormatSI(l.Power.BPD, 2)+"W",
+			report.FormatSI(l.Power.Misc, 2)+"W",
+			report.FormatSI(l.Power.Total(), 2)+"W",
+		)
+	}
+	if *csv {
+		fmt.Print(tb.CSV())
+	} else {
+		fmt.Println(tb.Render())
+	}
+	fmt.Printf("frame latency : %ss\n", report.FormatSI(rep.FrameLatency, 3))
+	fmt.Printf("throughput    : %s FPS\n", report.FormatSI(rep.FPS, 3))
+	fmt.Printf("max power     : %s W\n", report.FormatSI(rep.MaxPower, 3))
+	fmt.Printf("avg power     : %s W\n", report.FormatSI(rep.AvgPower, 3))
+	fmt.Printf("efficiency    : %.4g KFPS/W\n", rep.KFPSPerW)
+	fmt.Printf("workload      : %d MACs, %d weights\n", rep.TotalMACs, rep.TotalWeights)
+}

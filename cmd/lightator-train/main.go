@@ -1,0 +1,111 @@
+// Command lightator-train trains a model on one of the synthetic tasks,
+// runs quantization-aware fine-tuning at a [W:A] configuration, and
+// reports digital-quantized and photonic (crosstalk-aware) accuracy.
+//
+// Usage:
+//
+//	lightator-train -task mnist -w 4 -a 4
+//	lightator-train -task cifar10 -w 3 -a 4 -epochs 6 -qat 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lightator/internal/dataset"
+	"lightator/internal/models"
+	"lightator/internal/nn"
+	"lightator/internal/oc"
+	"lightator/internal/train"
+)
+
+func main() {
+	task := flag.String("task", "mnist", "task: mnist, cifar10, cifar100")
+	wBits := flag.Int("w", 4, "weight bits for QAT")
+	aBits := flag.Int("a", 4, "activation bits")
+	mxFirst := flag.Int("mx-first", 0, "Lightator-MX first-layer weight bits (0 = uniform)")
+	epochs := flag.Int("epochs", 5, "float training epochs")
+	qat := flag.Int("qat", 3, "QAT fine-tuning epochs")
+	trainN := flag.Int("train", 2000, "training samples")
+	testN := flag.Int("test", 500, "test samples")
+	width := flag.Int("width", 8, "VGG9-slim base width (CIFAR tasks)")
+	photonicN := flag.Int("photonic", 100, "photonic evaluation samples (0 = skip)")
+	seed := flag.Int64("seed", 1, "seed")
+	workers := flag.Int("workers", 0, "training workers (0 = NumCPU)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "lightator-train:", err)
+		os.Exit(1)
+	}
+
+	var (
+		full *dataset.Synth
+		net  *nn.Sequential
+		err  error
+	)
+	switch *task {
+	case "mnist":
+		full = dataset.NewDigits(*trainN+*testN, *seed)
+		net = models.BuildLeNet(10, *aBits)
+	case "cifar10":
+		full = dataset.NewObjects10(*trainN+*testN, *seed)
+		net, err = models.BuildVGG9Slim(3, 32, 32, 10, *width, *aBits)
+	case "cifar100":
+		full = dataset.NewObjects100(*trainN+*testN, *seed)
+		net, err = models.BuildVGG9Slim(3, 32, 32, 100, *width, *aBits)
+	default:
+		fail(fmt.Errorf("unknown task %q", *task))
+	}
+	if err != nil {
+		fail(err)
+	}
+	trainSet, testSet, err := full.Split(*trainN)
+	if err != nil {
+		fail(err)
+	}
+
+	net.InitHe(*seed + 13)
+	cfg := train.DefaultConfig()
+	cfg.Epochs = *epochs
+	cfg.QATEpochs = *qat
+	cfg.WBits = *wBits
+	cfg.Workers = *workers
+	cfg.Seed = *seed
+	cfg.Verbose = true
+	fmt.Printf("training %s on %s: %d train / %d test, [%d:%d]",
+		net.Layers[0].Name(), full.TaskName, trainSet.Len(), testSet.Len(), *wBits, *aBits)
+	if *mxFirst != 0 {
+		fmt.Printf(" (MX first layer [%d:%d])", *mxFirst, *aBits)
+	}
+	fmt.Println()
+
+	if _, err := train.Train(net, trainSet, cfg); err != nil {
+		fail(err)
+	}
+	if *mxFirst != 0 {
+		if err := nn.SetLayerWeightBits(net, 0, *mxFirst); err != nil {
+			fail(err)
+		}
+	}
+	acc, err := train.Evaluate(net, testSet, 64)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("digital quantized accuracy: %.2f%%\n", acc*100)
+
+	if *photonicN > 0 {
+		pe, err := nn.NewPhotonicExec(net, *aBits, oc.Physical)
+		if err != nil {
+			fail(err)
+		}
+		pacc, err := train.EvaluatePhotonic(pe, testSet, 16, *photonicN)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("photonic (crosstalk) accuracy on %d samples: %.2f%%\n", *photonicN, pacc*100)
+		fmt.Printf("network occupies %d optical-core arms; full-residency tuning power %.3g W\n",
+			pe.ArmCount(), pe.HeaterPower())
+	}
+}

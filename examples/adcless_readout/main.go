@@ -1,0 +1,48 @@
+// adcless_readout regenerates paper Fig. 4(d): the pixel voltage V_PD
+// discharging under light while the CRC's 15 comparators switch on one
+// after another — the ADC-less readout that directly gates the VCSEL
+// driver's transistors.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"lightator/internal/analog"
+)
+
+func main() {
+	pd := analog.DefaultPhotodiode()
+	crc := analog.DefaultCRC()
+
+	// A full-scale exposure over 30 ns sampled at the comparator clock,
+	// as in Fig. 4(d).
+	samples := crc.Waveforms(pd, 1.0, 30, 2.5, 10)
+
+	fmt.Println("Fig. 4(d) reproduction: V_PD discharge and comparator outputs")
+	fmt.Println("time(ns)  clk  V_PD(V)  VS1..VS15")
+	for i := 0; i < len(samples); i += 10 {
+		s := samples[i]
+		var bits strings.Builder
+		for _, v := range s.VS {
+			if v == 1 {
+				bits.WriteByte('1')
+			} else {
+				bits.WriteByte('0')
+			}
+		}
+		fmt.Printf("%7.2f   %.0f   %6.3f   %s\n", s.TimeNs, s.Clk, s.VPD, bits.String())
+	}
+
+	// The resulting 4-bit codes for a sweep of scene brightness, and the
+	// VCSEL optical power each code drives.
+	fmt.Println("\nbrightness -> CRC code -> VCSEL optical power")
+	ch := analog.NewChannel(1550e-9)
+	for i := 0; i <= 10; i++ {
+		in := float64(i) / 10
+		vpd := pd.Voltage(in)
+		code := crc.Code(vpd)
+		p := ch.ModulateFromPixel(vpd)
+		fmt.Printf("  %.1f -> %2d -> %.3f mW\n", in, code, p*1e3)
+	}
+}

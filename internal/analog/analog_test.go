@@ -1,0 +1,323 @@
+package analog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lightator/internal/photonics"
+)
+
+func TestPhotodiodeVoltageMonotone(t *testing.T) {
+	pd := DefaultPhotodiode()
+	prev := pd.Voltage(0)
+	if prev > pd.ResetVoltage {
+		t.Fatalf("dark voltage %g above reset %g", prev, pd.ResetVoltage)
+	}
+	for i := 1; i <= 10; i++ {
+		v := pd.Voltage(float64(i) / 10)
+		if v > prev {
+			t.Fatalf("V_PD increased with intensity at step %d", i)
+		}
+		prev = v
+	}
+	if pd.Voltage(5) != 0 {
+		t.Error("saturated pixel should clamp at 0 V")
+	}
+}
+
+func TestPhotodiodeVoltageAtExposure(t *testing.T) {
+	pd := DefaultPhotodiode()
+	// At t=0 no discharge has happened.
+	if v := pd.VoltageAt(0.8, 0); v != pd.ResetVoltage {
+		t.Errorf("t=0 voltage %g, want reset %g", v, pd.ResetVoltage)
+	}
+	// At t=1 the result matches the end-of-exposure model.
+	if v, want := pd.VoltageAt(0.8, 1), pd.Voltage(0.8); math.Abs(v-want) > 1e-12 {
+		t.Errorf("t=1 voltage %g, want %g", v, want)
+	}
+	// Discharge is monotone in time.
+	prev := pd.VoltageAt(0.5, 0)
+	for i := 1; i <= 10; i++ {
+		v := pd.VoltageAt(0.5, float64(i)/10)
+		if v > prev {
+			t.Fatalf("V_PD increased over time at step %d", i)
+		}
+		prev = v
+	}
+}
+
+func TestPhotodiodeInverse(t *testing.T) {
+	pd := DefaultPhotodiode()
+	for _, in := range []float64{0, 0.2, 0.5, 0.9} {
+		v := pd.Voltage(in)
+		got := pd.IntensityForVoltage(v)
+		if math.Abs(got-in) > 1e-9 {
+			t.Errorf("intensity %g -> V %g -> intensity %g", in, v, got)
+		}
+	}
+}
+
+func TestCRCReferencesAscending(t *testing.T) {
+	c := DefaultCRC()
+	if len(c.VRefs) != NumComparators {
+		t.Fatalf("%d references", len(c.VRefs))
+	}
+	for i := 1; i < len(c.VRefs); i++ {
+		if c.VRefs[i] <= c.VRefs[i-1] {
+			t.Fatalf("references not ascending at %d", i)
+		}
+	}
+	if c.VRefs[0] <= 0 || c.VRefs[NumComparators-1] >= 1 {
+		t.Error("references should be strictly inside the pixel range")
+	}
+}
+
+func TestCRCThermometerProperty(t *testing.T) {
+	c := DefaultCRC()
+	f := func(v float64) bool {
+		vpd := math.Mod(math.Abs(v), 1.2) // include slight over-range
+		th := c.Thermometer(vpd)
+		// Thermometer validity: once false, all lower-reference outputs
+		// must be false too (references ascend; output k is vpd<ref_k).
+		for k := 1; k < NumComparators; k++ {
+			if th[k-1] && !th[k] {
+				return false
+			}
+		}
+		// Code equals popcount.
+		n := 0
+		for _, b := range th {
+			if b {
+				n++
+			}
+		}
+		return n == c.Code(vpd)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRCCodeBrightness(t *testing.T) {
+	c := DefaultCRC()
+	pd := DefaultPhotodiode()
+	// Dark pixel: V_PD high -> code 0. Bright: V_PD ~0 -> code 15.
+	if code := c.Code(pd.Voltage(0)); code != 0 {
+		t.Errorf("dark pixel code %d, want 0", code)
+	}
+	if code := c.Code(pd.Voltage(1)); code != NumComparators {
+		t.Errorf("bright pixel code %d, want %d", code, NumComparators)
+	}
+	// Monotone with intensity.
+	prev := -1
+	for i := 0; i <= 20; i++ {
+		code := c.Code(pd.Voltage(float64(i) / 20))
+		if code < prev {
+			t.Fatalf("code decreased with brightness at step %d", i)
+		}
+		prev = code
+	}
+}
+
+func TestCRCRoundTripQuantisation(t *testing.T) {
+	c := DefaultCRC()
+	pd := DefaultPhotodiode()
+	for i := 0; i <= 100; i++ {
+		in := float64(i) / 100
+		rec := c.CodeToIntensity(c.Code(pd.Voltage(in)))
+		if math.Abs(rec-in) > 1.0/float64(NumComparators)+1e-9 {
+			t.Errorf("intensity %g reconstructed %g: error beyond one LSB", in, rec)
+		}
+	}
+}
+
+func TestWaveformsFig4d(t *testing.T) {
+	c := DefaultCRC()
+	pd := DefaultPhotodiode()
+	samples := c.Waveforms(pd, 1.0, 30, 2.5, 10)
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	// V_PD decays monotonically.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].VPD > samples[i-1].VPD+1e-12 {
+			t.Fatalf("V_PD rose at sample %d", i)
+		}
+	}
+	// Comparators fire in order: the highest-reference comparator (index
+	// 14) fires first as V_PD falls from reset.
+	fireTime := func(k int) float64 {
+		for _, s := range samples {
+			if s.VS[k] == 1 {
+				return s.TimeNs
+			}
+		}
+		return math.Inf(1)
+	}
+	for k := 1; k < NumComparators; k++ {
+		if fireTime(k) > fireTime(k-1) {
+			t.Fatalf("comparator %d fired after %d: order inverted", k, k-1)
+		}
+	}
+	// By the end of a full-scale exposure all comparators are on.
+	last := samples[len(samples)-1]
+	for k, v := range last.VS {
+		if v != 1 {
+			t.Errorf("comparator %d still low after full exposure", k)
+		}
+	}
+	// Clock toggles.
+	sawHigh, sawLow := false, false
+	for _, s := range samples {
+		if s.Clk == 1 {
+			sawHigh = true
+		} else {
+			sawLow = true
+		}
+	}
+	if !sawHigh || !sawLow {
+		t.Error("clock did not toggle")
+	}
+}
+
+func TestDriverLevels(t *testing.T) {
+	v := photonics.DefaultVCSEL(photonics.CBandCenter)
+	d := NewDriverFor(v)
+	// Code 0 drives exactly the threshold (bias only): zero light.
+	i0, err := d.CurrentForCode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i0-v.ThresholdCurrent) > 1e-15 {
+		t.Errorf("code 0 current %g, want threshold %g", i0, v.ThresholdCurrent)
+	}
+	if p := v.OpticalPower(i0); p != 0 {
+		t.Errorf("code 0 optical power %g, want 0", p)
+	}
+	// Code 15 reaches max current.
+	i15, err := d.CurrentForCode(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i15-v.MaxCurrent) > 1e-12 {
+		t.Errorf("code 15 current %g, want max %g", i15, v.MaxCurrent)
+	}
+	// Thermometer and binary paths produce identical currents.
+	var th [NumComparators]bool
+	for n := 0; n <= NumComparators; n++ {
+		for k := range th {
+			th[k] = k < n
+		}
+		ic, err := d.CurrentForCode(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it := d.CurrentForThermometer(th)
+		if math.Abs(ic-it) > 1e-15 {
+			t.Errorf("code %d: binary %g vs thermometer %g", n, ic, it)
+		}
+	}
+}
+
+func TestDriverRejectsBadCode(t *testing.T) {
+	d := NewDriverFor(photonics.DefaultVCSEL(photonics.CBandCenter))
+	if _, err := d.CurrentForCode(-1); err == nil {
+		t.Error("negative code accepted")
+	}
+	if _, err := d.CurrentForCode(16); err == nil {
+		t.Error("code 16 accepted")
+	}
+}
+
+func TestSelectorModes(t *testing.T) {
+	v := photonics.DefaultVCSEL(photonics.CBandCenter)
+	d := NewDriverFor(v)
+	var th [NumComparators]bool
+	for k := 0; k < 7; k++ {
+		th[k] = true
+	}
+	s := &Selector{Mode: SourcePixel}
+	ip, err := s.DriveCurrent(d, th, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := d.CurrentForThermometer(th)
+	if ip != want {
+		t.Errorf("pixel mode current %g, want %g", ip, want)
+	}
+	s.Mode = SourceFeedback
+	ifb, err := s.DriveCurrent(d, th, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFb, _ := d.CurrentForCode(3)
+	if ifb != wantFb {
+		t.Errorf("feedback mode current %g, want %g", ifb, wantFb)
+	}
+	if SourcePixel.String() != "pixel" || SourceFeedback.String() != "feedback" {
+		t.Error("Source.String broken")
+	}
+}
+
+func TestChannelEndToEndMonotone(t *testing.T) {
+	ch := NewChannel(photonics.CBandCenter)
+	pd := DefaultPhotodiode()
+	// Brighter scene -> lower V_PD -> more comparators -> more light out.
+	prev := -1.0
+	for i := 0; i <= 15; i++ {
+		p := ch.ModulateFromPixel(pd.Voltage(float64(i) / 15))
+		if p < prev {
+			t.Fatalf("optical power decreased with brightness at step %d", i)
+		}
+		prev = p
+	}
+	// Feedback path: 16 strictly increasing levels.
+	prev = -1.0
+	for code := 0; code <= 15; code++ {
+		p, err := ch.ModulateFromCode(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p <= prev && code > 0 {
+			t.Fatalf("feedback level %d not increasing", code)
+		}
+		prev = p
+	}
+	// Both paths agree level-for-level.
+	for code := 0; code <= 15; code++ {
+		pf, _ := ch.ModulateFromCode(code)
+		// Construct a V_PD that yields exactly `code` comparators on: the
+		// asserted comparators are those whose reference exceeds V_PD, so
+		// sitting just below VRefs[15-code] asserts the top `code` of them.
+		var vpd float64
+		if code == 0 {
+			vpd = 1.0
+		} else {
+			vpd = ch.CRC.VRefs[NumComparators-code] - 1e-9
+		}
+		pp := ch.ModulateFromPixel(vpd)
+		if math.Abs(pf-pp) > 1e-15 {
+			t.Errorf("code %d: feedback power %g vs pixel power %g", code, pf, pp)
+		}
+	}
+}
+
+func TestDriverElectricalPower(t *testing.T) {
+	d := NewDriverFor(photonics.DefaultVCSEL(photonics.CBandCenter))
+	if d.ElectricalPower(-1) != 0 {
+		t.Error("negative current power not clipped")
+	}
+	if d.ElectricalPower(1e-3) <= 0 {
+		t.Error("no power at 1 mA")
+	}
+}
+
+func TestNewCRCValidation(t *testing.T) {
+	if _, err := NewCRC(1, 1); err == nil {
+		t.Error("empty span accepted")
+	}
+	if _, err := NewCRC(2, 1); err == nil {
+		t.Error("inverted span accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package analog
+
+import "fmt"
+
+// NumComparators is the number of voltage comparators in one CRC unit
+// (paper Fig. 4(a)): 15 comparators produce a 16-level (4-bit) thermometer
+// reading of the pixel voltage, replacing a per-column ADC.
+const NumComparators = 15
+
+// CRC is the Comparator-based pixel Reading Circuit. It compares V_PD
+// against 15 reference voltages spanning the pixel output range; the
+// thermometer-coded comparator outputs V_S directly gate the VCSEL
+// driver's transistors — no binary encoding, no DAC, no sense amplifier.
+//
+// Note the inversion: a BRIGHT pixel has a LOW V_PD (more discharge), and
+// the CRC counts references ABOVE V_PD, so bright pixels switch on more
+// driver transistors and produce more optical power, as Fig. 4(d) shows.
+type CRC struct {
+	// VRefs are the comparator reference voltages, ascending.
+	VRefs []float64
+}
+
+// NewCRC builds a CRC whose references uniformly span (vmin, vmax) — the
+// pixel output range — exclusive of the endpoints: the k-th comparator
+// (k = 1..15) sits at vmin + k*(vmax-vmin)/16.
+func NewCRC(vmin, vmax float64) (*CRC, error) {
+	if vmax <= vmin {
+		return nil, fmt.Errorf("analog: reference span [%g, %g] is empty", vmin, vmax)
+	}
+	refs := make([]float64, NumComparators)
+	step := (vmax - vmin) / float64(NumComparators+1)
+	for k := 0; k < NumComparators; k++ {
+		refs[k] = vmin + float64(k+1)*step
+	}
+	return &CRC{VRefs: refs}, nil
+}
+
+// DefaultCRC returns a CRC spanning the default photodiode's 0-1 V output.
+func DefaultCRC() *CRC {
+	c, err := NewCRC(0, DefaultPhotodiode().ResetVoltage)
+	if err != nil {
+		panic(err) // unreachable: constant span is valid
+	}
+	return c
+}
+
+// Thermometer returns the 15 comparator outputs V_S for pixel voltage
+// vpd. Output k is true when vpd < VRefs[k], i.e. when the pixel has
+// discharged below that reference (bright). The outputs form a thermometer
+// code: once true, all higher-reference comparators are true too.
+func (c *CRC) Thermometer(vpd float64) [NumComparators]bool {
+	var out [NumComparators]bool
+	for k, ref := range c.VRefs {
+		out[k] = vpd < ref
+	}
+	return out
+}
+
+// Code returns the 4-bit digital reading (0..15): the number of asserted
+// comparators. 0 = dark pixel (no discharge), 15 = saturated bright pixel.
+func (c *CRC) Code(vpd float64) int {
+	n := 0
+	for _, ref := range c.VRefs {
+		if vpd < ref {
+			n++
+		}
+	}
+	return n
+}
+
+// CodeToIntensity maps a 4-bit CRC code back to the normalised light
+// intensity at the centre of its quantisation bin, for reconstruction and
+// round-trip tests.
+func (c *CRC) CodeToIntensity(code int) float64 {
+	if code < 0 {
+		code = 0
+	}
+	if code > NumComparators {
+		code = NumComparators
+	}
+	return float64(code) / float64(NumComparators)
+}
+
+// WaveformSample is one time step of the Fig. 4(d) trace set.
+type WaveformSample struct {
+	// TimeNs is the simulation time in nanoseconds.
+	TimeNs float64
+	// Clk is the sampling clock level (0/1).
+	Clk float64
+	// VPD is the pixel output voltage.
+	VPD float64
+	// VS are the 15 comparator outputs as 0/1 levels.
+	VS [NumComparators]float64
+}
+
+// Waveforms reproduces the Fig. 4(d) experiment: the pixel discharges
+// under the given light intensity over durationNs nanoseconds while the
+// comparators are strobed by a clock with period clkNs. As V_PD falls,
+// comparator outputs switch on one after another.
+func (c *CRC) Waveforms(pd Photodiode, intensity, durationNs, clkNs float64, samplesPerClk int) []WaveformSample {
+	if samplesPerClk < 2 {
+		samplesPerClk = 2
+	}
+	if clkNs <= 0 {
+		clkNs = 2.5
+	}
+	n := int(durationNs/clkNs) * samplesPerClk
+	out := make([]WaveformSample, 0, n)
+	for i := 0; i < n; i++ {
+		tNs := float64(i) * clkNs / float64(samplesPerClk)
+		phase := i % samplesPerClk
+		clk := 0.0
+		if phase < samplesPerClk/2 {
+			clk = 1.0
+		}
+		vpd := pd.VoltageAt(intensity, tNs/durationNs)
+		s := WaveformSample{TimeNs: tNs, Clk: clk, VPD: vpd}
+		th := c.Thermometer(vpd)
+		for k, b := range th {
+			if b {
+				s.VS[k] = 1
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+// Package analog models the mixed-signal interface circuits of Lightator's
+// DMVA (Directly-Modulated VCSEL Array, paper Fig. 4): the photodiode pixel
+// front end, the Comparator-based pixel Reading Circuit (CRC) that replaces
+// per-column ADCs with 15 reference comparators, the selector that steers
+// either pixel outputs or previous-layer activations into the laser driver,
+// and the 16-transistor VCSEL driver that converts a 4-bit code into a
+// discrete drive current.
+//
+// In the paper these blocks are designed and verified in Cadence Spectre on
+// the 45 nm NCSU PDK; here they are behavioural models exposing the same
+// transfer functions (voltage -> thermometer code -> drive current) plus
+// the waveform generator used to regenerate Fig. 4(d).
+package analog

@@ -1,0 +1,156 @@
+package analog
+
+import (
+	"fmt"
+
+	"lightator/internal/photonics"
+)
+
+// NumDriveTransistors is the number of parallel driving transistors in one
+// VCSEL driver leg (paper Fig. 4(c)): 15 signal transistors (gated by the
+// thermometer code or by binary-weighted groups) plus one bias transistor
+// that holds the VCSEL at threshold.
+const NumDriveTransistors = 16
+
+// Driver converts a digital activation into a VCSEL drive current by
+// switching parallel transistors. More asserted inputs -> more transistors
+// conducting -> larger drive current -> brighter VCSEL. This is the
+// "directly modulated" part of the DMVA: activations never touch an MR or
+// a DAC.
+type Driver struct {
+	// UnitCurrent is the current contributed by one signal transistor,
+	// amperes.
+	UnitCurrent float64
+	// BiasCurrent is the always-on bias leg holding the VCSEL at its
+	// threshold so modulation is linear in the code.
+	BiasCurrent float64
+	// SupplyVoltage for electrical power accounting, volts.
+	SupplyVoltage float64
+}
+
+// NewDriverFor sizes a driver to a VCSEL: the bias leg holds threshold and
+// 15 unit legs span the modulation swing up to the VCSEL's max current.
+func NewDriverFor(v *photonics.VCSEL) *Driver {
+	swing := v.MaxCurrent - v.ThresholdCurrent
+	return &Driver{
+		UnitCurrent:   swing / float64(NumComparators),
+		BiasCurrent:   v.ThresholdCurrent,
+		SupplyVoltage: 1.8,
+	}
+}
+
+// CurrentForThermometer returns the drive current for a 15-bit thermometer
+// input from the CRC.
+func (d *Driver) CurrentForThermometer(vs [NumComparators]bool) float64 {
+	n := 0
+	for _, b := range vs {
+		if b {
+			n++
+		}
+	}
+	return d.BiasCurrent + float64(n)*d.UnitCurrent
+}
+
+// CurrentForCode returns the drive current for a 4-bit binary activation
+// code (0..15) from the previous layer. The selector routes each binary
+// bit VB_k to a group of 2^k transistors, so the conducting count equals
+// the code value — the same levels the thermometer path produces.
+func (d *Driver) CurrentForCode(code int) (float64, error) {
+	if code < 0 || code > NumComparators {
+		return 0, fmt.Errorf("analog: activation code %d outside [0,%d]", code, NumComparators)
+	}
+	return d.BiasCurrent + float64(code)*d.UnitCurrent, nil
+}
+
+// ElectricalPower returns the driver's wall power at drive current i.
+func (d *Driver) ElectricalPower(i float64) float64 {
+	if i < 0 {
+		i = 0
+	}
+	return i * d.SupplyVoltage
+}
+
+// Source identifies where the selector steers activations from.
+type Source int
+
+const (
+	// SourcePixel feeds the CRC thermometer outputs to the driver (first
+	// network layer, direct from the sensor).
+	SourcePixel Source = iota
+	// SourceFeedback feeds the previous layer's 4-bit outputs back into
+	// the driver (all subsequent layers), reusing the DMVA instead of a
+	// dedicated activation bank.
+	SourceFeedback
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case SourcePixel:
+		return "pixel"
+	case SourceFeedback:
+		return "feedback"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Selector is the SL-controlled mux of Fig. 4(b): it chooses between the
+// CRC thermometer outputs (V_S) and the previous-layer binary code (V_B)
+// as the driver's gate inputs.
+type Selector struct {
+	Mode Source
+}
+
+// DriveCurrent resolves the selected source into a drive current.
+func (s *Selector) DriveCurrent(d *Driver, vs [NumComparators]bool, code int) (float64, error) {
+	switch s.Mode {
+	case SourcePixel:
+		return d.CurrentForThermometer(vs), nil
+	case SourceFeedback:
+		return d.CurrentForCode(code)
+	default:
+		return 0, fmt.Errorf("analog: unknown selector mode %d", s.Mode)
+	}
+}
+
+// Channel bundles the full DMVA slice for one WDM channel: CRC -> selector
+// -> driver -> VCSEL. It is the per-wavelength unit replicated across the
+// DMVA.
+type Channel struct {
+	CRC      *CRC
+	Selector *Selector
+	Driver   *Driver
+	VCSEL    *photonics.VCSEL
+}
+
+// NewChannel builds a DMVA channel at the given wavelength with default
+// device models.
+func NewChannel(wavelength float64) *Channel {
+	v := photonics.DefaultVCSEL(wavelength)
+	return &Channel{
+		CRC:      DefaultCRC(),
+		Selector: &Selector{Mode: SourcePixel},
+		Driver:   NewDriverFor(v),
+		VCSEL:    v,
+	}
+}
+
+// ModulateFromPixel converts a pixel voltage into emitted optical power
+// (first-layer path).
+func (ch *Channel) ModulateFromPixel(vpd float64) float64 {
+	ch.Selector.Mode = SourcePixel
+	i := ch.Driver.CurrentForThermometer(ch.CRC.Thermometer(vpd))
+	return ch.VCSEL.OpticalPower(i)
+}
+
+// ModulateFromCode converts a previous-layer 4-bit activation into emitted
+// optical power (feedback path).
+func (ch *Channel) ModulateFromCode(code int) (float64, error) {
+	ch.Selector.Mode = SourceFeedback
+	i, err := ch.Driver.CurrentForCode(code)
+	if err != nil {
+		return 0, err
+	}
+	return ch.VCSEL.OpticalPower(i), nil
+}

@@ -1,0 +1,72 @@
+package analog
+
+// Photodiode models a 4T global-shutter pixel front end. During exposure
+// the photodiode's photocurrent discharges the floating diffusion from the
+// reset voltage; the remaining voltage V_PD is what the CRC reads. The
+// paper: "Every pixel's Photo-Diode generates a photo-current with respect
+// to the external light intensity which in turn leads to a voltage drop
+// (V_PD)."
+type Photodiode struct {
+	// ResetVoltage is the pre-exposure floating-diffusion voltage, volts.
+	ResetVoltage float64
+	// FullWellIntensity is the normalised light intensity (1.0 = full
+	// scale) that discharges the pixel exactly to zero within the nominal
+	// exposure. Intensities above it saturate.
+	FullWellIntensity float64
+	// DarkDischarge is the fraction of the reset voltage lost to dark
+	// current over the nominal exposure (models leakage).
+	DarkDischarge float64
+}
+
+// DefaultPhotodiode returns a pixel model with a 1.0 V reset level and
+// full-well at unit intensity.
+func DefaultPhotodiode() Photodiode {
+	return Photodiode{ResetVoltage: 1.0, FullWellIntensity: 1.0, DarkDischarge: 0.002}
+}
+
+// Voltage returns V_PD after a nominal exposure at normalised light
+// intensity (0 = dark, 1 = full scale). Brighter light discharges the node
+// further, so V_PD falls with intensity.
+func (p Photodiode) Voltage(intensity float64) float64 {
+	if intensity < 0 {
+		intensity = 0
+	}
+	drop := p.ResetVoltage * (intensity/p.FullWellIntensity + p.DarkDischarge)
+	v := p.ResetVoltage - drop
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// VoltageAt returns V_PD during the exposure, t in [0,1] as a fraction of
+// the nominal exposure time. Used by the Fig. 4(d) waveform generator.
+func (p Photodiode) VoltageAt(intensity, t float64) float64 {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	if intensity < 0 {
+		intensity = 0
+	}
+	drop := p.ResetVoltage * (intensity/p.FullWellIntensity + p.DarkDischarge) * t
+	v := p.ResetVoltage - drop
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// IntensityForVoltage inverts Voltage: the normalised intensity that would
+// leave the pixel at v volts. Used by tests.
+func (p Photodiode) IntensityForVoltage(v float64) float64 {
+	if v > p.ResetVoltage {
+		v = p.ResetVoltage
+	}
+	if v < 0 {
+		v = 0
+	}
+	return ((p.ResetVoltage-v)/p.ResetVoltage - p.DarkDischarge) * p.FullWellIntensity
+}

@@ -1,0 +1,174 @@
+// Package arch is Lightator's architecture-level simulator — the "custom
+// in-house simulator" of the paper's evaluation framework (Fig. 7). It
+// schedules a DNN's layers onto the optical core (via package mapping),
+// integrates the component power model (package energy) per layer, and
+// reports execution time, per-layer power breakdowns, frame rate and
+// KFPS/W — the quantities behind Figs. 8-10 and Table 1.
+package arch
+
+import (
+	"fmt"
+
+	"lightator/internal/energy"
+	"lightator/internal/mapping"
+)
+
+// PrecisionSchedule assigns a weight bit-width to every weight-bearing
+// layer. Uniform schedules use one width; the paper's Lightator-MX keeps
+// the first layer at 4 bits and drops the rest.
+type PrecisionSchedule struct {
+	// Default weight bits for all layers.
+	Default int
+	// FirstLayer overrides the first weight layer's bits when non-zero.
+	FirstLayer int
+	// ABits is the activation precision (4 in every paper configuration).
+	ABits int
+}
+
+// Uniform returns a [w:a] schedule.
+func Uniform(wBits, aBits int) PrecisionSchedule {
+	return PrecisionSchedule{Default: wBits, ABits: aBits}
+}
+
+// MX returns a mixed-precision schedule: first weight layer at firstBits,
+// the rest at restBits (paper's Lightator-MX).
+func MX(firstBits, restBits, aBits int) PrecisionSchedule {
+	return PrecisionSchedule{Default: restBits, FirstLayer: firstBits, ABits: aBits}
+}
+
+// Name renders the paper's [W:A] notation.
+func (ps PrecisionSchedule) Name() string {
+	if ps.FirstLayer != 0 && ps.FirstLayer != ps.Default {
+		return fmt.Sprintf("[%d:%d][%d:%d]", ps.FirstLayer, ps.ABits, ps.Default, ps.ABits)
+	}
+	return fmt.Sprintf("[%d:%d]", ps.Default, ps.ABits)
+}
+
+// WBitsFor returns the weight bits of the i-th weight-bearing layer.
+func (ps PrecisionSchedule) WBitsFor(weightLayerIdx int) int {
+	if weightLayerIdx == 0 && ps.FirstLayer != 0 {
+		return ps.FirstLayer
+	}
+	return ps.Default
+}
+
+// LayerStats is the simulation result for one layer.
+type LayerStats struct {
+	Name     string
+	Kind     mapping.LayerKind
+	WBits    int
+	Schedule mapping.Schedule
+	// ComputeTime is cycles / clock.
+	ComputeTime float64
+	// RemapTime is re-programming events x remap latency.
+	RemapTime float64
+	// Time is the layer's total wall time per frame.
+	Time float64
+	// Power is the component breakdown while this layer runs.
+	Power energy.Breakdown
+}
+
+// Report is a whole-model simulation result.
+type Report struct {
+	Model     string
+	Precision PrecisionSchedule
+	Layers    []LayerStats
+	// FrameLatency is the end-to-end time of one inference, seconds.
+	FrameLatency float64
+	// FPS is 1/FrameLatency.
+	FPS float64
+	// MaxPower is the highest per-layer total — the "Max Power" column of
+	// Table 1.
+	MaxPower float64
+	// AvgPower is the time-weighted mean power over a frame.
+	AvgPower float64
+	// KFPSPerW is FPS / MaxPower / 1000, the paper's efficiency metric.
+	KFPSPerW float64
+	// TotalMACs and TotalWeights summarise the workload.
+	TotalMACs    int64
+	TotalWeights int64
+}
+
+// Simulate runs the model described by layers through the architecture
+// model under the given precision schedule and energy parameters.
+func Simulate(model string, layers []mapping.LayerDims, ps PrecisionSchedule, p energy.Params) (*Report, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("arch: empty model")
+	}
+	if ps.Default < 1 || ps.ABits < 1 {
+		return nil, fmt.Errorf("arch: invalid precision %+v", ps)
+	}
+	rep := &Report{Model: model, Precision: ps}
+	weightLayerIdx := 0
+	firstComputeSeen := false
+	for _, d := range layers {
+		s, err := mapping.ScheduleLayer(d)
+		if err != nil {
+			return nil, err
+		}
+		wBits := ps.ABits // irrelevant for pool/CA; keep a sane value
+		if d.Kind == mapping.Conv || d.Kind == mapping.FC {
+			wBits = ps.WBitsFor(weightLayerIdx)
+			weightLayerIdx++
+		}
+		computeTime := float64(s.ComputeCycles) / p.ClockHz
+		remapTime := float64(s.RemapEvents) * p.RemapLatency
+		layerTime := computeTime + remapTime
+		// Activation-memory bandwidth can bound thin layers (pooling,
+		// small convs): the optical core would outrun the SRAM.
+		if mt := p.MemoryTime(s); mt > layerTime {
+			layerTime = mt
+		}
+		first := !firstComputeSeen
+		firstComputeSeen = true
+		pw, err := p.LayerPower(s, wBits, first, layerTime)
+		if err != nil {
+			return nil, err
+		}
+		ls := LayerStats{
+			Name:        d.Name,
+			Kind:        d.Kind,
+			WBits:       wBits,
+			Schedule:    s,
+			ComputeTime: computeTime,
+			RemapTime:   remapTime,
+			Time:        layerTime,
+			Power:       pw,
+		}
+		rep.Layers = append(rep.Layers, ls)
+		rep.FrameLatency += layerTime
+		rep.TotalMACs += d.MACs()
+		rep.TotalWeights += d.Weights()
+		total := pw.Total()
+		if total > rep.MaxPower {
+			rep.MaxPower = total
+		}
+		rep.AvgPower += total * layerTime
+	}
+	rep.AvgPower /= rep.FrameLatency
+	rep.FPS = 1 / rep.FrameLatency
+	if rep.MaxPower > 0 {
+		rep.KFPSPerW = rep.FPS / rep.MaxPower / 1000
+	}
+	return rep, nil
+}
+
+// LayerByName returns the stats of the named layer.
+func (r *Report) LayerByName(name string) (LayerStats, error) {
+	for _, l := range r.Layers {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return LayerStats{}, fmt.Errorf("arch: no layer %q in report", name)
+}
+
+// TotalBreakdown returns the time-weighted average component breakdown
+// over the frame.
+func (r *Report) TotalBreakdown() energy.Breakdown {
+	var b energy.Breakdown
+	for _, l := range r.Layers {
+		b = b.Add(l.Power.Scale(l.Time / r.FrameLatency))
+	}
+	return b
+}

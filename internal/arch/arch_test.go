@@ -1,0 +1,192 @@
+package arch
+
+import (
+	"math"
+	"testing"
+
+	"lightator/internal/energy"
+	"lightator/internal/mapping"
+	"lightator/internal/models"
+)
+
+func simulate(t *testing.T, model string, ps PrecisionSchedule) *Report {
+	t.Helper()
+	layers, err := models.ByName(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Simulate(model, layers, ps, energy.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestPrecisionScheduleNames(t *testing.T) {
+	if Uniform(4, 4).Name() != "[4:4]" {
+		t.Errorf("uniform name %q", Uniform(4, 4).Name())
+	}
+	if MX(4, 3, 4).Name() != "[4:4][3:4]" {
+		t.Errorf("MX name %q", MX(4, 3, 4).Name())
+	}
+	mx := MX(4, 2, 4)
+	if mx.WBitsFor(0) != 4 || mx.WBitsFor(1) != 2 || mx.WBitsFor(5) != 2 {
+		t.Error("MX bit assignment wrong")
+	}
+}
+
+// The paper's power ladder (Table 1): 5.28 / 2.71 / 1.46 W for [4:4] /
+// [3:4] / [2:4]. The calibrated model must land within ~15% and keep the
+// strict ordering.
+func TestLightatorPowerLadder(t *testing.T) {
+	p44 := simulate(t, "vgg9-ca", Uniform(4, 4)).MaxPower
+	p34 := simulate(t, "vgg9-ca", Uniform(3, 4)).MaxPower
+	p24 := simulate(t, "vgg9-ca", Uniform(2, 4)).MaxPower
+	if !(p44 > p34 && p34 > p24) {
+		t.Fatalf("power ladder broken: %g %g %g", p44, p34, p24)
+	}
+	check := func(got, want, tol float64, name string) {
+		if math.Abs(got-want)/want > tol {
+			t.Errorf("%s max power %.3g W, paper %.3g W (tol %.0f%%)", name, got, want, tol*100)
+		}
+	}
+	check(p44, 5.28, 0.20, "[4:4]")
+	check(p34, 2.71, 0.20, "[3:4]")
+	check(p24, 1.46, 0.20, "[2:4]")
+}
+
+// Mixed precision sits between its endpoints (Table 1: MX [4:4][3:4]
+// draws 3.64 W, between 2.71 and 5.28).
+func TestLightatorMXBetweenEndpoints(t *testing.T) {
+	p44 := simulate(t, "vgg9-ca", Uniform(4, 4)).MaxPower
+	p34 := simulate(t, "vgg9-ca", Uniform(3, 4)).MaxPower
+	pmx := simulate(t, "vgg9-ca", MX(4, 3, 4)).MaxPower
+	if pmx < p34 || pmx > p44 {
+		t.Errorf("MX power %g outside [%g, %g]", pmx, p34, p44)
+	}
+}
+
+// Reducing weight bits buys ~2x power per bit (paper: "on average 2.4x
+// more power efficiency" across the LeNet sweep).
+func TestBitReductionPowerEfficiency(t *testing.T) {
+	r44 := simulate(t, "lenet", Uniform(4, 4))
+	r24 := simulate(t, "lenet", Uniform(2, 4))
+	gain := r44.AvgPower / r24.AvgPower
+	if gain < 1.8 || gain > 4.5 {
+		t.Errorf("power efficiency from [4:4] to [2:4] = %.2fx, paper reports ~2.4x", gain)
+	}
+}
+
+// KFPS/W ordering follows the paper: [2:4] > [3:4] > [4:4], with the
+// magnitudes in the paper's regime (tens to hundreds).
+func TestKFPSPerWOrdering(t *testing.T) {
+	r44 := simulate(t, "lenet", Uniform(4, 4))
+	r34 := simulate(t, "lenet", Uniform(3, 4))
+	r24 := simulate(t, "lenet", Uniform(2, 4))
+	if !(r24.KFPSPerW > r34.KFPSPerW && r34.KFPSPerW > r44.KFPSPerW) {
+		t.Fatalf("KFPS/W ordering broken: %g %g %g", r24.KFPSPerW, r34.KFPSPerW, r44.KFPSPerW)
+	}
+	if r34.KFPSPerW < 40 || r34.KFPSPerW > 400 {
+		t.Errorf("[3:4] KFPS/W = %g, paper regime is ~118", r34.KFPSPerW)
+	}
+}
+
+// Fig. 9: enabling the CA reduces the first conv layer's power
+// substantially (paper: 42.2%).
+func TestCAFirstLayerPowerReduction(t *testing.T) {
+	withCA := simulate(t, "vgg9-ca", Uniform(3, 4))
+	without := simulate(t, "vgg9", Uniform(3, 4))
+	l1CA, err := withCA.LayerByName("L1.conv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1Plain, err := without.LayerByName("L1.conv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduction := 1 - l1CA.Power.Total()/l1Plain.Power.Total()
+	if reduction < 0.25 || reduction > 0.80 {
+		t.Errorf("CA first-layer power reduction %.1f%%, paper reports 42.2%%", reduction*100)
+	}
+}
+
+// Pool layers must be far cheaper than neighbouring conv layers (Fig. 8's
+// note: pooling in CA banks with pre-set coefficients).
+func TestPoolLayersCheap(t *testing.T) {
+	rep := simulate(t, "lenet", Uniform(4, 4))
+	conv, err := rep.LayerByName("L3.conv2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := rep.LayerByName("L4.pool2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Power.Total() > conv.Power.Total()/5 {
+		t.Errorf("pool power %g not clearly below conv power %g", pool.Power.Total(), conv.Power.Total())
+	}
+	if pool.Power.DACs != 0 {
+		t.Error("pool layer has DAC power")
+	}
+}
+
+// Execution-time sanity for Fig. 10 models.
+func TestExecutionTimes(t *testing.T) {
+	alex := simulate(t, "alexnet", Uniform(4, 4))
+	vgg := simulate(t, "vgg16", Uniform(4, 4))
+	if alex.FrameLatency < 0.5e-3 || alex.FrameLatency > 20e-3 {
+		t.Errorf("AlexNet latency %g s outside the ms regime", alex.FrameLatency)
+	}
+	if vgg.FrameLatency <= alex.FrameLatency {
+		t.Error("VGG16 should take longer than AlexNet")
+	}
+	// Large models are remap-bound: tuning dominates compute.
+	var remap, compute float64
+	for _, l := range alex.Layers {
+		remap += l.RemapTime
+		compute += l.ComputeTime
+	}
+	if remap < compute {
+		t.Errorf("AlexNet should be remap-bound: remap %g < compute %g", remap, compute)
+	}
+}
+
+func TestReportInvariants(t *testing.T) {
+	rep := simulate(t, "vgg9-ca", Uniform(3, 4))
+	if rep.FPS <= 0 || rep.FrameLatency <= 0 {
+		t.Fatal("non-positive timing")
+	}
+	if math.Abs(rep.FPS*rep.FrameLatency-1) > 1e-9 {
+		t.Error("FPS and latency inconsistent")
+	}
+	if rep.AvgPower > rep.MaxPower {
+		t.Error("average power exceeds max power")
+	}
+	var sum float64
+	for _, l := range rep.Layers {
+		sum += l.Time
+		if l.Power.Total() < 0 {
+			t.Error("negative layer power")
+		}
+	}
+	if math.Abs(sum-rep.FrameLatency) > 1e-12 {
+		t.Error("layer times do not sum to frame latency")
+	}
+	tb := rep.TotalBreakdown()
+	if math.Abs(tb.Total()-rep.AvgPower) > 1e-9 {
+		t.Errorf("total breakdown %g != avg power %g", tb.Total(), rep.AvgPower)
+	}
+	if _, err := rep.LayerByName("nope"); err == nil {
+		t.Error("missing layer lookup succeeded")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate("x", nil, Uniform(4, 4), energy.Default()); err == nil {
+		t.Error("empty model accepted")
+	}
+	layers := []mapping.LayerDims{{Kind: mapping.FC, Name: "f", InC: 10, OutC: 10}}
+	if _, err := Simulate("x", layers, Uniform(0, 4), energy.Default()); err == nil {
+		t.Error("0-bit weights accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package baselines
+
+import "fmt"
+
+// ElectronicDesign models a digital edge accelerator for the Fig. 10
+// execution-time comparison. Each design is reduced to an effective
+// sustained MAC throughput: published peak throughput times a utilisation
+// factor calibrated so the AlexNet speedup ratios of Fig. 10 hold against
+// the architecture simulator's Lightator latency (10.7x Eyeriss, 20.4x
+// YodaNN, 18.1x AppCip, 8.8x ENVISION).
+type ElectronicDesign struct {
+	Name string
+	// PEs is the processing-element count (published).
+	PEs int
+	// ClockHz is the nominal clock (published).
+	ClockHz float64
+	// Utilization is the sustained fraction of peak — the calibrated knob.
+	Utilization float64
+	// Note documents where the constants come from.
+	Note string
+}
+
+// EffectiveMACsPerSec returns the sustained throughput.
+func (d ElectronicDesign) EffectiveMACsPerSec() float64 {
+	return float64(d.PEs) * d.ClockHz * d.Utilization
+}
+
+// ExecTime returns seconds to run a model of the given MAC count.
+func (d ElectronicDesign) ExecTime(modelMACs int64) (float64, error) {
+	eff := d.EffectiveMACsPerSec()
+	if eff <= 0 {
+		return 0, fmt.Errorf("baselines: %s has no throughput", d.Name)
+	}
+	return float64(modelMACs) / eff, nil
+}
+
+// Eyeriss models the JSSC'17 row-stationary accelerator: 168 PEs at
+// 200 MHz (published); near-full sustained utilisation on AlexNet conv
+// layers.
+func Eyeriss() ElectronicDesign {
+	return ElectronicDesign{
+		Name: "Eyeriss", PEs: 168, ClockHz: 200e6, Utilization: 0.95,
+		Note: "168 PEs @ 200 MHz (JSSC'17), utilisation calibrated to Fig. 10",
+	}
+}
+
+// YodaNN models the TCAD'18 binary-weight CNN ASIC. Its Fig. 10 entry
+// runs VGG13 in place of VGG16 (per the paper's figure note).
+func YodaNN() ElectronicDesign {
+	return ElectronicDesign{
+		Name: "YodaNN", PEs: 1024, ClockHz: 480e6, Utilization: 0.031,
+		Note: "binary-weight SoP array @ 480 MHz, utilisation calibrated to Fig. 10",
+	}
+}
+
+// AppCip models the JETCAS'23 convolution-in-pixel sensor: massively
+// parallel analog in-pixel MACs at a slow per-frame cadence.
+func AppCip() ElectronicDesign {
+	return ElectronicDesign{
+		Name: "AppCip", PEs: 65536, ClockHz: 2e6, Utilization: 0.129,
+		Note: "per-pixel analog MAC array, utilisation calibrated to Fig. 10",
+	}
+}
+
+// ENVISION models the ISSCC'17 DVAFS subword-parallel processor.
+func ENVISION() ElectronicDesign {
+	return ElectronicDesign{
+		Name: "ENVISION", PEs: 256, ClockHz: 200e6, Utilization: 0.68,
+		Note: "256 subword MACs @ 200 MHz (ISSCC'17), utilisation calibrated to Fig. 10",
+	}
+}
+
+// AllElectronic returns the Fig. 10 designs in plot order.
+func AllElectronic() []ElectronicDesign {
+	return []ElectronicDesign{Eyeriss(), ENVISION(), AppCip(), YodaNN()}
+}

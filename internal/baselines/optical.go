@@ -1,0 +1,181 @@
+// Package baselines provides analytic models of the accelerators Lightator
+// is compared against: the MR-based optical designs of Table 1 (LightBulb,
+// HolyLight, HQNNA, Robin, CrossLight), the GPU baseline, and the
+// electronic edge accelerators of Fig. 10 (Eyeriss, YodaNN, AppCip,
+// ENVISION).
+//
+// The paper states it re-created these designs "from the ground up
+// resembling the original design" inside its own evaluation framework.
+// Here each optical design is a structural power model — component counts
+// times unit powers — whose constants are taken from the source papers
+// where published and calibrated to the totals Table 1 reports otherwise.
+// Throughput constants are calibrated to each design's reported KFPS/W on
+// the MNIST/LeNet workload. EXPERIMENTS.md records reported vs modeled
+// values side by side.
+package baselines
+
+import "fmt"
+
+// OpticalDesign is a structural power/throughput model of an MR-based
+// photonic accelerator.
+type OpticalDesign struct {
+	// Name and Config render the Table 1 row label, e.g. "LightBulb [1:1]".
+	Name   string
+	Config string
+	// ProcessNode in nm; 0 renders as "-".
+	ProcessNode int
+	// WBits/ABits are the design's weight/activation precisions, used to
+	// reproduce its accuracy through the shared QAT pipeline.
+	WBits, ABits int
+
+	// Component counts and unit powers (watts).
+	NumADC, NumDAC int
+	NumTunedMR     int
+	ADCUnitPower   float64
+	DACUnitPower   float64
+	MRTuningPower  float64
+	LaserPower     float64
+	DigitalPower   float64
+	PowerPublished bool // false renders max power as "-"
+	// PeakMACsPerSec calibrates throughput to the design's reported
+	// KFPS/W.
+	PeakMACsPerSec float64
+}
+
+// MaxPower assembles the structural power model.
+func (d OpticalDesign) MaxPower() float64 {
+	return float64(d.NumADC)*d.ADCUnitPower +
+		float64(d.NumDAC)*d.DACUnitPower +
+		float64(d.NumTunedMR)*d.MRTuningPower +
+		d.LaserPower + d.DigitalPower
+}
+
+// FPS returns frames per second on a model with the given MAC count.
+func (d OpticalDesign) FPS(modelMACs int64) float64 {
+	if modelMACs <= 0 {
+		return 0
+	}
+	return d.PeakMACsPerSec / float64(modelMACs)
+}
+
+// KFPSPerW returns the Table 1 efficiency metric on the given workload.
+func (d OpticalDesign) KFPSPerW(modelMACs int64) float64 {
+	p := d.MaxPower()
+	if p <= 0 {
+		return 0
+	}
+	return d.FPS(modelMACs) / p / 1000
+}
+
+// Label renders "Name [W:A]".
+func (d OpticalDesign) Label() string {
+	return fmt.Sprintf("%s %s", d.Name, d.Config)
+}
+
+// LightBulb models the DATE'20 binarized photonic CNN accelerator
+// (paper [27]): photonic XNOR + popcount with a large ADC army — the
+// paper's critique is exactly its ADC power. 32 nm node.
+func LightBulb() OpticalDesign {
+	return OpticalDesign{
+		Name: "LightBulb", Config: "[1:1]", ProcessNode: 32,
+		WBits: 1, ABits: 1,
+		NumADC: 2048, ADCUnitPower: 30e-3, // fast flash ADCs dominate
+		NumTunedMR: 16384, MRTuningPower: 120e-6,
+		LaserPower: 2.0, DigitalPower: 2.9,
+		PowerPublished: true,
+		PeakMACsPerSec: 1.65e12, // calibrated: 57.75 KFPS/W at 68.3 W on LeNet
+	}
+}
+
+// HolyLight models the DATE'19 nanophotonic accelerator (paper [12]):
+// MR-based adders/shifters instead of ADCs, so MR count (and its tuning
+// power) explodes. 32 nm node.
+func HolyLight() OpticalDesign {
+	return OpticalDesign{
+		Name: "HolyLight", Config: "[4:4]", ProcessNode: 32,
+		WBits: 4, ABits: 4,
+		NumADC: 64, ADCUnitPower: 25e-3,
+		NumTunedMR: 130000, MRTuningPower: 450e-6,
+		LaserPower: 3.0, DigitalPower: 3.8,
+		PowerPublished: true,
+		PeakMACsPerSec: 9.2e10, // calibrated: 3.3 KFPS/W at 66.9 W
+	}
+}
+
+// HQNNA models the GLSVLSI'22 heterogeneous-quantization accelerator
+// (paper [17]). Its max power is not reported in Table 1; the internal
+// structural estimate is used only to convert throughput to KFPS/W.
+func HQNNA() OpticalDesign {
+	return OpticalDesign{
+		Name: "HQNNA", Config: "", ProcessNode: 45,
+		WBits: 4, ABits: 8,
+		NumADC: 512, ADCUnitPower: 20e-3,
+		NumDAC: 2048, DACUnitPower: 9e-3,
+		NumTunedMR: 40000, MRTuningPower: 150e-6,
+		LaserPower: 3.0, DigitalPower: 2.0,
+		PowerPublished: false,
+		PeakMACsPerSec: 5.76e11, // calibrated: 34.6 KFPS/W at ~40 W estimate
+	}
+}
+
+// Robin models the ACM TECS'21 robust optical BNN accelerator (paper
+// [19]): binary weights, 4-bit activations, heavy DAC usage for MR tuning
+// (the paper's critique). 45 nm node.
+func Robin() OpticalDesign {
+	return OpticalDesign{
+		Name: "Robin", Config: "[1:4]", ProcessNode: 45,
+		WBits: 1, ABits: 4,
+		NumDAC: 12000, DACUnitPower: 7e-3,
+		NumTunedMR: 60000, MRTuningPower: 200e-6,
+		LaserPower: 4.0, DigitalPower: 6.0,
+		PowerPublished: true,
+		PeakMACsPerSec: 2.06e12, // calibrated: 46.5 KFPS/W at 106 W
+	}
+}
+
+// CrossLight models the DAC'21 cross-layer photonic accelerator (paper
+// [16]) at its low-power endpoint; CrossLightLarge is the high-power
+// endpoint. Both tune MRs for activations AND weights — the overhead
+// Lightator's DMVA eliminates.
+func CrossLight() OpticalDesign {
+	return OpticalDesign{
+		Name: "CrossLight", Config: "[4:4]", ProcessNode: 0,
+		WBits: 4, ABits: 4,
+		NumDAC: 8000, DACUnitPower: 5e-3,
+		NumTunedMR: 35000, MRTuningPower: 1e-3,
+		LaserPower: 4.0, DigitalPower: 5.0,
+		PowerPublished: true,
+		PeakMACsPerSec: 1.84e12, // calibrated: 52.59 KFPS/W at 84 W
+	}
+}
+
+// CrossLightLarge is the 390 W endpoint of CrossLight's reported range.
+func CrossLightLarge() OpticalDesign {
+	d := CrossLight()
+	d.NumDAC = 30000
+	d.NumTunedMR = 185000
+	d.LaserPower = 20
+	d.DigitalPower = 35
+	// Throughput grows sublinearly with the array: 10.78 KFPS/W at 390 W.
+	d.PeakMACsPerSec = 1.75e12
+	return d
+}
+
+// GPU models the NVIDIA GeForce RTX 3060 Ti baseline of Table 1: 200 W
+// board power, float32 (the "[32:32]" row), throughput not reported as
+// KFPS/W in the table.
+type GPU struct {
+	Name       string
+	BoardPower float64
+	PeakFLOPs  float64
+}
+
+// RTX3060Ti returns the baseline GPU.
+func RTX3060Ti() GPU {
+	return GPU{Name: "RTX 3060Ti", BoardPower: 200, PeakFLOPs: 16.2e12}
+}
+
+// AllOptical returns the Table 1 optical designs in paper order.
+func AllOptical() []OpticalDesign {
+	return []OpticalDesign{LightBulb(), HolyLight(), HQNNA(), Robin(), CrossLight()}
+}

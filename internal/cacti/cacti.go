@@ -1,0 +1,100 @@
+// Package cacti is a simplified CACTI-style SRAM model (the paper uses
+// CACTI 5.1 for the kernel/weight memories, Fig. 7). It reproduces the
+// first-order scaling laws of CACTI — access energy and latency growing
+// with the square root of capacity, leakage and area growing linearly —
+// anchored to published 45 nm SRAM numbers.
+package cacti
+
+import (
+	"fmt"
+	"math"
+)
+
+// SRAM models one on-chip SRAM buffer.
+type SRAM struct {
+	// CapacityBytes of the array.
+	CapacityBytes int
+	// WordBits per access.
+	WordBits int
+	// TechNm is the process node in nanometers.
+	TechNm float64
+}
+
+// Reference anchor: a 32 KB, 32-bit, 45 nm SRAM.
+const (
+	refCapacity = 32 * 1024
+	refWordBits = 32
+	refTechNm   = 45.0
+	// refReadEnergy is ~12 pJ per 32-bit read at 45 nm (CACTI 5.1 scale).
+	refReadEnergy = 12e-12
+	// refWriteEnergy is slightly above read.
+	refWriteEnergy = 14e-12
+	// refLeakage is ~6 mW for 32 KB at 45 nm.
+	refLeakage = 6e-3
+	// refLatency is ~0.7 ns.
+	refLatency = 0.7e-9
+	// refAreaMM2 is ~0.17 mm^2 for 32 KB at 45 nm.
+	refAreaMM2 = 0.17
+)
+
+// New constructs an SRAM model.
+func New(capacityBytes, wordBits int, techNm float64) (*SRAM, error) {
+	if capacityBytes < 64 {
+		return nil, fmt.Errorf("cacti: capacity %d B too small", capacityBytes)
+	}
+	if wordBits < 1 || wordBits > 1024 {
+		return nil, fmt.Errorf("cacti: word width %d bits", wordBits)
+	}
+	if techNm < 7 || techNm > 180 {
+		return nil, fmt.Errorf("cacti: technology %g nm outside model range", techNm)
+	}
+	return &SRAM{CapacityBytes: capacityBytes, WordBits: wordBits, TechNm: techNm}, nil
+}
+
+// techScale returns the dynamic-energy scale factor vs 45 nm: energy
+// scales roughly with feature size squared (capacitance x voltage).
+func (s *SRAM) techScale() float64 {
+	return (s.TechNm / refTechNm) * (s.TechNm / refTechNm)
+}
+
+// capScale returns the sqrt capacity scaling of bitline/wordline energy
+// and latency.
+func (s *SRAM) capScale() float64 {
+	return math.Sqrt(float64(s.CapacityBytes) / refCapacity)
+}
+
+// wordScale returns the linear word-width scaling.
+func (s *SRAM) wordScale() float64 {
+	return float64(s.WordBits) / refWordBits
+}
+
+// ReadEnergy returns joules per read access.
+func (s *SRAM) ReadEnergy() float64 {
+	return refReadEnergy * s.capScale() * s.wordScale() * s.techScale()
+}
+
+// WriteEnergy returns joules per write access.
+func (s *SRAM) WriteEnergy() float64 {
+	return refWriteEnergy * s.capScale() * s.wordScale() * s.techScale()
+}
+
+// LeakagePower returns watts of standby leakage.
+func (s *SRAM) LeakagePower() float64 {
+	return refLeakage * float64(s.CapacityBytes) / refCapacity * (s.TechNm / refTechNm)
+}
+
+// AccessLatency returns seconds per access.
+func (s *SRAM) AccessLatency() float64 {
+	return refLatency * s.capScale() * (s.TechNm / refTechNm)
+}
+
+// AreaMM2 returns the array area in mm^2.
+func (s *SRAM) AreaMM2() float64 {
+	return refAreaMM2 * float64(s.CapacityBytes) / refCapacity * s.techScale()
+}
+
+// TrafficPower returns the average power of a stream of accessesPerSecond
+// reads (plus leakage).
+func (s *SRAM) TrafficPower(accessesPerSecond float64) float64 {
+	return s.ReadEnergy()*accessesPerSecond + s.LeakagePower()
+}

@@ -1,0 +1,93 @@
+package cacti
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(16, 32, 45); err == nil {
+		t.Error("tiny capacity accepted")
+	}
+	if _, err := New(32768, 0, 45); err == nil {
+		t.Error("zero word accepted")
+	}
+	if _, err := New(32768, 32, 3); err == nil {
+		t.Error("3nm outside model accepted")
+	}
+}
+
+func TestReferenceAnchor(t *testing.T) {
+	s, err := New(32*1024, 32, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.ReadEnergy()-12e-12) > 1e-15 {
+		t.Errorf("anchor read energy %g", s.ReadEnergy())
+	}
+	if math.Abs(s.LeakagePower()-6e-3) > 1e-9 {
+		t.Errorf("anchor leakage %g", s.LeakagePower())
+	}
+	if s.WriteEnergy() <= s.ReadEnergy() {
+		t.Error("write should cost more than read")
+	}
+}
+
+func TestScalingLaws(t *testing.T) {
+	small, _ := New(32*1024, 32, 45)
+	big, _ := New(128*1024, 32, 45)
+	// 4x capacity -> 2x access energy (sqrt), 4x leakage, 4x area.
+	if r := big.ReadEnergy() / small.ReadEnergy(); math.Abs(r-2) > 0.01 {
+		t.Errorf("capacity energy scaling %g, want 2", r)
+	}
+	if r := big.LeakagePower() / small.LeakagePower(); math.Abs(r-4) > 0.01 {
+		t.Errorf("leakage scaling %g, want 4", r)
+	}
+	if r := big.AreaMM2() / small.AreaMM2(); math.Abs(r-4) > 0.01 {
+		t.Errorf("area scaling %g, want 4", r)
+	}
+	// Narrower word costs less.
+	narrow, _ := New(32*1024, 8, 45)
+	if narrow.ReadEnergy() >= small.ReadEnergy() {
+		t.Error("narrow word should cost less energy")
+	}
+	// Smaller node costs less.
+	scaled, _ := New(32*1024, 32, 22)
+	if scaled.ReadEnergy() >= small.ReadEnergy() {
+		t.Error("22nm should cost less than 45nm")
+	}
+}
+
+func TestTrafficPower(t *testing.T) {
+	s, _ := New(32*1024, 32, 45)
+	idle := s.TrafficPower(0)
+	if math.Abs(idle-s.LeakagePower()) > 1e-15 {
+		t.Error("idle traffic power should equal leakage")
+	}
+	busy := s.TrafficPower(1e9)
+	if busy <= idle {
+		t.Error("traffic should add power")
+	}
+}
+
+// Property: all metrics stay positive and monotone in capacity.
+func TestMonotoneProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		capA := 1024 * (int(raw%64) + 1)
+		capB := capA * 2
+		a, err := New(capA, 32, 45)
+		if err != nil {
+			return false
+		}
+		b, err := New(capB, 32, 45)
+		if err != nil {
+			return false
+		}
+		return a.ReadEnergy() > 0 && b.ReadEnergy() > a.ReadEnergy() &&
+			b.AccessLatency() > a.AccessLatency() && b.AreaMM2() > a.AreaMM2()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

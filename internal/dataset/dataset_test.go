@@ -1,0 +1,218 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDigitsDeterministic(t *testing.T) {
+	a := NewDigits(50, 7)
+	b := NewDigits(50, 7)
+	for i := range a.images {
+		if a.images[i] != b.images[i] {
+			t.Fatal("same seed produced different images")
+		}
+	}
+	c := NewDigits(50, 8)
+	same := true
+	for i := range a.images {
+		if a.images[i] != c.images[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestDigitsShapeAndRange(t *testing.T) {
+	ds := NewDigits(20, 1)
+	if ds.Len() != 20 {
+		t.Fatalf("len %d", ds.Len())
+	}
+	shape := ds.InputShape()
+	if len(shape) != 3 || shape[0] != 1 || shape[1] != 28 || shape[2] != 28 {
+		t.Fatalf("shape %v", shape)
+	}
+	buf := make([]float64, 28*28)
+	for i := 0; i < ds.Len(); i++ {
+		label := ds.Sample(i, buf)
+		if label < 0 || label > 9 {
+			t.Fatalf("label %d", label)
+		}
+		if label != ds.Label(i) {
+			t.Fatal("Label() disagrees with Sample()")
+		}
+		for _, v := range buf {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %g outside [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestDigitsClassBalanceAndSignal(t *testing.T) {
+	ds := NewDigits(500, 3)
+	counts := make([]int, 10)
+	buf := make([]float64, 28*28)
+	for i := 0; i < ds.Len(); i++ {
+		counts[ds.Sample(i, buf)]++
+		// Every digit must have some lit pixels (signal present).
+		sum := 0.0
+		for _, v := range buf {
+			sum += v
+		}
+		if sum < 5 {
+			t.Fatalf("sample %d nearly empty (sum %g)", i, sum)
+		}
+	}
+	for d, c := range counts {
+		if c < 20 {
+			t.Errorf("digit %d badly under-represented: %d/500", d, c)
+		}
+	}
+}
+
+func TestDigitsClassesAreDistinguishable(t *testing.T) {
+	// Mean images of distinct digits must differ substantially — a
+	// degenerate generator would break every accuracy experiment.
+	ds := NewDigits(400, 5)
+	means := make([][]float64, 10)
+	counts := make([]int, 10)
+	buf := make([]float64, 28*28)
+	for i := 0; i < ds.Len(); i++ {
+		l := ds.Sample(i, buf)
+		if means[l] == nil {
+			means[l] = make([]float64, len(buf))
+		}
+		for j, v := range buf {
+			means[l][j] += v
+		}
+		counts[l]++
+	}
+	for d := range means {
+		for j := range means[d] {
+			means[d][j] /= float64(counts[d])
+		}
+	}
+	// Digits 1 and 8 are maximally different in segment count.
+	dist := 0.0
+	for j := range means[1] {
+		dist += math.Abs(means[1][j] - means[8][j])
+	}
+	if dist < 10 {
+		t.Errorf("mean images of 1 and 8 too close: L1 distance %g", dist)
+	}
+}
+
+func TestObjects10(t *testing.T) {
+	ds := NewObjects10(100, 2)
+	if ds.Classes != 10 {
+		t.Fatalf("classes %d", ds.Classes)
+	}
+	shape := ds.InputShape()
+	if shape[0] != 3 || shape[1] != 32 || shape[2] != 32 {
+		t.Fatalf("shape %v", shape)
+	}
+	buf := make([]float64, 3*32*32)
+	seen := map[int]bool{}
+	for i := 0; i < ds.Len(); i++ {
+		l := ds.Sample(i, buf)
+		if l < 0 || l >= 10 {
+			t.Fatalf("label %d", l)
+		}
+		seen[l] = true
+	}
+	if len(seen) < 8 {
+		t.Errorf("only %d distinct classes in 100 samples", len(seen))
+	}
+}
+
+func TestObjects100(t *testing.T) {
+	ds := NewObjects100(300, 4)
+	if ds.Classes != 100 {
+		t.Fatalf("classes %d", ds.Classes)
+	}
+	buf := make([]float64, 3*32*32)
+	seen := map[int]bool{}
+	for i := 0; i < ds.Len(); i++ {
+		seen[ds.Sample(i, buf)] = true
+	}
+	if len(seen) < 70 {
+		t.Errorf("only %d distinct classes in 300 samples", len(seen))
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := NewDigits(100, 1)
+	tr, te, err := ds.Split(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 80 || te.Len() != 20 {
+		t.Fatalf("split %d/%d", tr.Len(), te.Len())
+	}
+	// Sample 80 of the original equals sample 0 of the test split.
+	a := make([]float64, 28*28)
+	b := make([]float64, 28*28)
+	la := ds.Sample(80, a)
+	lb := te.Sample(0, b)
+	if la != lb {
+		t.Fatal("split labels misaligned")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("split pixels misaligned")
+		}
+	}
+	if _, _, err := ds.Split(0); err == nil {
+		t.Error("split 0 accepted")
+	}
+	if _, _, err := ds.Split(100); err == nil {
+		t.Error("split == len accepted")
+	}
+}
+
+func TestCACompress(t *testing.T) {
+	src := NewObjects10(10, 9)
+	out, err := CACompress(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := out.InputShape()
+	if shape[0] != 1 || shape[1] != 16 || shape[2] != 16 {
+		t.Fatalf("compressed shape %v", shape)
+	}
+	if out.Len() != 10 || out.Classes != 10 {
+		t.Fatal("metadata lost")
+	}
+	// Labels preserved.
+	buf := make([]float64, 16*16)
+	for i := 0; i < 10; i++ {
+		if out.Sample(i, buf) != src.Label(i) {
+			t.Fatalf("label mismatch at %d", i)
+		}
+	}
+	// Compressed content correlates with source brightness: a sample's
+	// mean gray should be within quantization error of its source's
+	// Bayer-weighted mean.
+	srcBuf := make([]float64, 3*32*32)
+	src.Sample(0, srcBuf)
+	var meanComp float64
+	out.Sample(0, buf)
+	for _, v := range buf {
+		meanComp += v
+	}
+	meanComp /= float64(len(buf))
+	if meanComp <= 0 {
+		t.Error("compressed output is all zeros")
+	}
+	// Grayscale dataset cannot be CA-compressed.
+	if _, err := CACompress(NewDigits(5, 1), 2); err == nil {
+		t.Error("grayscale input accepted")
+	}
+	if _, err := CACompress(src, 5); err == nil {
+		t.Error("indivisible pool accepted")
+	}
+}

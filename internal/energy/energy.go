@@ -1,0 +1,250 @@
+// Package energy implements Lightator's component-level power model: the
+// per-layer breakdown into weight-tuning DACs, MR tuning (TUN), the DMVA
+// (CRC + VCSELs + drivers), output ADCs, balanced photodetectors, and
+// Misc (controller + weight/activation memories via the CACTI model).
+// These are the six components of the paper's Figs. 8 and 9.
+//
+// Unit powers are calibrated (DESIGN.md §5): the paper's analog circuit
+// constants are not published, so each unit value is chosen from device
+// literature and anchored so the assembled model reproduces the paper's
+// headline numbers — the 5.28 / 2.71 / 1.46 W ladder across [4:4]/[3:4]/
+// [2:4] and the >85% DAC share.
+package energy
+
+import (
+	"fmt"
+
+	"lightator/internal/cacti"
+	"lightator/internal/mapping"
+)
+
+// Params carries every unit power/energy constant of the model.
+type Params struct {
+	// DACUnitPower is the hold power of one weight-tuning DAC per LSB
+	// current branch, watts. A b-bit current-steering DAC holding an MR
+	// tuning level burns DACUnitPower * 2^b; power-gating the top bit
+	// slices (the paper's trick) halves it per bit removed.
+	DACUnitPower float64
+	// TuningPowerPerMR is the mean MR heater hold power, watts. Derived
+	// from the photonic model: ~1 nm max detuning at 7.5 nm/mW isolated
+	// heaters, averaged over the weight-level distribution.
+	TuningPowerPerMR float64
+	// ADCEnergyPerConv is the energy of one 4-bit output conversion,
+	// joules (ultra-low-power SAR at 45 nm).
+	ADCEnergyPerConv float64
+	// BPDPowerPerArm is the bias + TIA power of one balanced
+	// photodetector, watts.
+	BPDPowerPerArm float64
+	// VCSELAvgPower is the average electrical power of one active DMVA
+	// channel (VCSEL + driver at mean modulation), watts.
+	VCSELAvgPower float64
+	// NumVCSELChannels is the DMVA size: 9 wavelengths per bank-row bus
+	// times 12 bank rows.
+	NumVCSELChannels int
+	// CRCComparatorEnergy is the energy of one pixel comparator
+	// evaluation, joules (15 per pixel read).
+	CRCComparatorEnergy float64
+	// ControllerPower is the constant control/timing overhead, watts.
+	ControllerPower float64
+	// WeightMemory and ActMemory model the two SRAM buffers of Fig. 3.
+	WeightMemory *cacti.SRAM
+	ActMemory    *cacti.SRAM
+	// ClockHz is the optical core's modulation (operational cycle) rate.
+	ClockHz float64
+	// RemapLatency is the effective per-tile re-programming latency:
+	// DAC write plus MR settle, pipelined across banks. The default
+	// assumes fast carrier-injection (PIN) tuning as in Robin; thermal
+	// tuning (4 us) is available for the ablation benches.
+	RemapLatency float64
+	// MemBanks is the number of parallel activation-memory banks; it sets
+	// the activation bandwidth floor on layer time.
+	MemBanks int
+	// ActBits is the stored activation precision (4 everywhere in the
+	// paper); activations pack ActBits-wide into memory words.
+	ActBits int
+}
+
+// Default returns the calibrated parameter set.
+func Default() Params {
+	wmem, err := cacti.New(64*1024, 16, 45)
+	if err != nil {
+		panic(err) // unreachable: constants are valid
+	}
+	amem, err := cacti.New(32*1024, 16, 45)
+	if err != nil {
+		panic(err) // unreachable: constants are valid
+	}
+	return Params{
+		DACUnitPower:        55e-6,
+		TuningPowerPerMR:    47e-6,
+		ADCEnergyPerConv:    50e-15,
+		BPDPowerPerArm:      20e-6,
+		VCSELAvgPower:       250e-6,
+		NumVCSELChannels:    mapping.MRsPerArm * mapping.BankRows,
+		CRCComparatorEnergy: 30e-15,
+		ControllerPower:     20e-3,
+		WeightMemory:        wmem,
+		ActMemory:           amem,
+		ClockHz:             5e9,
+		RemapLatency:        300e-9,
+		MemBanks:            8,
+		ActBits:             4,
+	}
+}
+
+// weightAccesses returns memory accesses to stream a layer's weights once,
+// with wBits-wide values packed into memory words.
+func (p Params) weightAccesses(weights int64, wBits int) float64 {
+	perWord := p.WeightMemory.WordBits / wBits
+	if perWord < 1 {
+		perWord = 1
+	}
+	return float64((weights + int64(perWord) - 1) / int64(perWord))
+}
+
+// actAccesses returns memory accesses for a layer's activation traffic
+// (one write by the producer, one read by the consumer), packed.
+func (p Params) actAccesses(activations int64) float64 {
+	perWord := p.ActMemory.WordBits / p.ActBits
+	if perWord < 1 {
+		perWord = 1
+	}
+	return float64(2 * (activations + int64(perWord) - 1) / int64(perWord))
+}
+
+// MemoryTime returns the activation-memory-bandwidth floor on a layer's
+// wall time: banked SRAM can only absorb MemBanks accesses per access
+// latency. Weight streaming overlaps the remap pipeline and does not
+// bound compute.
+func (p Params) MemoryTime(s mapping.Schedule) float64 {
+	banks := p.MemBanks
+	if banks < 1 {
+		banks = 1
+	}
+	return p.actAccesses(s.Dims.Activations()) * p.ActMemory.AccessLatency() / float64(banks)
+}
+
+// DACPower returns the hold power of n active weight DACs at b-bit
+// precision: n * unit * 2^b. This is the dominant term of Fig. 9's pie
+// ("DACs contribute to more than 85% of the total power consumption, as
+// DAC usage is required to convert all of the weight values to analog
+// inputs for tuning purposes").
+func (p Params) DACPower(activeMRs int64, wBits int) float64 {
+	return float64(activeMRs) * p.DACUnitPower * float64(int64(1)<<uint(wBits))
+}
+
+// TuningPower returns the MR heater hold power for n active MRs.
+func (p Params) TuningPower(activeMRs int64) float64 {
+	return float64(activeMRs) * p.TuningPowerPerMR
+}
+
+// Breakdown is one layer's power split — the stacked components of
+// Figs. 8 and 9.
+type Breakdown struct {
+	ADCs float64
+	DACs float64
+	DMVA float64
+	TUN  float64
+	BPD  float64
+	Misc float64
+}
+
+// Total sums all components.
+func (b Breakdown) Total() float64 {
+	return b.ADCs + b.DACs + b.DMVA + b.TUN + b.BPD + b.Misc
+}
+
+// Share returns each component's fraction of the total, keyed by the
+// paper's legend names.
+func (b Breakdown) Share() map[string]float64 {
+	t := b.Total()
+	if t == 0 {
+		return map[string]float64{}
+	}
+	return map[string]float64{
+		"ADCs": b.ADCs / t,
+		"DACs": b.DACs / t,
+		"DMVA": b.DMVA / t,
+		"TUN":  b.TUN / t,
+		"BPD":  b.BPD / t,
+		"Misc": b.Misc / t,
+	}
+}
+
+// Add returns the component-wise sum.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		ADCs: b.ADCs + o.ADCs,
+		DACs: b.DACs + o.DACs,
+		DMVA: b.DMVA + o.DMVA,
+		TUN:  b.TUN + o.TUN,
+		BPD:  b.BPD + o.BPD,
+		Misc: b.Misc + o.Misc,
+	}
+}
+
+// Scale returns the breakdown scaled by f.
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{
+		ADCs: b.ADCs * f, DACs: b.DACs * f, DMVA: b.DMVA * f,
+		TUN: b.TUN * f, BPD: b.BPD * f, Misc: b.Misc * f,
+	}
+}
+
+// LayerPower computes the power breakdown of one scheduled layer running
+// at the given weight precision. firstLayer enables the CRC (sensor
+// readout) contribution; layerTime is the wall time of one inference pass
+// through this layer (for amortising per-frame energies into power).
+func (p Params) LayerPower(s mapping.Schedule, wBits int, firstLayer bool, layerTime float64) (Breakdown, error) {
+	if layerTime <= 0 {
+		return Breakdown{}, fmt.Errorf("energy: non-positive layer time %g", layerTime)
+	}
+	var b Breakdown
+	d := s.Dims
+
+	// Arms engaged per cycle: active MRs spread over arms.
+	activeArms := (s.ActiveMRs + mapping.MRsPerArm - 1) / mapping.MRsPerArm
+
+	switch d.Kind {
+	case mapping.Conv, mapping.FC:
+		// Weight-path DACs hold tuning levels for every resident MR.
+		b.DACs = p.DACPower(s.ActiveMRs, wBits)
+		b.TUN = p.TuningPower(s.ActiveMRs)
+	case mapping.Pool, mapping.CACompress:
+		// Pre-set coefficients: MRs are tuned once at configuration time;
+		// no DAC activity during inference (the paper's pooling layers are
+		// nearly free in Fig. 8). Holding power remains.
+		b.TUN = p.TuningPower(s.ActiveMRs)
+	}
+
+	// Output ADCs: one 4-bit conversion per stride result per cycle.
+	conversions := float64(s.ComputeCycles) * float64(minI64(int64(s.StridesPerCore), s.StrideKernels))
+	b.ADCs = conversions * p.ADCEnergyPerConv / layerTime
+
+	// BPDs: biased on every engaged arm.
+	b.BPD = float64(activeArms) * p.BPDPowerPerArm
+
+	// DMVA: active VCSEL channels; the first layer also pays the CRC
+	// comparator energy for reading the pixel array.
+	b.DMVA = float64(p.NumVCSELChannels) * p.VCSELAvgPower
+	if firstLayer {
+		pixels := float64(d.InH*d.InW) * float64(d.InC)
+		comparisons := pixels * 15
+		b.DMVA += comparisons * p.CRCComparatorEnergy / layerTime
+	}
+
+	// Misc: controller plus memory traffic. Weights stream once per
+	// frame (packed wBits-wide); activations are written once and read
+	// once (packed 4-bit).
+	b.Misc = p.ControllerPower +
+		p.WeightMemory.ReadEnergy()*p.weightAccesses(d.Weights(), wBits)/layerTime +
+		p.ActMemory.ReadEnergy()*p.actAccesses(d.Activations())/layerTime
+	return b, nil
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

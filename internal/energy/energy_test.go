@@ -1,0 +1,151 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"lightator/internal/mapping"
+)
+
+func TestDACPowerBitScaling(t *testing.T) {
+	p := Default()
+	// Power-gating a bit slice halves DAC power: P(b) = unit * 2^b.
+	p4 := p.DACPower(5184, 4)
+	p3 := p.DACPower(5184, 3)
+	p2 := p.DACPower(5184, 2)
+	if math.Abs(p4/p3-2) > 1e-12 || math.Abs(p3/p2-2) > 1e-12 {
+		t.Errorf("DAC power not halving per bit: %g %g %g", p4, p3, p2)
+	}
+	// Full-core 3-bit DAC power should land near the paper's 2.3 W
+	// (the dominant slice of the 2.71 W max-power layer).
+	if p3 < 1.8 || p3 > 2.8 {
+		t.Errorf("full-core 3-bit DAC power %g W, want ~2.3 W", p3)
+	}
+}
+
+func TestTuningPowerScale(t *testing.T) {
+	p := Default()
+	full := p.TuningPower(5184)
+	// Paper's TUN slice is ~9% of 2.71 W ~ 0.24 W.
+	if full < 0.15 || full > 0.4 {
+		t.Errorf("full-core tuning power %g W, want ~0.24 W", full)
+	}
+}
+
+func TestBreakdownAlgebra(t *testing.T) {
+	a := Breakdown{ADCs: 1, DACs: 2, DMVA: 3, TUN: 4, BPD: 5, Misc: 6}
+	if a.Total() != 21 {
+		t.Errorf("total %g", a.Total())
+	}
+	b := a.Add(a)
+	if b.Total() != 42 {
+		t.Errorf("add total %g", b.Total())
+	}
+	c := a.Scale(0.5)
+	if c.Total() != 10.5 {
+		t.Errorf("scale total %g", c.Total())
+	}
+	sh := a.Share()
+	sum := 0.0
+	for _, v := range sh {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("shares sum to %g", sum)
+	}
+	if (Breakdown{}).Share() == nil {
+		t.Error("zero breakdown share should be an empty map, not nil")
+	}
+}
+
+func TestLayerPowerConvDominatedByDACs(t *testing.T) {
+	p := Default()
+	d := mapping.LayerDims{Kind: mapping.Conv, Name: "c", InC: 256, OutC: 256, K: 3, Stride: 1, Pad: 1, InH: 8, InW: 8}
+	s, err := mapping.ScheduleLayer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layerTime := float64(s.ComputeCycles)/p.ClockHz + float64(s.RemapEvents)*p.RemapLatency
+	b, err := p.LayerPower(s, 3, false, layerTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := b.Share()
+	// The paper's Fig. 9 pie for L8 at [3:4]: DACs ~85%, TUN ~9%,
+	// Misc ~4%, DMVA ~1%, ADC and BPD below 1%.
+	if sh["DACs"] < 0.80 || sh["DACs"] > 0.92 {
+		t.Errorf("DAC share %.1f%%, want ~85%%", sh["DACs"]*100)
+	}
+	if sh["TUN"] < 0.05 || sh["TUN"] > 0.13 {
+		t.Errorf("TUN share %.1f%%, want ~9%%", sh["TUN"]*100)
+	}
+	if sh["DMVA"] > 0.03 {
+		t.Errorf("DMVA share %.1f%%, want ~1%%", sh["DMVA"]*100)
+	}
+	if sh["ADCs"] > 0.01 || sh["BPD"] > 0.01 {
+		t.Errorf("ADC/BPD shares %.2f%%/%.2f%%, want <1%%", sh["ADCs"]*100, sh["BPD"]*100)
+	}
+}
+
+func TestLayerPowerPoolHasNoDAC(t *testing.T) {
+	p := Default()
+	d := mapping.LayerDims{Kind: mapping.Pool, Name: "p", InC: 64, OutC: 64, K: 2, Stride: 2, InH: 16, InW: 16}
+	s, err := mapping.ScheduleLayer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.LayerPower(s, 4, false, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.DACs != 0 {
+		t.Errorf("pool layer DAC power %g, want 0 (pre-set coefficients)", b.DACs)
+	}
+	if b.TUN <= 0 {
+		t.Error("pool layer should still hold MR tuning power")
+	}
+}
+
+func TestLayerPowerFirstLayerCRC(t *testing.T) {
+	p := Default()
+	d := mapping.LayerDims{Kind: mapping.CACompress, Name: "ca", InC: 1, OutC: 1, K: 2, Stride: 2, InH: 256, InW: 256}
+	s, err := mapping.ScheduleLayer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCRC, err := p.LayerPower(s, 4, true, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := p.LayerPower(s, 4, false, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCRC.DMVA <= without.DMVA {
+		t.Error("first layer must pay CRC comparator energy in DMVA")
+	}
+}
+
+func TestLayerPowerRejectsBadTime(t *testing.T) {
+	p := Default()
+	d := mapping.LayerDims{Kind: mapping.FC, Name: "f", InC: 100, OutC: 10}
+	s, _ := mapping.ScheduleLayer(d)
+	if _, err := p.LayerPower(s, 4, false, 0); err == nil {
+		t.Error("zero layer time accepted")
+	}
+}
+
+func TestMemoryTimePositive(t *testing.T) {
+	p := Default()
+	d := mapping.LayerDims{Kind: mapping.Pool, Name: "p", InC: 256, OutC: 256, K: 2, Stride: 2, InH: 4, InW: 4}
+	s, _ := mapping.ScheduleLayer(d)
+	mt := p.MemoryTime(s)
+	if mt <= 0 {
+		t.Fatal("memory time not positive")
+	}
+	// Thin pooling layers must be memory-bound, not optics-bound.
+	compute := float64(s.ComputeCycles) / p.ClockHz
+	if mt <= compute {
+		t.Errorf("pool memory time %g not above compute %g", mt, compute)
+	}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smokeOpt is the cheapest profile for unit tests; the engine memoises
+// across tests in this package.
+func smokeOpt() Options {
+	return Options{Profile: Smoke, Seed: 7, Workers: 8}
+}
+
+func TestFig8Structure(t *testing.T) {
+	res, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 3 {
+		t.Fatalf("%d configs, want 3", len(res.Reports))
+	}
+	for i, rep := range res.Reports {
+		if len(rep.Layers) != 7 {
+			t.Errorf("config %d has %d layers, want 7", i, len(rep.Layers))
+		}
+	}
+	// Power ladder ordering.
+	if !(res.Reports[0].MaxPower > res.Reports[1].MaxPower && res.Reports[1].MaxPower > res.Reports[2].MaxPower) {
+		t.Error("Fig. 8 power ladder broken")
+	}
+	// Paper: ~2.4x average power efficiency from bit reduction.
+	if res.AvgPowerEfficiency < 1.8 || res.AvgPowerEfficiency > 4.5 {
+		t.Errorf("avg power efficiency %.2fx, paper ~2.4x", res.AvgPowerEfficiency)
+	}
+	out := res.Render()
+	for _, want := range []string{"L1.conv1", "L7.fc3", "[2:4]", "DACs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig9Structure(t *testing.T) {
+	res, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Layers) != 13 { // CA stage + L1..L12
+		t.Errorf("%d layers, want 13", len(res.Report.Layers))
+	}
+	// Paper: 42.2% first-layer reduction from CA.
+	if res.L1Reduction < 0.25 || res.L1Reduction > 0.80 {
+		t.Errorf("L1 reduction %.1f%%, paper 42.2%%", res.L1Reduction*100)
+	}
+	// Paper pie: DACs ~85%.
+	if res.L8Share["DACs"] < 0.78 || res.L8Share["DACs"] > 0.92 {
+		t.Errorf("L8 DAC share %.1f%%, paper ~85%%", res.L8Share["DACs"]*100)
+	}
+	// Paper: DACs >85% across all weight layers; allow a looser floor for
+	// the calibrated model's thinner layers.
+	if res.DACShareMin < 0.5 {
+		t.Errorf("min DAC share %.1f%% too low", res.DACShareMin*100)
+	}
+	if !strings.Contains(res.Render(), "L8 power pie") {
+		t.Error("render missing pie")
+	}
+}
+
+func TestFig10Structure(t *testing.T) {
+	res, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 5 {
+		t.Fatalf("%d entries, want 5 (4 electronic + Lightator)", len(res.Entries))
+	}
+	var lightator Fig10Entry
+	for _, e := range res.Entries {
+		if e.Design == "Lightator" {
+			lightator = e
+		}
+	}
+	if lightator.Design == "" {
+		t.Fatal("no Lightator entry")
+	}
+	// Lightator wins on both models against every electronic design.
+	for _, e := range res.Entries {
+		if e.Design == "Lightator" {
+			continue
+		}
+		if e.AlexNet <= lightator.AlexNet {
+			t.Errorf("%s AlexNet %g not slower than Lightator %g", e.Design, e.AlexNet, lightator.AlexNet)
+		}
+		if e.VGG16 <= lightator.VGG16 {
+			t.Errorf("%s VGG16 %g not slower than Lightator %g", e.Design, e.VGG16, lightator.VGG16)
+		}
+	}
+	// Speedup factors within 2x of the paper's (10.7, 20.4, 18.1, 8.8).
+	paper := map[string]float64{"Eyeriss": 10.7, "YodaNN": 20.4, "AppCip": 18.1, "ENVISION": 8.8}
+	for name, want := range paper {
+		got := res.AlexNetSpeedup[name]
+		if got < want/2 || got > want*2 {
+			t.Errorf("%s speedup %.1fx, paper %.1fx (want within 2x)", name, got, want)
+		}
+	}
+	if !strings.Contains(res.Render(), "Lightator") {
+		t.Error("render missing Lightator")
+	}
+}
+
+func TestAblationCA(t *testing.T) {
+	res, err := AblationCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L1Reduction <= 0 {
+		t.Error("CA should reduce first-layer power")
+	}
+	if res.SpeedUp <= 1 {
+		t.Error("CA should speed up the frame")
+	}
+	if !strings.Contains(res.Render(), "A1") {
+		t.Error("render missing label")
+	}
+}
+
+func TestAblationKernelMapping(t *testing.T) {
+	rows, err := AblationKernelMapping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// 3x3 is the sweet spot: full utilisation.
+	if rows[2].MRUtilisation != 1 {
+		t.Errorf("3x3 utilisation %g", rows[2].MRUtilisation)
+	}
+	if rows[6].IdleMRs != 5 {
+		t.Errorf("7x7 idle MRs %d, want 5", rows[6].IdleMRs)
+	}
+	if !strings.Contains(RenderKernelAblation(rows), "7x7") {
+		t.Error("render missing 7x7")
+	}
+}
+
+func TestAblationActivationModulation(t *testing.T) {
+	res := AblationActivationModulation()
+	if res.Factor <= 1.5 {
+		t.Errorf("MR-based activations should cost well over Lightator's: %.2fx", res.Factor)
+	}
+	if !strings.Contains(res.Render(), "A4") {
+		t.Error("render missing label")
+	}
+}
+
+func TestAblationRemapLatency(t *testing.T) {
+	res, err := AblationRemapLatency("alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown <= 2 {
+		t.Errorf("thermal tuning should slow AlexNet substantially: %.1fx", res.Slowdown)
+	}
+	if res.ThermalRemapShare <= res.PINRemapShare {
+		t.Error("thermal remap share should exceed PIN share")
+	}
+	if _, err := AblationRemapLatency("unknown-model"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestAccuracyLadderSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment skipped in -short mode")
+	}
+	e := Engine(smokeOpt())
+	acc44, err := e.Accuracy(TaskMNIST, PrecisionConfig{WBits: 4, ABits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc11, err := e.Accuracy(TaskMNIST, PrecisionConfig{WBits: 1, ABits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc44 < 0.5 {
+		t.Errorf("[4:4] smoke accuracy %.2f too low to be meaningful", acc44)
+	}
+	if acc11 > acc44+0.05 {
+		t.Errorf("binary [1:1] (%.2f) should not beat [4:4] (%.2f)", acc11, acc44)
+	}
+	// Memoisation: the same query must be instant and identical.
+	again, err := e.Accuracy(TaskMNIST, PrecisionConfig{WBits: 4, ABits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != acc44 {
+		t.Error("memoised accuracy changed")
+	}
+}
+
+func TestPhotonicAccuracySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment skipped in -short mode")
+	}
+	e := Engine(smokeOpt())
+	cfg := PrecisionConfig{WBits: 4, ABits: 4}
+	digital, err := e.Accuracy(TaskMNIST, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	photonic, err := e.Accuracy(TaskMNIST, PrecisionConfig{WBits: 4, ABits: 4, Photonic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if photonic < digital-0.25 {
+		t.Errorf("photonic %.2f far below digital %.2f", photonic, digital)
+	}
+}

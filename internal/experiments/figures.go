@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lightator/internal/arch"
+	"lightator/internal/baselines"
+	"lightator/internal/energy"
+	"lightator/internal/models"
+	"lightator/internal/report"
+)
+
+// Fig8Result is the layer-wise LeNet power breakdown at three precisions
+// (paper Fig. 8).
+type Fig8Result struct {
+	Configs []string
+	Reports []*arch.Report
+	// AvgPowerEfficiency is AvgPower([4:4]) / AvgPower([2:4]) — the
+	// paper quotes ~2.4x average gain from weight bit-width reduction.
+	AvgPowerEfficiency float64
+}
+
+// Fig8 regenerates the Fig. 8 experiment.
+func Fig8() (*Fig8Result, error) {
+	layers := models.LeNet()
+	p := energy.Default()
+	res := &Fig8Result{}
+	var first, last *arch.Report
+	for _, ps := range []arch.PrecisionSchedule{arch.Uniform(4, 4), arch.Uniform(3, 4), arch.Uniform(2, 4)} {
+		rep, err := arch.Simulate("lenet", layers, ps, p)
+		if err != nil {
+			return nil, err
+		}
+		res.Configs = append(res.Configs, ps.Name())
+		res.Reports = append(res.Reports, rep)
+		if first == nil {
+			first = rep
+		}
+		last = rep
+	}
+	res.AvgPowerEfficiency = first.AvgPower / last.AvgPower
+	return res, nil
+}
+
+// Render prints the stacked per-layer breakdown as a table per config.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 8 — LeNet layer-wise power breakdown (W)\n")
+	for i, rep := range r.Reports {
+		tb := report.Table{
+			Title:   fmt.Sprintf("\nConfiguration %s (max %.3g W)", r.Configs[i], rep.MaxPower),
+			Headers: []string{"Layer", "Kind", "ADCs", "DACs", "DMVA", "TUN", "BPD", "Misc", "Total"},
+		}
+		for _, l := range rep.Layers {
+			tb.AddRow(l.Name, l.Kind.String(),
+				report.FormatSI(l.Power.ADCs, 2)+"W",
+				report.FormatSI(l.Power.DACs, 2)+"W",
+				report.FormatSI(l.Power.DMVA, 2)+"W",
+				report.FormatSI(l.Power.TUN, 2)+"W",
+				report.FormatSI(l.Power.BPD, 2)+"W",
+				report.FormatSI(l.Power.Misc, 2)+"W",
+				report.FormatSI(l.Power.Total(), 2)+"W",
+			)
+		}
+		b.WriteString(tb.Render())
+	}
+	fmt.Fprintf(&b, "\nAverage power efficiency [4:4] -> [2:4]: %.2fx (paper: ~2.4x)\n", r.AvgPowerEfficiency)
+	return b.String()
+}
+
+// Fig9Result is the VGG9 [3:4] breakdown plus the CA ablation and the L8
+// pie shares (paper Fig. 9).
+type Fig9Result struct {
+	Report *arch.Report
+	// L1Reduction is the fractional first-layer power saving from the CA
+	// (paper: 42.2%).
+	L1Reduction float64
+	// L8Share is the Fig. 9 pie: component fractions of layer L8.
+	L8Share map[string]float64
+	// DACShareMin is the minimum DAC share across weight layers (paper:
+	// "consistently across all layers, DACs contribute more than 85%").
+	DACShareMin float64
+}
+
+// Fig9 regenerates the Fig. 9 experiment.
+func Fig9() (*Fig9Result, error) {
+	p := energy.Default()
+	withCA, err := arch.Simulate("vgg9-ca", models.VGG9WithCA(10), arch.Uniform(3, 4), p)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := arch.Simulate("vgg9", models.VGG9(10), arch.Uniform(3, 4), p)
+	if err != nil {
+		return nil, err
+	}
+	l1CA, err := withCA.LayerByName("L1.conv1")
+	if err != nil {
+		return nil, err
+	}
+	l1, err := plain.LayerByName("L1.conv1")
+	if err != nil {
+		return nil, err
+	}
+	l8, err := withCA.LayerByName("L8.conv6")
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{
+		Report:      withCA,
+		L1Reduction: 1 - l1CA.Power.Total()/l1.Power.Total(),
+		L8Share:     l8.Power.Share(),
+		DACShareMin: 1,
+	}
+	for _, l := range withCA.Layers {
+		if l.Power.DACs > 0 {
+			if sh := l.Power.Share()["DACs"]; sh < res.DACShareMin {
+				res.DACShareMin = sh
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the Fig. 9 tables and pie.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 9 — VGG9 [3:4] layer-wise power breakdown (W), CA enabled\n\n")
+	tb := report.Table{Headers: []string{"Layer", "Kind", "ADCs", "DACs", "DMVA", "TUN", "BPD", "Misc", "Total"}}
+	for _, l := range r.Report.Layers {
+		tb.AddRow(l.Name, l.Kind.String(),
+			report.FormatSI(l.Power.ADCs, 2)+"W",
+			report.FormatSI(l.Power.DACs, 2)+"W",
+			report.FormatSI(l.Power.DMVA, 2)+"W",
+			report.FormatSI(l.Power.TUN, 2)+"W",
+			report.FormatSI(l.Power.BPD, 2)+"W",
+			report.FormatSI(l.Power.Misc, 2)+"W",
+			report.FormatSI(l.Power.Total(), 2)+"W",
+		)
+	}
+	b.WriteString(tb.Render())
+	fmt.Fprintf(&b, "\nCA first-layer power reduction: %.1f%% (paper: 42.2%%)\n", r.L1Reduction*100)
+	fmt.Fprintf(&b, "L8 power pie: DACs %.0f%%, TUN %.0f%%, Misc %.0f%%, DMVA %.1f%%, ADCs %.2f%%, BPD %.2f%% (paper: 85/9/4/1/<1/<1)\n",
+		r.L8Share["DACs"]*100, r.L8Share["TUN"]*100, r.L8Share["Misc"]*100,
+		r.L8Share["DMVA"]*100, r.L8Share["ADCs"]*100, r.L8Share["BPD"]*100)
+	fmt.Fprintf(&b, "Minimum DAC share across weight layers: %.1f%% (paper: >85%%)\n", r.DACShareMin*100)
+	return b.String()
+}
+
+// Fig10Entry is one bar pair of Fig. 10.
+type Fig10Entry struct {
+	Design  string
+	AlexNet float64 // seconds
+	VGG16   float64 // seconds (YodaNN substitutes VGG13, as in the paper)
+}
+
+// Fig10Result is the execution-time comparison (paper Fig. 10).
+type Fig10Result struct {
+	Entries []Fig10Entry
+	// Speedups over each electronic design on AlexNet (paper: 10.7x
+	// Eyeriss, 20.4x YodaNN, 18.1x AppCip, 8.8x ENVISION).
+	AlexNetSpeedup map[string]float64
+}
+
+// Fig10 regenerates the execution-time comparison.
+func Fig10() (*Fig10Result, error) {
+	p := energy.Default()
+	alex, err := arch.Simulate("alexnet", models.AlexNet(), arch.Uniform(4, 4), p)
+	if err != nil {
+		return nil, err
+	}
+	vgg, err := arch.Simulate("vgg16", models.VGG16(), arch.Uniform(4, 4), p)
+	if err != nil {
+		return nil, err
+	}
+	alexMACs := models.TotalMACs(models.AlexNet())
+	vggMACs := models.TotalMACs(models.VGG16())
+	vgg13MACs := models.TotalMACs(models.VGG13())
+
+	res := &Fig10Result{AlexNetSpeedup: map[string]float64{}}
+	for _, d := range baselines.AllElectronic() {
+		at, err := d.ExecTime(alexMACs)
+		if err != nil {
+			return nil, err
+		}
+		vm := vggMACs
+		if d.Name == "YodaNN" {
+			vm = vgg13MACs // paper's figure note: VGG13 substitution
+		}
+		vt, err := d.ExecTime(vm)
+		if err != nil {
+			return nil, err
+		}
+		res.Entries = append(res.Entries, Fig10Entry{Design: d.Name, AlexNet: at, VGG16: vt})
+		res.AlexNetSpeedup[d.Name] = at / alex.FrameLatency
+	}
+	res.Entries = append(res.Entries, Fig10Entry{Design: "Lightator", AlexNet: alex.FrameLatency, VGG16: vgg.FrameLatency})
+	return res, nil
+}
+
+// Render draws the log-scale execution-time chart.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 10 — log-scaled execution time (ms)\n\n")
+	alex := report.BarChart{Title: "AlexNet", Unit: "ms", Log: true}
+	vgg := report.BarChart{Title: "VGG16 (YodaNN: VGG13)", Unit: "ms", Log: true}
+	for _, e := range r.Entries {
+		alex.Add(e.Design, e.AlexNet*1e3)
+		vgg.Add(e.Design, e.VGG16*1e3)
+	}
+	b.WriteString(alex.Render())
+	b.WriteByte('\n')
+	b.WriteString(vgg.Render())
+	b.WriteString("\nAlexNet speedups over electronic designs (paper: Eyeriss 10.7x, YodaNN 20.4x, AppCip 18.1x, ENVISION 8.8x):\n")
+	for _, name := range []string{"Eyeriss", "YodaNN", "AppCip", "ENVISION"} {
+		fmt.Fprintf(&b, "  %-9s %.1fx\n", name, r.AlexNetSpeedup[name])
+	}
+	return b.String()
+}

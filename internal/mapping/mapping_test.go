@@ -1,0 +1,372 @@
+package mapping
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Paper §4 geometry facts.
+func TestCoreGeometry(t *testing.T) {
+	if NumBanks != 96 {
+		t.Errorf("banks = %d, want 96", NumBanks)
+	}
+	if MRsPerBank != 54 {
+		t.Errorf("MRs per bank = %d, want 54 (9x6)", MRsPerBank)
+	}
+	if TotalMRs != 5184 {
+		t.Errorf("total MRs = %d, want 5184", TotalMRs)
+	}
+	if BankCols != 8 || BankRows != 12 {
+		t.Errorf("bank grid %dx%d, want 8x12", BankCols, BankRows)
+	}
+}
+
+// Fig. 6(a): 3x3 kernel -> 6 strides per bank, BPD-only summation, no
+// idle MRs.
+func TestMap3x3(t *testing.T) {
+	m, err := MapKernel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StridesPerBank != 6 {
+		t.Errorf("strides per bank = %d, want 6", m.StridesPerBank)
+	}
+	if m.ArmsPerStride != 1 {
+		t.Errorf("arms per stride = %d, want 1", m.ArmsPerStride)
+	}
+	if m.IdleMRsPerStride != 0 {
+		t.Errorf("idle MRs = %d, want 0", m.IdleMRsPerStride)
+	}
+	if m.SummationStages != 0 {
+		t.Errorf("summation stages = %d, want 0 (BPD only)", m.SummationStages)
+	}
+	if m.MRUtilisation() != 1 {
+		t.Errorf("utilisation = %g, want 1", m.MRUtilisation())
+	}
+	if m.StridesPerCycle() != 576 {
+		t.Errorf("strides per cycle = %d, want 576", m.StridesPerCycle())
+	}
+}
+
+// Fig. 6(b): 5x5 kernel -> 3 arms per stride, 2 strides per bank, 2 idle
+// MRs per stride, first summation stage active.
+func TestMap5x5(t *testing.T) {
+	m, err := MapKernel(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ArmsPerStride != 3 {
+		t.Errorf("arms per stride = %d, want 3", m.ArmsPerStride)
+	}
+	if m.StridesPerBank != 2 {
+		t.Errorf("strides per bank = %d, want 2", m.StridesPerBank)
+	}
+	if m.IdleMRsPerStride != 2 {
+		t.Errorf("idle MRs per stride = %d, want 2 (27-25)", m.IdleMRsPerStride)
+	}
+	if m.SummationStages != 1 {
+		t.Errorf("summation stages = %d, want 1", m.SummationStages)
+	}
+}
+
+// Fig. 6(c): 7x7 kernel -> whole bank per stride, 5 idle MRs, two
+// summation stages.
+func TestMap7x7(t *testing.T) {
+	m, err := MapKernel(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ArmsPerStride != 6 {
+		t.Errorf("arms per stride = %d, want 6", m.ArmsPerStride)
+	}
+	if m.StridesPerBank != 1 {
+		t.Errorf("strides per bank = %d, want 1", m.StridesPerBank)
+	}
+	if m.IdleMRsPerStride != 5 {
+		t.Errorf("idle MRs per stride = %d, want 5 (54-49)", m.IdleMRsPerStride)
+	}
+	if m.SummationStages != 2 {
+		t.Errorf("summation stages = %d, want 2", m.SummationStages)
+	}
+}
+
+func TestMapKernelBounds(t *testing.T) {
+	if _, err := MapKernel(0); err == nil {
+		t.Error("kernel 0 accepted")
+	}
+	if _, err := MapKernel(8); err == nil {
+		t.Error("8x8 kernel (64 taps > 54) should not fit a bank")
+	}
+	// 1x1 pointwise fits trivially.
+	m, err := MapKernel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StridesPerBank != 6 || m.IdleMRsPerStride != 8 {
+		t.Errorf("1x1: %+v", m)
+	}
+}
+
+// Property: mapped strides never oversubscribe a bank and idle counts are
+// consistent.
+func TestMapKernelProperty(t *testing.T) {
+	f := func(kRaw uint8) bool {
+		k := int(kRaw%7) + 1
+		m, err := MapKernel(k)
+		if err != nil {
+			return false
+		}
+		used := m.StridesPerBank * m.ArmsPerStride
+		if used > ArmsPerBank {
+			return false
+		}
+		if m.IdleArmsPerBank != ArmsPerBank-used {
+			return false
+		}
+		if m.IdleMRsPerStride != m.ArmsPerStride*MRsPerArm-m.Taps {
+			return false
+		}
+		return m.MRUtilisation() > 0 && m.MRUtilisation() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapFC(t *testing.T) {
+	m, err := MapFC(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Segments != 14 {
+		t.Errorf("segments = %d, want 14 (ceil(120/9))", m.Segments)
+	}
+	if m.TailTaps != 3 {
+		t.Errorf("tail taps = %d, want 3", m.TailTaps)
+	}
+	if _, err := MapFC(0); err == nil {
+		t.Error("fan-in 0 accepted")
+	}
+	exact, _ := MapFC(18)
+	if exact.Segments != 2 || exact.TailTaps != 9 {
+		t.Errorf("fan-in 18: %+v", exact)
+	}
+}
+
+func TestMapFCProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		fanIn := int(raw%4096) + 1
+		m, err := MapFC(fanIn)
+		if err != nil {
+			return false
+		}
+		// Segments cover the fan-in exactly.
+		covered := (m.Segments-1)*MRsPerArm + m.TailTaps
+		return covered == fanIn && m.TailTaps >= 1 && m.TailTaps <= MRsPerArm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayerDimsConv(t *testing.T) {
+	d := LayerDims{Kind: Conv, Name: "c1", InC: 3, OutC: 64, K: 3, Stride: 1, Pad: 1, InH: 32, InW: 32}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.OutH() != 32 || d.OutW() != 32 {
+		t.Errorf("out %dx%d, want 32x32 (same padding)", d.OutH(), d.OutW())
+	}
+	if got, want := d.MACs(), int64(32*32*64*3*9); got != want {
+		t.Errorf("MACs = %d, want %d", got, want)
+	}
+	if got, want := d.Weights(), int64(64*3*9); got != want {
+		t.Errorf("weights = %d, want %d", got, want)
+	}
+	if got, want := d.Activations(), int64(32*32*64); got != want {
+		t.Errorf("activations = %d, want %d", got, want)
+	}
+}
+
+func TestLayerDimsFC(t *testing.T) {
+	d := LayerDims{Kind: FC, Name: "fc", InC: 4096, OutC: 10}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.MACs() != 40960 || d.Weights() != 40960 {
+		t.Errorf("MACs %d weights %d", d.MACs(), d.Weights())
+	}
+	if d.OutH() != 1 || d.OutW() != 1 {
+		t.Error("FC spatial dims not 1x1")
+	}
+}
+
+func TestLayerDimsPoolStride(t *testing.T) {
+	d := LayerDims{Kind: Pool, Name: "p1", InC: 16, OutC: 16, K: 2, Stride: 2, InH: 28, InW: 28}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.OutH() != 14 || d.OutW() != 14 {
+		t.Errorf("pool out %dx%d, want 14x14", d.OutH(), d.OutW())
+	}
+	if d.Weights() != 0 {
+		t.Error("pool layer should store no weights (pre-set coefficients)")
+	}
+	bad := d
+	bad.OutC = 32
+	if err := bad.Validate(); err == nil {
+		t.Error("pool changing channel count accepted")
+	}
+}
+
+func TestScheduleConvSmall(t *testing.T) {
+	// 16 filters x 1 input channel of 3x3: 16 stride kernels, all resident
+	// at once (576 slots) -> 1 tile, OH*OW cycles.
+	d := LayerDims{Kind: Conv, Name: "c1", InC: 1, OutC: 16, K: 3, Stride: 1, InH: 28, InW: 28}
+	s, err := ScheduleLayer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tiles != 1 {
+		t.Errorf("tiles = %d, want 1", s.Tiles)
+	}
+	if s.ComputeCycles != int64(26*26) {
+		t.Errorf("cycles = %d, want %d", s.ComputeCycles, 26*26)
+	}
+	if s.RemapEvents != 1 {
+		t.Errorf("remaps = %d, want 1", s.RemapEvents)
+	}
+	if s.ActiveMRs != 16*9 {
+		t.Errorf("active MRs = %d, want 144", s.ActiveMRs)
+	}
+}
+
+func TestScheduleConvTiled(t *testing.T) {
+	// 512x512 3x3 layer: 262144 stride kernels over 576 slots -> 456 tiles.
+	d := LayerDims{Kind: Conv, Name: "c", InC: 512, OutC: 512, K: 3, Stride: 1, Pad: 1, InH: 4, InW: 4}
+	s, err := ScheduleLayer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTiles := int64((512*512 + 575) / 576)
+	if s.Tiles != wantTiles {
+		t.Errorf("tiles = %d, want %d", s.Tiles, wantTiles)
+	}
+	if s.ComputeCycles != wantTiles*16 {
+		t.Errorf("cycles = %d, want %d", s.ComputeCycles, wantTiles*16)
+	}
+}
+
+func TestScheduleLargeKernelSpansBanks(t *testing.T) {
+	// AlexNet conv1: 11x11 = 121 taps -> 14 arms, spanning banks.
+	d := LayerDims{Kind: Conv, Name: "a1", InC: 3, OutC: 96, K: 11, Stride: 4, InH: 227, InW: 227}
+	s, err := ScheduleLayer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ArmsPerStride != 14 {
+		t.Errorf("arms per stride = %d, want 14", s.ArmsPerStride)
+	}
+	if s.StridesPerCore != 576/14 {
+		t.Errorf("strides per core = %d, want %d", s.StridesPerCore, 576/14)
+	}
+	if s.SummationStages != 2 {
+		t.Error("bank-spanning kernel should use both summation stages")
+	}
+}
+
+func TestSchedulePoolNoRemap(t *testing.T) {
+	d := LayerDims{Kind: Pool, Name: "p", InC: 64, OutC: 64, K: 2, Stride: 2, InH: 16, InW: 16}
+	s, err := ScheduleLayer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RemapEvents != 0 {
+		t.Errorf("pool remap events = %d, want 0 (pre-set coefficients)", s.RemapEvents)
+	}
+	if s.ComputeCycles != 64 {
+		t.Errorf("cycles = %d, want 64 (8x8 outputs, 64 channels parallel)", s.ComputeCycles)
+	}
+}
+
+func TestScheduleCACompress(t *testing.T) {
+	d := LayerDims{Kind: CACompress, Name: "ca", InC: 1, OutC: 1, K: 2, Stride: 2, InH: 256, InW: 256}
+	s, err := ScheduleLayer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RemapEvents != 0 {
+		t.Error("CA should not remap")
+	}
+	if s.ComputeCycles != 128*128 {
+		t.Errorf("cycles = %d, want %d", s.ComputeCycles, 128*128)
+	}
+}
+
+func TestScheduleFC(t *testing.T) {
+	// 400 -> 120 FC: 45 segments per neuron... ceil(400/9)=45; 120*45 =
+	// 5400 arms over 576 -> 10 tiles.
+	d := LayerDims{Kind: FC, Name: "fc1", InC: 400, OutC: 120}
+	s, err := ScheduleLayer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StrideKernels != 120*45 {
+		t.Errorf("stride kernels = %d, want %d", s.StrideKernels, 120*45)
+	}
+	wantTiles := int64((120*45 + 575) / 576)
+	if s.Tiles != wantTiles {
+		t.Errorf("tiles = %d, want %d", s.Tiles, wantTiles)
+	}
+	if s.ComputeCycles != wantTiles {
+		t.Errorf("cycles = %d, want %d (one cycle per tile)", s.ComputeCycles, wantTiles)
+	}
+	if s.SummationStages != 1 {
+		t.Error("multi-segment FC needs the summation stage")
+	}
+}
+
+// Property: a schedule never claims more active MRs than exist, and cycles
+// and tiles are always positive.
+func TestScheduleProperty(t *testing.T) {
+	f := func(inC, outC, kRaw, hw uint8) bool {
+		d := LayerDims{
+			Kind:   Conv,
+			Name:   "x",
+			InC:    int(inC%64) + 1,
+			OutC:   int(outC%64) + 1,
+			K:      int(kRaw%7) + 1,
+			Stride: 1,
+			InH:    int(hw%32) + 8,
+			InW:    int(hw%32) + 8,
+		}
+		if d.K > d.InH {
+			return true // skip invalid geometry
+		}
+		s, err := ScheduleLayer(d)
+		if err != nil {
+			return false
+		}
+		if s.ActiveMRs > TotalMRs || s.ActiveMRs < 1 {
+			return false
+		}
+		if s.Tiles < 1 || s.ComputeCycles < 1 {
+			return false
+		}
+		if s.CoreUtilisation() <= 0 || s.CoreUtilisation() > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayerKindString(t *testing.T) {
+	for kind, want := range map[LayerKind]string{Conv: "conv", FC: "fc", Pool: "pool", CACompress: "ca"} {
+		if kind.String() != want {
+			t.Errorf("%d -> %q, want %q", int(kind), kind.String(), want)
+		}
+	}
+}

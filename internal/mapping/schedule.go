@@ -1,0 +1,235 @@
+package mapping
+
+import "fmt"
+
+// LayerKind classifies a DNN layer for scheduling and energy purposes.
+type LayerKind int
+
+const (
+	// Conv is a standard convolution layer mapped onto MVM banks.
+	Conv LayerKind = iota
+	// FC is a fully-connected layer mapped as 9-MAC segments.
+	FC
+	// Pool is an average-pooling layer mapped onto CA banks with pre-set
+	// weight coefficients (no DAC traffic, no re-mapping).
+	Pool
+	// CACompress is the Compressive Acquisitor's fused RGB-to-grayscale +
+	// average-pooling pass over the raw input frame (Eq. 1), also with
+	// pre-set coefficients.
+	CACompress
+)
+
+// String implements fmt.Stringer.
+func (k LayerKind) String() string {
+	switch k {
+	case Conv:
+		return "conv"
+	case FC:
+		return "fc"
+	case Pool:
+		return "pool"
+	case CACompress:
+		return "ca"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", int(k))
+	}
+}
+
+// LayerDims carries the geometry of one DNN layer. For FC layers InC is
+// the fan-in, OutC the neuron count, and the spatial fields are ignored.
+type LayerDims struct {
+	Kind   LayerKind
+	Name   string
+	InC    int
+	OutC   int
+	K      int // kernel size (conv/pool/ca)
+	Stride int
+	Pad    int
+	InH    int
+	InW    int
+}
+
+// OutH returns the output height.
+func (d LayerDims) OutH() int {
+	if d.Kind == FC {
+		return 1
+	}
+	s := d.Stride
+	if s == 0 {
+		s = 1
+	}
+	return (d.InH+2*d.Pad-d.K)/s + 1
+}
+
+// OutW returns the output width.
+func (d LayerDims) OutW() int {
+	if d.Kind == FC {
+		return 1
+	}
+	s := d.Stride
+	if s == 0 {
+		s = 1
+	}
+	return (d.InW+2*d.Pad-d.K)/s + 1
+}
+
+// MACs returns the multiply-accumulate count of one inference pass.
+func (d LayerDims) MACs() int64 {
+	switch d.Kind {
+	case FC:
+		return int64(d.InC) * int64(d.OutC)
+	default:
+		return int64(d.OutH()) * int64(d.OutW()) * int64(d.OutC) * int64(d.InC) * int64(d.K) * int64(d.K)
+	}
+}
+
+// Weights returns the number of stored weight parameters. Pool and CA
+// layers use pre-set coefficients and store nothing.
+func (d LayerDims) Weights() int64 {
+	switch d.Kind {
+	case Conv:
+		return int64(d.OutC) * int64(d.InC) * int64(d.K) * int64(d.K)
+	case FC:
+		return int64(d.InC) * int64(d.OutC)
+	default:
+		return 0
+	}
+}
+
+// Activations returns the number of output activations produced.
+func (d LayerDims) Activations() int64 {
+	return int64(d.OutH()) * int64(d.OutW()) * int64(d.OutC)
+}
+
+// Validate checks the geometry is self-consistent.
+func (d LayerDims) Validate() error {
+	if d.InC < 1 || d.OutC < 1 {
+		return fmt.Errorf("mapping: layer %q: channels in=%d out=%d", d.Name, d.InC, d.OutC)
+	}
+	if d.Kind == FC {
+		return nil
+	}
+	if d.K < 1 {
+		return fmt.Errorf("mapping: layer %q: kernel %d", d.Name, d.K)
+	}
+	if d.InH < d.K-2*d.Pad || d.InW < d.K-2*d.Pad {
+		return fmt.Errorf("mapping: layer %q: input %dx%d smaller than kernel %d", d.Name, d.InH, d.InW, d.K)
+	}
+	if d.OutH() < 1 || d.OutW() < 1 {
+		return fmt.Errorf("mapping: layer %q: empty output", d.Name)
+	}
+	if (d.Kind == Pool || d.Kind == CACompress) && d.InC != d.OutC && d.Kind == Pool {
+		return fmt.Errorf("mapping: layer %q: pooling cannot change channel count", d.Name)
+	}
+	return nil
+}
+
+// Schedule is the result of placing one layer onto the optical core: how
+// its weights tile into the 5184 MRs and what one inference pass costs in
+// operational cycles and re-mapping events.
+type Schedule struct {
+	Dims LayerDims
+	// Taps is the number of weights in one stride vector (K*K for conv,
+	// up to 9 per FC segment).
+	Taps int
+	// ArmsPerStride is how many arms one stride occupies.
+	ArmsPerStride int
+	// StridesPerCore is how many independent strides the 96 banks hold at
+	// once — the tile width.
+	StridesPerCore int
+	// StrideKernels is how many distinct stride weight-vectors the layer
+	// needs in total (OutC*InC for conv; OutC*segments for FC).
+	StrideKernels int64
+	// Tiles is ceil(StrideKernels / StridesPerCore): the number of times
+	// the core must be re-programmed to stream all weights through.
+	Tiles int64
+	// ComputeCycles is the number of operational cycles of the optical
+	// core for one inference pass of this layer.
+	ComputeCycles int64
+	// RemapEvents counts MR re-programming events (0 for pre-set pool/CA
+	// banks).
+	RemapEvents int64
+	// ActiveMRs is the average number of weight-carrying MRs per tile,
+	// which sets the tuning (TUN) power.
+	ActiveMRs int64
+	// SummationStages active for this mapping (see KernelMapping).
+	SummationStages int
+}
+
+// ScheduleLayer places a layer onto the optical core geometry.
+func ScheduleLayer(d LayerDims) (Schedule, error) {
+	if err := d.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	s := Schedule{Dims: d}
+	switch d.Kind {
+	case Conv, Pool, CACompress:
+		taps := d.K * d.K
+		if d.Kind == CACompress {
+			// The CA fuses the colour conversion into the pooling taps:
+			// one tap per pixel site of the N x N window (Bayer raw).
+			taps = d.K * d.K
+		}
+		s.Taps = taps
+		s.ArmsPerStride = (taps + MRsPerArm - 1) / MRsPerArm
+		if s.ArmsPerStride <= ArmsPerBank {
+			km, err := MapKernel(d.K)
+			if err != nil {
+				return Schedule{}, err
+			}
+			s.StridesPerCore = km.StridesPerCycle()
+			s.SummationStages = km.SummationStages
+		} else {
+			// Kernels beyond 7x7 (e.g. AlexNet's 11x11) span banks; the
+			// partial sums aggregate across the summation sections of
+			// adjacent banks plus the electronic accumulator.
+			s.StridesPerCore = TotalArms / s.ArmsPerStride
+			s.SummationStages = 2
+		}
+		if d.Kind == Conv {
+			s.StrideKernels = int64(d.OutC) * int64(d.InC)
+		} else {
+			// Pre-set pooling/CA coefficients are shared across channels;
+			// each channel still occupies its own stride slot per cycle.
+			s.StrideKernels = int64(d.InC)
+		}
+		tiles := (s.StrideKernels + int64(s.StridesPerCore) - 1) / int64(s.StridesPerCore)
+		s.Tiles = tiles
+		s.ComputeCycles = tiles * int64(d.OutH()) * int64(d.OutW())
+		if d.Kind == Conv {
+			s.RemapEvents = tiles
+		}
+	case FC:
+		fm, err := MapFC(d.InC)
+		if err != nil {
+			return Schedule{}, err
+		}
+		s.Taps = MRsPerArm
+		s.ArmsPerStride = 1
+		s.StridesPerCore = TotalArms
+		s.StrideKernels = int64(d.OutC) * int64(fm.Segments)
+		tiles := (s.StrideKernels + int64(TotalArms) - 1) / int64(TotalArms)
+		s.Tiles = tiles
+		s.ComputeCycles = tiles
+		s.RemapEvents = tiles
+		if fm.Segments > 1 {
+			s.SummationStages = 1
+		}
+	default:
+		return Schedule{}, fmt.Errorf("mapping: unknown layer kind %d", d.Kind)
+	}
+	if s.Tiles > 0 {
+		perTile := (s.StrideKernels*int64(s.Taps) + s.Tiles - 1) / s.Tiles
+		if perTile > TotalMRs {
+			perTile = TotalMRs
+		}
+		s.ActiveMRs = perTile
+	}
+	return s, nil
+}
+
+// CoreUtilisation is the average fraction of the 5184 MRs carrying weights
+// while this layer runs.
+func (s Schedule) CoreUtilisation() float64 {
+	return float64(s.ActiveMRs) / float64(TotalMRs)
+}

@@ -1,0 +1,246 @@
+// Package models is the model zoo: layer-dimension descriptors of the DNNs
+// the paper evaluates (LeNet, VGG9, VGG13, VGG16, AlexNet) for the
+// architecture simulator, plus trainable reduced-width variants built on
+// package nn for the accuracy experiments.
+package models
+
+import (
+	"fmt"
+
+	"lightator/internal/mapping"
+	"lightator/internal/nn"
+)
+
+// LeNet returns the 7 mapped layers of LeNet-5 on 28x28x1 input, matching
+// the paper's Fig. 8 layer indices L1..L7: two conv layers, two pooling
+// layers (CA banks) and three fully-connected layers.
+func LeNet() []mapping.LayerDims {
+	return []mapping.LayerDims{
+		{Kind: mapping.Conv, Name: "L1.conv1", InC: 1, OutC: 6, K: 5, Stride: 1, Pad: 2, InH: 28, InW: 28},
+		{Kind: mapping.Pool, Name: "L2.pool1", InC: 6, OutC: 6, K: 2, Stride: 2, InH: 28, InW: 28},
+		{Kind: mapping.Conv, Name: "L3.conv2", InC: 6, OutC: 16, K: 5, Stride: 1, InH: 14, InW: 14},
+		{Kind: mapping.Pool, Name: "L4.pool2", InC: 16, OutC: 16, K: 2, Stride: 2, InH: 10, InW: 10},
+		{Kind: mapping.FC, Name: "L5.fc1", InC: 400, OutC: 120},
+		{Kind: mapping.FC, Name: "L6.fc2", InC: 120, OutC: 84},
+		{Kind: mapping.FC, Name: "L7.fc3", InC: 84, OutC: 10},
+	}
+}
+
+// VGG9 returns the 12 mapped layers of VGG9 on 32x32x3 input, matching
+// Fig. 9's L1..L12: six conv layers, three pooling layers and three
+// fully-connected layers. L8 (the pie-chart layer in Fig. 9) is the
+// deepest 256-channel convolution.
+func VGG9(classes int) []mapping.LayerDims {
+	return []mapping.LayerDims{
+		{Kind: mapping.Conv, Name: "L1.conv1", InC: 3, OutC: 64, K: 3, Stride: 1, Pad: 1, InH: 32, InW: 32},
+		{Kind: mapping.Conv, Name: "L2.conv2", InC: 64, OutC: 64, K: 3, Stride: 1, Pad: 1, InH: 32, InW: 32},
+		{Kind: mapping.Pool, Name: "L3.pool1", InC: 64, OutC: 64, K: 2, Stride: 2, InH: 32, InW: 32},
+		{Kind: mapping.Conv, Name: "L4.conv3", InC: 64, OutC: 128, K: 3, Stride: 1, Pad: 1, InH: 16, InW: 16},
+		{Kind: mapping.Conv, Name: "L5.conv4", InC: 128, OutC: 128, K: 3, Stride: 1, Pad: 1, InH: 16, InW: 16},
+		{Kind: mapping.Pool, Name: "L6.pool2", InC: 128, OutC: 128, K: 2, Stride: 2, InH: 16, InW: 16},
+		{Kind: mapping.Conv, Name: "L7.conv5", InC: 128, OutC: 256, K: 3, Stride: 1, Pad: 1, InH: 8, InW: 8},
+		{Kind: mapping.Conv, Name: "L8.conv6", InC: 256, OutC: 256, K: 3, Stride: 1, Pad: 1, InH: 8, InW: 8},
+		{Kind: mapping.Pool, Name: "L9.pool3", InC: 256, OutC: 256, K: 2, Stride: 2, InH: 8, InW: 8},
+		{Kind: mapping.FC, Name: "L10.fc1", InC: 256 * 4 * 4, OutC: 512},
+		{Kind: mapping.FC, Name: "L11.fc2", InC: 512, OutC: 512},
+		{Kind: mapping.FC, Name: "L12.fc3", InC: 512, OutC: classes},
+	}
+}
+
+// VGG9WithCA prepends the Compressive Acquisitor stage (2x2 fused
+// grayscale + pooling over the 32x32 RGB input) and adapts the first conv
+// layer to the compressed 16x16x1 input — the configuration Fig. 9
+// evaluates ("a 42.2% reduction in power consumption of the first layer").
+func VGG9WithCA(classes int) []mapping.LayerDims {
+	layers := []mapping.LayerDims{
+		{Kind: mapping.CACompress, Name: "L0.ca", InC: 1, OutC: 1, K: 2, Stride: 2, InH: 32, InW: 32},
+		{Kind: mapping.Conv, Name: "L1.conv1", InC: 1, OutC: 64, K: 3, Stride: 1, Pad: 1, InH: 16, InW: 16},
+		{Kind: mapping.Conv, Name: "L2.conv2", InC: 64, OutC: 64, K: 3, Stride: 1, Pad: 1, InH: 16, InW: 16},
+		{Kind: mapping.Pool, Name: "L3.pool1", InC: 64, OutC: 64, K: 2, Stride: 2, InH: 16, InW: 16},
+		{Kind: mapping.Conv, Name: "L4.conv3", InC: 64, OutC: 128, K: 3, Stride: 1, Pad: 1, InH: 8, InW: 8},
+		{Kind: mapping.Conv, Name: "L5.conv4", InC: 128, OutC: 128, K: 3, Stride: 1, Pad: 1, InH: 8, InW: 8},
+		{Kind: mapping.Pool, Name: "L6.pool2", InC: 128, OutC: 128, K: 2, Stride: 2, InH: 8, InW: 8},
+		{Kind: mapping.Conv, Name: "L7.conv5", InC: 128, OutC: 256, K: 3, Stride: 1, Pad: 1, InH: 4, InW: 4},
+		{Kind: mapping.Conv, Name: "L8.conv6", InC: 256, OutC: 256, K: 3, Stride: 1, Pad: 1, InH: 4, InW: 4},
+		{Kind: mapping.Pool, Name: "L9.pool3", InC: 256, OutC: 256, K: 2, Stride: 2, InH: 4, InW: 4},
+		{Kind: mapping.FC, Name: "L10.fc1", InC: 256 * 2 * 2, OutC: 512},
+		{Kind: mapping.FC, Name: "L11.fc2", InC: 512, OutC: 512},
+		{Kind: mapping.FC, Name: "L12.fc3", InC: 512, OutC: classes},
+	}
+	return layers
+}
+
+// AlexNet returns the 8 weight layers of AlexNet on 227x227x3 input.
+func AlexNet() []mapping.LayerDims {
+	return []mapping.LayerDims{
+		{Kind: mapping.Conv, Name: "conv1", InC: 3, OutC: 96, K: 11, Stride: 4, InH: 227, InW: 227},
+		{Kind: mapping.Pool, Name: "pool1", InC: 96, OutC: 96, K: 3, Stride: 2, InH: 55, InW: 55},
+		{Kind: mapping.Conv, Name: "conv2", InC: 96, OutC: 256, K: 5, Stride: 1, Pad: 2, InH: 27, InW: 27},
+		{Kind: mapping.Pool, Name: "pool2", InC: 256, OutC: 256, K: 3, Stride: 2, InH: 27, InW: 27},
+		{Kind: mapping.Conv, Name: "conv3", InC: 256, OutC: 384, K: 3, Stride: 1, Pad: 1, InH: 13, InW: 13},
+		{Kind: mapping.Conv, Name: "conv4", InC: 384, OutC: 384, K: 3, Stride: 1, Pad: 1, InH: 13, InW: 13},
+		{Kind: mapping.Conv, Name: "conv5", InC: 384, OutC: 256, K: 3, Stride: 1, Pad: 1, InH: 13, InW: 13},
+		{Kind: mapping.FC, Name: "fc6", InC: 256 * 6 * 6, OutC: 4096},
+		{Kind: mapping.FC, Name: "fc7", InC: 4096, OutC: 4096},
+		{Kind: mapping.FC, Name: "fc8", InC: 4096, OutC: 1000},
+	}
+}
+
+// vggBlock appends n same-padding 3x3 conv layers then a 2x2 pool.
+func vggBlock(layers []mapping.LayerDims, prefix string, n, inC, outC, hw int) ([]mapping.LayerDims, int, int) {
+	c := inC
+	for i := 0; i < n; i++ {
+		layers = append(layers, mapping.LayerDims{
+			Kind: mapping.Conv, Name: fmt.Sprintf("%s.conv%d", prefix, i+1),
+			InC: c, OutC: outC, K: 3, Stride: 1, Pad: 1, InH: hw, InW: hw,
+		})
+		c = outC
+	}
+	layers = append(layers, mapping.LayerDims{
+		Kind: mapping.Pool, Name: prefix + ".pool",
+		InC: outC, OutC: outC, K: 2, Stride: 2, InH: hw, InW: hw,
+	})
+	return layers, outC, hw / 2
+}
+
+// VGG16 returns VGG16 on 224x224x3 input (13 conv + 5 pool + 3 FC).
+func VGG16() []mapping.LayerDims {
+	var layers []mapping.LayerDims
+	c, hw := 3, 224
+	layers, c, hw = vggBlock(layers, "b1", 2, c, 64, hw)
+	layers, c, hw = vggBlock(layers, "b2", 2, c, 128, hw)
+	layers, c, hw = vggBlock(layers, "b3", 3, c, 256, hw)
+	layers, c, hw = vggBlock(layers, "b4", 3, c, 512, hw)
+	layers, c, hw = vggBlock(layers, "b5", 3, c, 512, hw)
+	layers = append(layers,
+		mapping.LayerDims{Kind: mapping.FC, Name: "fc6", InC: c * hw * hw, OutC: 4096},
+		mapping.LayerDims{Kind: mapping.FC, Name: "fc7", InC: 4096, OutC: 4096},
+		mapping.LayerDims{Kind: mapping.FC, Name: "fc8", InC: 4096, OutC: 1000},
+	)
+	return layers
+}
+
+// VGG13 returns VGG13 on 224x224x3 input (10 conv + 5 pool + 3 FC); the
+// paper substitutes it for YodaNN's VGG16 result in Fig. 10.
+func VGG13() []mapping.LayerDims {
+	var layers []mapping.LayerDims
+	c, hw := 3, 224
+	layers, c, hw = vggBlock(layers, "b1", 2, c, 64, hw)
+	layers, c, hw = vggBlock(layers, "b2", 2, c, 128, hw)
+	layers, c, hw = vggBlock(layers, "b3", 2, c, 256, hw)
+	layers, c, hw = vggBlock(layers, "b4", 2, c, 512, hw)
+	layers, c, hw = vggBlock(layers, "b5", 2, c, 512, hw)
+	layers = append(layers,
+		mapping.LayerDims{Kind: mapping.FC, Name: "fc6", InC: c * hw * hw, OutC: 4096},
+		mapping.LayerDims{Kind: mapping.FC, Name: "fc7", InC: 4096, OutC: 4096},
+		mapping.LayerDims{Kind: mapping.FC, Name: "fc8", InC: 4096, OutC: 1000},
+	)
+	return layers
+}
+
+// ByName resolves a descriptor model by its lowercase name.
+func ByName(name string) ([]mapping.LayerDims, error) {
+	switch name {
+	case "lenet":
+		return LeNet(), nil
+	case "vgg9":
+		return VGG9(10), nil
+	case "vgg9-ca":
+		return VGG9WithCA(10), nil
+	case "vgg9-cifar100":
+		return VGG9(100), nil
+	case "vgg13":
+		return VGG13(), nil
+	case "vgg16":
+		return VGG16(), nil
+	case "alexnet":
+		return AlexNet(), nil
+	default:
+		return nil, fmt.Errorf("models: unknown model %q", name)
+	}
+}
+
+// TotalMACs sums the MAC count of a descriptor model.
+func TotalMACs(layers []mapping.LayerDims) int64 {
+	var total int64
+	for _, l := range layers {
+		total += l.MACs()
+	}
+	return total
+}
+
+// TotalWeights sums the stored parameters of a descriptor model.
+func TotalWeights(layers []mapping.LayerDims) int64 {
+	var total int64
+	for _, l := range layers {
+		total += l.Weights()
+	}
+	return total
+}
+
+// BuildLeNet constructs the trainable LeNet-5 for 28x28x1 inputs with
+// activation quantizers ready for QAT at the given activation bits.
+func BuildLeNet(classes, aBits int) *nn.Sequential {
+	return nn.NewSequential(
+		nn.NewConv2D("conv1", 1, 6, 5, 1, 2),
+		nn.NewReLU("relu1"),
+		nn.NewActQuant("aq1", aBits),
+		nn.NewAvgPool2D("pool1", 2),
+		nn.NewConv2D("conv2", 6, 16, 5, 1, 0),
+		nn.NewReLU("relu2"),
+		nn.NewActQuant("aq2", aBits),
+		nn.NewAvgPool2D("pool2", 2),
+		nn.NewFlatten("flatten"),
+		nn.NewDense("fc1", 400, 120),
+		nn.NewReLU("relu3"),
+		nn.NewActQuant("aq3", aBits),
+		nn.NewDense("fc2", 120, 84),
+		nn.NewReLU("relu4"),
+		nn.NewActQuant("aq4", aBits),
+		nn.NewDense("fc3", 84, classes),
+	)
+}
+
+// BuildVGG9Slim constructs a width-reduced trainable VGG9 for inH x inW
+// inputs with inC channels. width is the first block's channel count
+// (the paper-scale model uses 64); deeper blocks double it. Used for the
+// synthetic CIFAR tasks where paper-scale training is out of scope.
+func BuildVGG9Slim(inC, inH, inW, classes, width, aBits int) (*nn.Sequential, error) {
+	if inH%8 != 0 || inW%8 != 0 {
+		return nil, fmt.Errorf("models: input %dx%d must be divisible by 8 (three pools)", inH, inW)
+	}
+	w1, w2, w3 := width, width*2, width*4
+	fcIn := w3 * (inH / 8) * (inW / 8)
+	fcW := w3 * 2
+	return nn.NewSequential(
+		nn.NewConv2D("conv1", inC, w1, 3, 1, 1),
+		nn.NewReLU("relu1"),
+		nn.NewActQuant("aq1", aBits),
+		nn.NewConv2D("conv2", w1, w1, 3, 1, 1),
+		nn.NewReLU("relu2"),
+		nn.NewActQuant("aq2", aBits),
+		nn.NewAvgPool2D("pool1", 2),
+		nn.NewConv2D("conv3", w1, w2, 3, 1, 1),
+		nn.NewReLU("relu3"),
+		nn.NewActQuant("aq3", aBits),
+		nn.NewConv2D("conv4", w2, w2, 3, 1, 1),
+		nn.NewReLU("relu4"),
+		nn.NewActQuant("aq4", aBits),
+		nn.NewAvgPool2D("pool2", 2),
+		nn.NewConv2D("conv5", w2, w3, 3, 1, 1),
+		nn.NewReLU("relu5"),
+		nn.NewActQuant("aq5", aBits),
+		nn.NewConv2D("conv6", w3, w3, 3, 1, 1),
+		nn.NewReLU("relu6"),
+		nn.NewActQuant("aq6", aBits),
+		nn.NewAvgPool2D("pool3", 2),
+		nn.NewFlatten("flatten"),
+		nn.NewDense("fc1", fcIn, fcW),
+		nn.NewReLU("relu7"),
+		nn.NewActQuant("aq7", aBits),
+		nn.NewDense("fc2", fcW, fcW),
+		nn.NewReLU("relu8"),
+		nn.NewActQuant("aq8", aBits),
+		nn.NewDense("fc3", fcW, classes),
+	), nil
+}

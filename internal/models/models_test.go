@@ -1,0 +1,185 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"lightator/internal/mapping"
+	"lightator/internal/nn"
+)
+
+func validateAll(t *testing.T, layers []mapping.LayerDims) {
+	t.Helper()
+	for _, l := range layers {
+		if err := l.Validate(); err != nil {
+			t.Errorf("layer %s: %v", l.Name, err)
+		}
+		if _, err := mapping.ScheduleLayer(l); err != nil {
+			t.Errorf("layer %s does not schedule: %v", l.Name, err)
+		}
+	}
+}
+
+func TestLeNetDescriptor(t *testing.T) {
+	layers := LeNet()
+	if len(layers) != 7 {
+		t.Fatalf("LeNet has %d layers, want 7 (paper Fig. 8 L1..L7)", len(layers))
+	}
+	validateAll(t, layers)
+	// Spatial chain: conv1 keeps 28 (pad 2), pool to 14, conv2 to 10,
+	// pool to 5, fc1 consumes 16*5*5=400.
+	if layers[0].OutH() != 28 {
+		t.Errorf("conv1 out %d", layers[0].OutH())
+	}
+	if layers[3].OutH() != 5 {
+		t.Errorf("pool2 out %d", layers[3].OutH())
+	}
+	if layers[4].InC != 400 {
+		t.Errorf("fc1 fan-in %d", layers[4].InC)
+	}
+	// Classic LeNet parameter count ballpark (~61k).
+	w := TotalWeights(layers)
+	if w < 55000 || w > 70000 {
+		t.Errorf("LeNet weights %d, want ~61k", w)
+	}
+}
+
+func TestVGG9Descriptor(t *testing.T) {
+	layers := VGG9(10)
+	if len(layers) != 12 {
+		t.Fatalf("VGG9 has %d layers, want 12 (paper Fig. 9 L1..L12)", len(layers))
+	}
+	validateAll(t, layers)
+	// L8 is the deepest conv (the Fig. 9 pie-chart layer).
+	if !strings.Contains(layers[7].Name, "L8") || layers[7].Kind != mapping.Conv || layers[7].OutC != 256 {
+		t.Errorf("L8 = %+v, want 256-channel conv", layers[7])
+	}
+	// CIFAR100 variant widens only the classifier.
+	l100 := VGG9(100)
+	if l100[len(l100)-1].OutC != 100 {
+		t.Error("VGG9(100) classifier width")
+	}
+}
+
+func TestVGG9WithCADescriptor(t *testing.T) {
+	layers := VGG9WithCA(10)
+	if layers[0].Kind != mapping.CACompress {
+		t.Fatal("first stage must be the CA")
+	}
+	validateAll(t, layers)
+	// CA compresses 32x32 to 16x16, so L1 sees 16x16x1 input: its MAC
+	// count must be far below the plain VGG9 L1.
+	plain := VGG9(10)
+	caMACs := layers[1].MACs()
+	plainMACs := plain[0].MACs()
+	if caMACs*4 > plainMACs {
+		t.Errorf("CA first-layer MACs %d not clearly below plain %d", caMACs, plainMACs)
+	}
+}
+
+func TestAlexNetDescriptor(t *testing.T) {
+	layers := AlexNet()
+	validateAll(t, layers)
+	macs := TotalMACs(layers)
+	// AlexNet forward pass is ~0.7-1.2 GMAC depending on variant.
+	if macs < 600e6 || macs > 1500e6 {
+		t.Errorf("AlexNet MACs %d outside expected range", macs)
+	}
+	w := TotalWeights(layers)
+	if w < 50e6 || w > 70e6 {
+		t.Errorf("AlexNet weights %d, want ~61M", w)
+	}
+}
+
+func TestVGG16Descriptor(t *testing.T) {
+	layers := VGG16()
+	validateAll(t, layers)
+	macs := TotalMACs(layers)
+	// VGG16 is ~15.5 GMAC.
+	if macs < 14e9 || macs > 17e9 {
+		t.Errorf("VGG16 MACs %d, want ~15.5G", macs)
+	}
+	w := TotalWeights(layers)
+	if w < 130e6 || w > 145e6 {
+		t.Errorf("VGG16 weights %d, want ~138M", w)
+	}
+	// 13 conv + 5 pool + 3 fc.
+	conv, pool, fc := 0, 0, 0
+	for _, l := range layers {
+		switch l.Kind {
+		case mapping.Conv:
+			conv++
+		case mapping.Pool:
+			pool++
+		case mapping.FC:
+			fc++
+		}
+	}
+	if conv != 13 || pool != 5 || fc != 3 {
+		t.Errorf("VGG16 structure %d conv %d pool %d fc", conv, pool, fc)
+	}
+}
+
+func TestVGG13Descriptor(t *testing.T) {
+	layers := VGG13()
+	validateAll(t, layers)
+	conv := 0
+	for _, l := range layers {
+		if l.Kind == mapping.Conv {
+			conv++
+		}
+	}
+	if conv != 10 {
+		t.Errorf("VGG13 has %d conv layers, want 10", conv)
+	}
+	if TotalMACs(layers) >= TotalMACs(VGG16()) {
+		t.Error("VGG13 should cost fewer MACs than VGG16")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"lenet", "vgg9", "vgg9-ca", "vgg9-cifar100", "vgg13", "vgg16", "alexnet"} {
+		layers, err := ByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(layers) == 0 {
+			t.Errorf("%s: empty", name)
+		}
+	}
+	if _, err := ByName("resnet"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestBuildLeNetShapes(t *testing.T) {
+	net := BuildLeNet(10, 4)
+	net.InitHe(1)
+	x := nn.NewTensor(2, 1, 28, 28)
+	y, err := net.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Dim(0) != 2 || y.Dim(1) != 10 {
+		t.Fatalf("output %v", y.Shape)
+	}
+}
+
+func TestBuildVGG9SlimShapes(t *testing.T) {
+	net, err := BuildVGG9Slim(1, 16, 16, 10, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.InitHe(1)
+	x := nn.NewTensor(1, 1, 16, 16)
+	y, err := net.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Dim(1) != 10 {
+		t.Fatalf("output %v", y.Shape)
+	}
+	if _, err := BuildVGG9Slim(3, 30, 30, 10, 8, 4); err == nil {
+		t.Error("indivisible input accepted")
+	}
+}

@@ -1,0 +1,159 @@
+package nn
+
+import "fmt"
+
+// Conv2D is a standard 2D convolution over NCHW tensors with optional
+// weight fake-quantization for QAT. Weight layout: [OutC][InC][K][K].
+type Conv2D struct {
+	LayerName      string
+	InC, OutC      int
+	K, Stride, Pad int
+	W, B           *Param
+
+	// WQuant, when non-nil, fake-quantizes weights every forward pass
+	// (straight-through estimator: gradients flow to the float weights).
+	WQuant *WeightQuant
+
+	x  *Tensor   // cached input
+	wq []float64 // cached effective (possibly quantized) weights
+}
+
+// NewConv2D constructs a convolution layer.
+func NewConv2D(name string, inC, outC, k, stride, pad int) *Conv2D {
+	return &Conv2D{
+		LayerName: name,
+		InC:       inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		W: NewParam(name+".w", outC*inC*k*k),
+		B: NewParam(name+".b", outC),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.LayerName }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// CloneShared implements Layer.
+func (c *Conv2D) CloneShared() Layer {
+	return &Conv2D{
+		LayerName: c.LayerName,
+		InC:       c.InC, OutC: c.OutC, K: c.K, Stride: c.Stride, Pad: c.Pad,
+		W: c.W.cloneShared(), B: c.B.cloneShared(),
+		WQuant: c.WQuant,
+	}
+}
+
+// OutHW returns the output spatial size for an input of h x w.
+func (c *Conv2D) OutHW(h, w int) (int, int) {
+	return (h+2*c.Pad-c.K)/c.Stride + 1, (w+2*c.Pad-c.K)/c.Stride + 1
+}
+
+// effectiveWeights returns the weights used for compute: fake-quantized
+// when QAT is enabled, raw otherwise.
+func (c *Conv2D) effectiveWeights() []float64 {
+	if c.WQuant == nil {
+		return c.W.Data
+	}
+	if cap(c.wq) < len(c.W.Data) {
+		c.wq = make([]float64, len(c.W.Data))
+	}
+	c.wq = c.wq[:len(c.W.Data)]
+	c.WQuant.Apply(c.W.Data, c.wq)
+	return c.wq
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *Tensor, train bool) (*Tensor, error) {
+	if len(x.Shape) != 4 {
+		return nil, fmt.Errorf("conv %s: input rank %d, want 4", c.LayerName, len(x.Shape))
+	}
+	if x.Shape[1] != c.InC {
+		return nil, fmt.Errorf("conv %s: input channels %d, want %d", c.LayerName, x.Shape[1], c.InC)
+	}
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := c.OutHW(h, w)
+	if oh < 1 || ow < 1 {
+		return nil, fmt.Errorf("conv %s: empty output for input %dx%d", c.LayerName, h, w)
+	}
+	if train {
+		c.x = x
+	} else {
+		c.x = nil
+	}
+	wts := c.effectiveWeights()
+	y := NewTensor(n, c.OutC, oh, ow)
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := c.B.Data[oc]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					sum := bias
+					for ic := 0; ic < c.InC; ic++ {
+						wBase := ((oc*c.InC + ic) * c.K) * c.K
+						for ky := 0; ky < c.K; ky++ {
+							iy := oy*c.Stride + ky - c.Pad
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < c.K; kx++ {
+								ix := ox*c.Stride + kx - c.Pad
+								if ix < 0 || ix >= w {
+									continue
+								}
+								sum += wts[wBase+ky*c.K+kx] * x.At4(b, ic, iy, ix)
+							}
+						}
+					}
+					y.Set4(b, oc, oy, ox, sum)
+				}
+			}
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer. Gradients w.r.t. quantized weights pass
+// straight through to the float weights (STE).
+func (c *Conv2D) Backward(dy *Tensor) (*Tensor, error) {
+	if c.x == nil {
+		return nil, fmt.Errorf("conv %s: backward before training forward", c.LayerName)
+	}
+	x := c.x
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := dy.Shape[2], dy.Shape[3]
+	wts := c.effectiveWeights()
+	dx := x.ZerosLike()
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := dy.At4(b, oc, oy, ox)
+					if g == 0 {
+						continue
+					}
+					c.B.Grad[oc] += g
+					for ic := 0; ic < c.InC; ic++ {
+						wBase := ((oc*c.InC + ic) * c.K) * c.K
+						for ky := 0; ky < c.K; ky++ {
+							iy := oy*c.Stride + ky - c.Pad
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < c.K; kx++ {
+								ix := ox*c.Stride + kx - c.Pad
+								if ix < 0 || ix >= w {
+									continue
+								}
+								xi := x.At4(b, ic, iy, ix)
+								c.W.Grad[wBase+ky*c.K+kx] += g * xi
+								dx.Set4(b, ic, iy, ix, dx.At4(b, ic, iy, ix)+g*wts[wBase+ky*c.K+kx])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx, nil
+}

@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Layer is one stage of a feed-forward network. Forward caches whatever
+// Backward needs; Backward accumulates parameter gradients and returns the
+// gradient w.r.t. its input. CloneShared returns a copy that shares weight
+// storage but owns private gradient buffers and forward caches, enabling
+// data-parallel training.
+type Layer interface {
+	Name() string
+	Forward(x *Tensor, train bool) (*Tensor, error)
+	Backward(dy *Tensor) (*Tensor, error)
+	Params() []*Param
+	CloneShared() Layer
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a network from layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward runs the network. train enables training-time behaviour
+// (activation-scale calibration, caches for backward).
+func (s *Sequential) Forward(x *Tensor, train bool) (*Tensor, error) {
+	var err error
+	for _, l := range s.Layers {
+		x, err = l.Forward(x, train)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s forward: %w", l.Name(), err)
+		}
+	}
+	return x, nil
+}
+
+// Backward propagates the loss gradient through all layers.
+func (s *Sequential) Backward(dy *Tensor) error {
+	var err error
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dy, err = s.Layers[i].Backward(dy)
+		if err != nil {
+			return fmt.Errorf("nn: %s backward: %w", s.Layers[i].Name(), err)
+		}
+	}
+	return nil
+}
+
+// Params returns all trainable parameters in layer order.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears every parameter gradient.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// CloneShared clones the network for a training worker: weights shared,
+// gradients and caches private.
+func (s *Sequential) CloneShared() *Sequential {
+	out := &Sequential{Layers: make([]Layer, len(s.Layers))}
+	for i, l := range s.Layers {
+		out.Layers[i] = l.CloneShared()
+	}
+	return out
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (s *Sequential) ParamCount() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += len(p.Data)
+	}
+	return n
+}
+
+// InitHe fills weight parameters with He-normal initialisation using the
+// given seed. Bias parameters (names ending in ".b") are zeroed.
+func (s *Sequential) InitHe(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, l := range s.Layers {
+		switch layer := l.(type) {
+		case *Conv2D:
+			fanIn := layer.InC * layer.K * layer.K
+			std := math.Sqrt(2.0 / float64(fanIn))
+			for i := range layer.W.Data {
+				layer.W.Data[i] = rng.NormFloat64() * std
+			}
+			for i := range layer.B.Data {
+				layer.B.Data[i] = 0
+			}
+		case *Dense:
+			std := math.Sqrt(2.0 / float64(layer.In))
+			for i := range layer.W.Data {
+				layer.W.Data[i] = rng.NormFloat64() * std
+			}
+			for i := range layer.B.Data {
+				layer.B.Data[i] = 0
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// SoftmaxCrossEntropy computes the mean softmax cross-entropy loss over a
+// batch of logits [N, Classes] and integer labels, and the gradient of the
+// loss w.r.t. the logits.
+func SoftmaxCrossEntropy(logits *Tensor, labels []int) (float64, *Tensor, error) {
+	if len(logits.Shape) != 2 {
+		return 0, nil, fmt.Errorf("nn: loss wants [N,C] logits, got rank %d", len(logits.Shape))
+	}
+	n, c := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		return 0, nil, fmt.Errorf("nn: %d labels for batch of %d", len(labels), n)
+	}
+	grad := logits.ZerosLike()
+	loss := 0.0
+	for b := 0; b < n; b++ {
+		if labels[b] < 0 || labels[b] >= c {
+			return 0, nil, fmt.Errorf("nn: label %d outside [0,%d)", labels[b], c)
+		}
+		row := logits.Data[b*c : (b+1)*c]
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(v - maxV)
+		}
+		logSum := math.Log(sum) + maxV
+		loss += logSum - row[labels[b]]
+		gRow := grad.Data[b*c : (b+1)*c]
+		for i, v := range row {
+			p := math.Exp(v-maxV) / sum
+			gRow[i] = p / float64(n)
+		}
+		gRow[labels[b]] -= 1 / float64(n)
+	}
+	return loss / float64(n), grad, nil
+}
+
+// Argmax returns the predicted class per batch row.
+func Argmax(logits *Tensor) []int {
+	n, c := logits.Shape[0], logits.Shape[1]
+	out := make([]int, n)
+	for b := 0; b < n; b++ {
+		best := 0
+		row := logits.Data[b*c : (b+1)*c]
+		for i, v := range row {
+			if v > row[best] {
+				best = i
+			}
+		}
+		out[b] = best
+	}
+	return out
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+func Accuracy(logits *Tensor, labels []int) float64 {
+	pred := Argmax(logits)
+	hit := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(labels))
+}

@@ -1,0 +1,257 @@
+// Package oc implements Lightator's Optical Core (paper §3, Fig. 3): the
+// All-in-One Convolver built from MR weight banks — 96 banks of 6 arms of
+// 9 MRs — plus the Compressive Acquisitor banks that fuse RGB-to-grayscale
+// conversion and average pooling into a single optical pass (Eq. 1).
+//
+// The core's job is matrix-vector multiplication: weights are quantized
+// and mapped onto MR detunings (one arm per 9-tap segment), activations
+// arrive as WDM light intensities from the DMVA, each arm's balanced
+// photodetector produces one signed partial MAC, and the summation tree
+// combines partial sums for kernels larger than one arm.
+package oc
+
+import (
+	"fmt"
+	"math"
+
+	"lightator/internal/mapping"
+	"lightator/internal/photonics"
+)
+
+// Fidelity selects how faithfully the optical analog path is simulated.
+type Fidelity int
+
+const (
+	// Ideal computes exact quantized arithmetic: weights and activations
+	// are quantized but the MVM itself is error-free. This isolates
+	// quantization effects from analog effects.
+	Ideal Fidelity = iota
+	// Physical adds WDM inter-channel crosstalk derived from the MR
+	// Lorentzian tails (photonics.BankModel).
+	Physical
+	// PhysicalNoisy additionally injects balanced-photodetector shot and
+	// thermal noise into every arm readout.
+	PhysicalNoisy
+)
+
+// String implements fmt.Stringer.
+func (f Fidelity) String() string {
+	switch f {
+	case Ideal:
+		return "ideal"
+	case Physical:
+		return "physical"
+	case PhysicalNoisy:
+		return "physical+noise"
+	default:
+		return fmt.Sprintf("Fidelity(%d)", int(f))
+	}
+}
+
+// Core is a configured optical core: a weight precision, an activation
+// precision, and a simulation fidelity. It is safe to create one Core per
+// layer precision and reuse it across layers.
+type Core struct {
+	// WBits is the weight precision mapped onto MR detunings (paper
+	// configurations: 4, 3 or 2).
+	WBits int
+	// ABits is the activation precision of the DMVA drive (paper: 4).
+	ABits int
+	// Fidelity of the analog simulation.
+	Fidelity Fidelity
+
+	bank  *photonics.BankModel
+	noise *photonics.NoiseSource
+	// noiseSigma is the output-referred RMS noise of one arm readout in
+	// normalised MAC units, derived from the BPD device models.
+	noiseSigma float64
+}
+
+// NewCore builds a core for the given [W:A] precision configuration.
+func NewCore(wBits, aBits int, fid Fidelity) (*Core, error) {
+	if aBits < 1 || aBits > 8 {
+		return nil, fmt.Errorf("oc: activation bits %d outside [1,8]", aBits)
+	}
+	bm, err := photonics.NewBankModel(mapping.MRsPerArm, wBits)
+	if err != nil {
+		return nil, err
+	}
+	c := &Core{
+		WBits:    wBits,
+		ABits:    aBits,
+		Fidelity: fid,
+		bank:     bm,
+		noise:    photonics.NewNoiseSource(0x11647a70),
+	}
+	c.noiseSigma = deriveArmNoiseSigma()
+	return c, nil
+}
+
+// deriveArmNoiseSigma computes the BPD noise floor of one arm readout,
+// referred to normalised MAC units where one channel at full activation
+// and weight +1 contributes 1.0. Full scale is therefore 9 channels times
+// the per-channel photocurrent.
+func deriveArmNoiseSigma() float64 {
+	v := photonics.DefaultVCSEL(photonics.CBandCenter)
+	bpd := photonics.DefaultBalancedDetector()
+	// Per-channel optical power at the detector: VCSEL max output minus
+	// ~3 dB of link insertion loss.
+	perChannel := v.MaxOpticalPower() * photonics.DB2Linear(-3)
+	fullScale := bpd.Plus.Current(perChannel) - bpd.Plus.DarkCurrent
+	if fullScale <= 0 {
+		return 0
+	}
+	// Worst-case rails: all channels on one rail.
+	sigmaAmps := bpd.NoisySigma(perChannel*float64(mapping.MRsPerArm), 0)
+	return sigmaAmps / fullScale
+}
+
+// ArmNoiseSigma exposes the derived per-arm noise in normalised MAC units
+// (ablation benches report it).
+func (c *Core) ArmNoiseSigma() float64 { return c.noiseSigma }
+
+// QuantizeActivation maps x in [0,1] to its ABits code's value. Values are
+// clipped, matching the saturating CRC/driver chain.
+func (c *Core) QuantizeActivation(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	n := float64((uint(1) << uint(c.ABits)) - 1)
+	return math.Round(x*n) / n
+}
+
+// segment is one arm's worth of a weight row: up to 9 quantized levels
+// plus the effective transfer coefficients for the configured fidelity.
+type segment struct {
+	start  int
+	levels []int
+	coeffs []float64
+}
+
+// ProgrammedMatrix is a weight matrix mapped onto the optical core: each
+// row is split into 9-tap segments, each segment programmed onto one arm.
+// Programming is the expensive step (MR tuning); Apply streams activation
+// vectors through at modulation rate.
+type ProgrammedMatrix struct {
+	core *Core
+	rows int
+	cols int
+	segs [][]segment
+}
+
+// Program quantizes and maps a weight matrix with entries in [-1, 1].
+// Rows are output neurons / filters; columns are inputs.
+func (c *Core) Program(w [][]float64) (*ProgrammedMatrix, error) {
+	if len(w) == 0 || len(w[0]) == 0 {
+		return nil, fmt.Errorf("oc: empty weight matrix")
+	}
+	cols := len(w[0])
+	pm := &ProgrammedMatrix{core: c, rows: len(w), cols: cols, segs: make([][]segment, len(w))}
+	for r, row := range w {
+		if len(row) != cols {
+			return nil, fmt.Errorf("oc: ragged weight matrix at row %d", r)
+		}
+		for start := 0; start < cols; start += mapping.MRsPerArm {
+			end := start + mapping.MRsPerArm
+			if end > cols {
+				end = cols
+			}
+			seg := segment{start: start, levels: make([]int, end-start)}
+			for i, v := range row[start:end] {
+				if v < -1 || v > 1 {
+					return nil, fmt.Errorf("oc: weight %g at (%d,%d) outside [-1,1]", v, r, start+i)
+				}
+				seg.levels[i] = c.bank.WeightToLevel(v)
+			}
+			var err error
+			if c.Fidelity == Ideal {
+				seg.coeffs, err = c.bank.IdealCoefficients(seg.levels)
+			} else {
+				seg.coeffs, err = c.bank.Coefficients(seg.levels)
+			}
+			if err != nil {
+				return nil, err
+			}
+			seg.coeffs = seg.coeffs[:len(seg.levels)]
+			pm.segs[r] = append(pm.segs[r], seg)
+		}
+	}
+	return pm, nil
+}
+
+// Rows returns the number of output rows.
+func (pm *ProgrammedMatrix) Rows() int { return pm.rows }
+
+// Cols returns the input width.
+func (pm *ProgrammedMatrix) Cols() int { return pm.cols }
+
+// ArmCount returns the number of arms the matrix occupies — the unit the
+// scheduler tiles over.
+func (pm *ProgrammedMatrix) ArmCount() int {
+	n := 0
+	for _, row := range pm.segs {
+		n += len(row)
+	}
+	return n
+}
+
+// Apply computes y = W*x through the optical path. Activations are
+// clipped to [0,1] and quantized to the core's ABits. The result is in
+// normalised units: exact quantized W*x in Ideal fidelity, perturbed by
+// crosstalk and optionally noise otherwise.
+func (pm *ProgrammedMatrix) Apply(x []float64) ([]float64, error) {
+	if len(x) != pm.cols {
+		return nil, fmt.Errorf("oc: input length %d, want %d", len(x), pm.cols)
+	}
+	c := pm.core
+	xq := make([]float64, len(x))
+	for i, v := range x {
+		xq[i] = c.QuantizeActivation(v)
+	}
+	y := make([]float64, pm.rows)
+	for r, row := range pm.segs {
+		sum := 0.0
+		for _, s := range row {
+			partial := 0.0
+			for i, cf := range s.coeffs {
+				partial += cf * xq[s.start+i]
+			}
+			if c.Fidelity == PhysicalNoisy {
+				partial += c.noise.Gaussian(0, c.noiseSigma)
+			}
+			sum += partial
+		}
+		y[r] = sum
+	}
+	return y, nil
+}
+
+// HeaterPower returns the total MR tuning power to hold this matrix, in
+// watts.
+func (pm *ProgrammedMatrix) HeaterPower() float64 {
+	total := 0.0
+	for _, row := range pm.segs {
+		for _, s := range row {
+			total += pm.core.bank.HeaterPower(s.levels)
+		}
+	}
+	return total
+}
+
+// MeanHeaterPowerPerMR exposes the average per-MR tuning power of the
+// core's bank model for the energy model.
+func (c *Core) MeanHeaterPowerPerMR() float64 {
+	return c.bank.MeanHeaterPowerPerRing()
+}
+
+// MatVec is the one-shot convenience: program w, apply x once.
+func (c *Core) MatVec(w [][]float64, x []float64) ([]float64, error) {
+	pm, err := c.Program(w)
+	if err != nil {
+		return nil, err
+	}
+	return pm.Apply(x)
+}

@@ -1,0 +1,51 @@
+package photonics
+
+import "math"
+
+// Physical constants and typical silicon-photonics material parameters used
+// across the device models. Values follow standard references (Bogaerts et
+// al., "Silicon microring resonators", Laser & Photonics Reviews 2012, the
+// paper's reference [4]).
+const (
+	// SpeedOfLight in vacuum, m/s.
+	SpeedOfLight = 299792458.0
+
+	// ElementaryCharge, coulombs. Used by photodetector shot-noise and
+	// responsivity models.
+	ElementaryCharge = 1.602176634e-19
+
+	// BoltzmannConstant, J/K. Used by the thermal (Johnson) noise model.
+	BoltzmannConstant = 1.380649e-23
+
+	// PlanckConstant, J*s.
+	PlanckConstant = 6.62607015e-34
+
+	// SiliconThermoOpticCoeff is dn/dT for crystalline silicon at 1550 nm,
+	// 1/K. This sets how much heater power shifts an MR's resonance.
+	SiliconThermoOpticCoeff = 1.86e-4
+
+	// DefaultNeff is a typical effective index for a 450x220 nm silicon
+	// strip waveguide at 1550 nm.
+	DefaultNeff = 2.35
+
+	// DefaultNGroup is the corresponding group index, which governs the
+	// free spectral range.
+	DefaultNGroup = 4.2
+
+	// CBandCenter is the center wavelength of the telecom C band, meters.
+	// Lightator's WDM channels are placed around it.
+	CBandCenter = 1550e-9
+
+	// RoomTemperature in kelvin, used as the thermal-noise reference.
+	RoomTemperature = 300.0
+)
+
+// DB2Linear converts a power ratio expressed in dB to linear scale.
+func DB2Linear(db float64) float64 {
+	return math.Pow(10, db/10.0)
+}
+
+// Linear2DB converts a linear power ratio to dB.
+func Linear2DB(lin float64) float64 {
+	return 10.0 * math.Log10(lin)
+}

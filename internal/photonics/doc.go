@@ -1,0 +1,16 @@
+// Package photonics implements the device-level optical models that the
+// Lightator architecture is built on: add-drop microring resonators (MRs)
+// with thermo-optic tuning, directly modulated VCSELs, photodetectors and
+// balanced photodetector pairs, and wavelength-division-multiplexed (WDM)
+// weight-bank arms with physically derived inter-channel crosstalk.
+//
+// The models are analytic but physically grounded: ring transmission comes
+// from the standard add-drop transfer function (round-trip phase,
+// self-coupling coefficients, propagation loss), tuning from the silicon
+// thermo-optic effect, and crosstalk from the Lorentzian tails of each
+// ring's resonance overlapping neighbouring WDM channels. This mirrors the
+// role of the fabricated-and-measured MR devices in the paper's
+// device-to-architecture evaluation framework (Fig. 7): upper layers only
+// consume the transmission-vs-detuning transfer function, the tuning power,
+// and the detection model, all of which are reproduced here.
+package photonics

@@ -1,0 +1,115 @@
+package photonics
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinkBudget models the optical power budget of one arm's light path:
+// VCSEL output, coupling and propagation losses, the insertion loss of
+// every traversed MR, and the split of the drop rail — ending at the
+// balanced photodetector. Photonic accelerator papers (CrossLight, Robin)
+// use exactly this accounting to size their laser power; here it closes
+// the loop between the device models and the DMVA's drive levels: the
+// budget decides how many activation bits survive the analog path.
+type LinkBudget struct {
+	// LaserPower is the per-channel optical launch power, watts.
+	LaserPower float64
+	// CouplingLossDB is the fiber/grating coupler loss at the input.
+	CouplingLossDB float64
+	// WaveguideLossDBPerCm is the on-chip propagation loss.
+	WaveguideLossDBPerCm float64
+	// PathLengthCm is the on-chip route length to the detector.
+	PathLengthCm float64
+	// MRInsertionLossDB is the off-resonance through loss per traversed
+	// ring (parasitic tail absorption).
+	MRInsertionLossDB float64
+	// MRsTraversed counts rings the channel passes (9 per arm).
+	MRsTraversed int
+	// Detector receives what survives.
+	Detector *Photodetector
+}
+
+// DefaultLinkBudget returns the budget of one Lightator arm fed by the
+// default VCSEL at full drive: 2 dB coupler, 2 dB/cm waveguide over 0.5 cm,
+// 0.05 dB per traversed MR, 9 MRs.
+func DefaultLinkBudget() LinkBudget {
+	v := DefaultVCSEL(CBandCenter)
+	return LinkBudget{
+		LaserPower:           v.MaxOpticalPower(),
+		CouplingLossDB:       2.0,
+		WaveguideLossDBPerCm: 2.0,
+		PathLengthCm:         0.5,
+		MRInsertionLossDB:    0.05,
+		MRsTraversed:         9,
+		Detector:             DefaultPhotodetector(),
+	}
+}
+
+// TotalLossDB sums the path losses.
+func (lb LinkBudget) TotalLossDB() float64 {
+	return lb.CouplingLossDB +
+		lb.WaveguideLossDBPerCm*lb.PathLengthCm +
+		lb.MRInsertionLossDB*float64(lb.MRsTraversed)
+}
+
+// ReceivedPower returns the optical power reaching the detector, watts.
+func (lb LinkBudget) ReceivedPower() float64 {
+	return lb.LaserPower * DB2Linear(-lb.TotalLossDB())
+}
+
+// SNR returns the electrical signal-to-noise ratio at the detector for
+// the received power (shot + thermal noise, linear ratio).
+func (lb LinkBudget) SNR() float64 {
+	if lb.Detector == nil {
+		return 0
+	}
+	p := lb.ReceivedPower()
+	signal := lb.Detector.Responsivity * p
+	if signal <= 0 {
+		return 0
+	}
+	shot := lb.Detector.ShotNoiseSigma(lb.Detector.Current(p))
+	thermal := lb.Detector.ThermalNoiseSigma()
+	noise := math.Sqrt(shot*shot + thermal*thermal)
+	if noise == 0 {
+		return math.Inf(1)
+	}
+	return signal / noise
+}
+
+// ResolvableBits returns how many activation bits the analog link can
+// distinguish: the received full scale divided into 2^b levels must keep
+// each level step above one noise sigma, i.e. 2^b <= SNR.
+func (lb LinkBudget) ResolvableBits() int {
+	snr := lb.SNR()
+	if snr <= 1 {
+		return 0
+	}
+	return int(math.Floor(math.Log2(snr)))
+}
+
+// MinLaserPowerForBits inverts the budget: the launch power needed for a
+// b-bit activation resolution. Returns an error if the requirement cannot
+// be met below maxPower watts (thermal-noise floor too high).
+func (lb LinkBudget) MinLaserPowerForBits(bits int, maxPower float64) (float64, error) {
+	if bits < 1 {
+		return 0, fmt.Errorf("photonics: bits %d < 1", bits)
+	}
+	lo, hi := 0.0, maxPower
+	probe := lb
+	probe.LaserPower = hi
+	if probe.ResolvableBits() < bits {
+		return 0, fmt.Errorf("photonics: %d bits unreachable below %g W launch power", bits, maxPower)
+	}
+	for i := 0; i < 60; i++ {
+		mid := 0.5 * (lo + hi)
+		probe.LaserPower = mid
+		if probe.ResolvableBits() >= bits {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,90 @@
+package photonics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinkBudgetLossAccounting(t *testing.T) {
+	lb := DefaultLinkBudget()
+	// 2 + 2*0.5 + 0.05*9 = 3.45 dB.
+	if math.Abs(lb.TotalLossDB()-3.45) > 1e-12 {
+		t.Fatalf("total loss %g dB, want 3.45", lb.TotalLossDB())
+	}
+	rx := lb.ReceivedPower()
+	if rx >= lb.LaserPower {
+		t.Fatal("received power not below launch power")
+	}
+	want := lb.LaserPower * math.Pow(10, -0.345)
+	if math.Abs(rx-want) > 1e-12 {
+		t.Fatalf("received %g, want %g", rx, want)
+	}
+}
+
+func TestLinkBudgetSupportsFourBits(t *testing.T) {
+	lb := DefaultLinkBudget()
+	// The default VCSEL at full drive must comfortably resolve the 4-bit
+	// activations Lightator's DMVA encodes — otherwise the paper's design
+	// point would not close.
+	if bits := lb.ResolvableBits(); bits < 4 {
+		t.Fatalf("link resolves only %d bits, need >= 4", bits)
+	}
+	if snr := lb.SNR(); snr < 16 {
+		t.Fatalf("SNR %g too low for 4-bit operation", snr)
+	}
+}
+
+func TestLinkBudgetMonotonicity(t *testing.T) {
+	lb := DefaultLinkBudget()
+	base := lb.SNR()
+	// More loss -> less SNR.
+	lossy := lb
+	lossy.CouplingLossDB += 10
+	if lossy.SNR() >= base {
+		t.Error("extra loss did not reduce SNR")
+	}
+	// More power -> more SNR.
+	hot := lb
+	hot.LaserPower *= 10
+	if hot.SNR() <= base {
+		t.Error("extra power did not raise SNR")
+	}
+	// Zero power -> zero SNR and bits.
+	dark := lb
+	dark.LaserPower = 0
+	if dark.SNR() != 0 || dark.ResolvableBits() != 0 {
+		t.Error("dark link should resolve nothing")
+	}
+}
+
+func TestMinLaserPowerForBits(t *testing.T) {
+	lb := DefaultLinkBudget()
+	p4, err := lb.MinLaserPowerForBits(4, 10e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 <= 0 || p4 > lb.LaserPower {
+		t.Fatalf("4-bit minimum power %g not below the VCSEL max %g", p4, lb.LaserPower)
+	}
+	// More bits need more power.
+	p6, err := lb.MinLaserPowerForBits(6, 10e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p6 <= p4 {
+		t.Errorf("6-bit power %g not above 4-bit power %g", p6, p4)
+	}
+	// Verify the returned power actually achieves the resolution.
+	probe := lb
+	probe.LaserPower = p4 * 1.01
+	if probe.ResolvableBits() < 4 {
+		t.Error("returned minimum power does not deliver 4 bits")
+	}
+	// Unreachable demands error out.
+	if _, err := lb.MinLaserPowerForBits(30, 1e-3); err == nil {
+		t.Error("30 bits at 1 mW accepted")
+	}
+	if _, err := lb.MinLaserPowerForBits(0, 1); err == nil {
+		t.Error("0 bits accepted")
+	}
+}

@@ -1,0 +1,30 @@
+package photonics
+
+import "math/rand"
+
+// NoiseSource produces deterministic Gaussian samples for the analog noise
+// models (shot, thermal, RIN). A seeded source makes every simulation and
+// test reproducible while still exercising the noisy code paths.
+type NoiseSource struct {
+	rng *rand.Rand
+}
+
+// NewNoiseSource returns a Gaussian noise source with the given seed.
+func NewNoiseSource(seed int64) *NoiseSource {
+	return &NoiseSource{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Normal returns one standard-normal sample.
+func (n *NoiseSource) Normal() float64 {
+	return n.rng.NormFloat64()
+}
+
+// Gaussian returns a sample from N(mean, sigma^2).
+func (n *NoiseSource) Gaussian(mean, sigma float64) float64 {
+	return mean + sigma*n.rng.NormFloat64()
+}
+
+// Uniform returns a sample from U[lo, hi).
+func (n *NoiseSource) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*n.rng.Float64()
+}

@@ -1,0 +1,48 @@
+package photonics
+
+// Fabrication-variation model. Silicon microrings are notoriously
+// sensitive to nanometer-scale width/thickness deviations; uncorrected,
+// each ring's resonance lands a fraction of a nanometer away from its
+// design target. Lightator (like CrossLight and Robin, which devote whole
+// sections to it) absorbs the systematic part of this with the same
+// thermal tuners that imprint weights; the residual random part appears as
+// weight error. This file provides the sampler used by the ablation
+// benches and failure-injection tests.
+
+// VariationModel describes the statistical distribution of uncorrected
+// resonance offsets across a chip.
+type VariationModel struct {
+	// SigmaNm is the standard deviation of the per-ring resonance offset
+	// in nanometers after trimming/locking (residual error).
+	SigmaNm float64
+	// CorrelationSpanNm adds a common-mode (die-level) offset shared by
+	// all rings of a bank, also in nanometers standard deviation.
+	CorrelationSpanNm float64
+}
+
+// DefaultVariation returns a post-trim residual model: 5 pm random
+// per-ring error plus 2 pm common-mode drift — representative of an
+// actively locked weight bank. The tight figure is necessary, not
+// optimistic: with FWHM ~0.2 nm, a ring sitting on its resonance flank
+// changes transmission by ~20% for a 50 pm offset, so locking loops must
+// hold picometer-scale residuals for multi-bit weights to survive.
+func DefaultVariation() VariationModel {
+	return VariationModel{SigmaNm: 0.005, CorrelationSpanNm: 0.002}
+}
+
+// UntrimmedVariation returns a raw as-fabricated model (no trimming):
+// ~0.6 nm per-ring scatter, used by failure-injection tests to show the
+// accelerator degrades without resonance locking.
+func UntrimmedVariation() VariationModel {
+	return VariationModel{SigmaNm: 0.6, CorrelationSpanNm: 0.3}
+}
+
+// Sample draws per-ring resonance offsets (meters) for a bank of n rings.
+func (v VariationModel) Sample(n int, src *NoiseSource) []float64 {
+	common := src.Gaussian(0, v.CorrelationSpanNm*1e-9)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = common + src.Gaussian(0, v.SigmaNm*1e-9)
+	}
+	return out
+}

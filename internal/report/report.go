@@ -1,0 +1,194 @@
+// Package report renders experiment results as aligned text tables,
+// log-scale ASCII bar charts and CSV — the output layer for regenerating
+// the paper's tables and figures on a terminal.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Headers) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render produces the aligned text form.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes for cells
+// containing commas).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Headers)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return b.String()
+}
+
+// BarItem is one bar of a chart.
+type BarItem struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders labelled horizontal bars, optionally on a log10 axis
+// (the paper's Figs. 8-10 all use log-scale power/time axes).
+type BarChart struct {
+	Title string
+	Unit  string
+	Log   bool
+	Width int
+	Items []BarItem
+}
+
+// Add appends a bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.Items = append(c.Items, BarItem{Label: label, Value: value})
+}
+
+// Render draws the chart.
+func (c *BarChart) Render() string {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	if len(c.Items) == 0 {
+		return b.String()
+	}
+	labW := 0
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, it := range c.Items {
+		if len(it.Label) > labW {
+			labW = len(it.Label)
+		}
+		if it.Value > 0 && it.Value < minV {
+			minV = it.Value
+		}
+		if it.Value > maxV {
+			maxV = it.Value
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	if math.IsInf(minV, 1) {
+		minV = maxV / 10
+	}
+	scale := func(v float64) int {
+		if v <= 0 {
+			return 0
+		}
+		if !c.Log {
+			return int(math.Round(v / maxV * float64(width)))
+		}
+		lo := math.Log10(minV) - 0.5
+		hi := math.Log10(maxV)
+		if hi <= lo {
+			return width
+		}
+		n := int(math.Round((math.Log10(v) - lo) / (hi - lo) * float64(width)))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	for _, it := range c.Items {
+		fmt.Fprintf(&b, "%-*s |%-*s %.4g %s\n", labW, it.Label, width, strings.Repeat("#", scale(it.Value)), it.Value, c.Unit)
+	}
+	return b.String()
+}
+
+// FormatSI renders a value with an SI prefix (e.g. 2.71 -> "2.71",
+// 0.00264 -> "2.64m").
+func FormatSI(v float64, digits int) string {
+	abs := math.Abs(v)
+	switch {
+	case abs == 0:
+		return "0"
+	case abs >= 1e9:
+		return fmt.Sprintf("%.*fG", digits, v/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.*fM", digits, v/1e6)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.*fk", digits, v/1e3)
+	case abs >= 1:
+		return fmt.Sprintf("%.*f", digits, v)
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.*fm", digits, v*1e3)
+	case abs >= 1e-6:
+		return fmt.Sprintf("%.*fu", digits, v*1e6)
+	case abs >= 1e-9:
+		return fmt.Sprintf("%.*fn", digits, v*1e9)
+	default:
+		return fmt.Sprintf("%.*g", digits, v)
+	}
+}

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "demo", Headers: []string{"a", "long-header", "c"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("wide-cell", "3", "4")
+	out := tb.Render()
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// All data lines equal width (aligned columns).
+	if len(lines[1]) != len(lines[2]) {
+		t.Error("header and separator widths differ")
+	}
+	if !strings.Contains(lines[3], "1") || !strings.Contains(lines[4], "wide-cell") {
+		t.Error("row content lost")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Headers: []string{"x", "y"}}
+	tb.AddRow(`has "quote"`, "a,b")
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has ""quote"""`) {
+		t.Errorf("quote escaping broken: %q", csv)
+	}
+	if !strings.Contains(csv, `"a,b"`) {
+		t.Errorf("comma quoting broken: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "x,y\n") {
+		t.Errorf("header row broken: %q", csv)
+	}
+}
+
+func TestBarChartLinearAndLog(t *testing.T) {
+	lin := BarChart{Title: "t", Unit: "W", Width: 20}
+	lin.Add("small", 1)
+	lin.Add("big", 10)
+	out := lin.Render()
+	if !strings.Contains(out, "t") || !strings.Contains(out, "W") {
+		t.Error("missing title or unit")
+	}
+	smallBars := strings.Count(strings.Split(out, "\n")[1], "#")
+	bigBars := strings.Count(strings.Split(out, "\n")[2], "#")
+	if bigBars <= smallBars {
+		t.Error("linear chart not monotone")
+	}
+	// Log chart compresses the ratio but keeps order.
+	logc := BarChart{Log: true, Width: 20}
+	logc.Add("a", 0.001)
+	logc.Add("b", 1000)
+	lout := logc.Render()
+	la := strings.Count(strings.Split(lout, "\n")[0], "#")
+	lb := strings.Count(strings.Split(lout, "\n")[1], "#")
+	if lb <= la {
+		t.Error("log chart not monotone")
+	}
+	if la < 1 {
+		t.Error("log chart should give the smallest positive value at least one mark")
+	}
+}
+
+func TestBarChartEmptyAndZero(t *testing.T) {
+	c := BarChart{Title: "empty"}
+	if out := c.Render(); !strings.Contains(out, "empty") {
+		t.Error("empty chart lost title")
+	}
+	z := BarChart{}
+	z.Add("zero", 0)
+	if out := z.Render(); !strings.Contains(out, "zero") {
+		t.Error("zero bar lost label")
+	}
+}
+
+func TestFormatSI(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		2.71:    "2.71",
+		2640:    "2.64k",
+		2.64e-3: "2.64m",
+		4.7e-6:  "4.70u",
+		3.1e-9:  "3.10n",
+		5.2e9:   "5.20G",
+		8.4e6:   "8.40M",
+	}
+	for in, want := range cases {
+		if got := FormatSI(in, 2); got != want {
+			t.Errorf("FormatSI(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package train implements the application-level training loop of the
+// paper's evaluation framework (Fig. 7): plain SGD-with-momentum training
+// of the float model followed by quantization-aware fine-tuning ("an
+// additional six epochs of training employing quantization-aware
+// techniques"). Training is data-parallel across worker goroutines that
+// share weight storage and reduce gradients per batch.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"lightator/internal/nn"
+)
+
+// Dataset is the minimal data access the trainer needs.
+type Dataset interface {
+	// Len returns the number of samples.
+	Len() int
+	// Sample writes sample i's input into dst (shaped like one input) and
+	// returns its label.
+	Sample(i int, dst []float64) int
+	// InputShape returns the per-sample tensor shape (no batch dim).
+	InputShape() []int
+}
+
+// SGD is a stochastic-gradient-descent optimizer with classical momentum
+// and L2 weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*nn.Param][]float64
+}
+
+// NewSGD constructs an optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, velocity: map[*nn.Param][]float64{}}
+}
+
+// Step applies one update to every parameter from its accumulated
+// gradient, then leaves gradients untouched (caller zeroes them).
+func (o *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		v, ok := o.velocity[p]
+		if !ok {
+			v = make([]float64, len(p.Data))
+			o.velocity[p] = v
+		}
+		for i := range p.Data {
+			g := p.Grad[i] + o.WeightDecay*p.Data[i]
+			v[i] = o.Momentum*v[i] - o.LR*g
+			p.Data[i] += v[i]
+		}
+	}
+}
+
+// Config controls a training run.
+type Config struct {
+	// Epochs of float pre-training.
+	Epochs int
+	// QATEpochs of quantization-aware fine-tuning appended after the
+	// float phase (the paper uses six).
+	QATEpochs int
+	// WBits enables weight fake-quantization at the QAT phase.
+	WBits int
+	// ABits enables activation fake-quantization (ActQuant layers must
+	// already exist in the network; their bit width is set by the model
+	// builder).
+	ABits int
+	// BatchSize per optimizer step.
+	BatchSize int
+	// LR is the initial learning rate; it decays by LRDecay each epoch.
+	LR      float64
+	LRDecay float64
+	// Momentum for SGD.
+	Momentum float64
+	// WeightDecay (L2).
+	WeightDecay float64
+	// Workers for data-parallel gradient computation; 0 = NumCPU.
+	Workers int
+	// Seed for shuffling.
+	Seed int64
+	// Verbose prints per-epoch progress.
+	Verbose bool
+}
+
+// DefaultConfig returns a sensible small-model training recipe.
+func DefaultConfig() Config {
+	return Config{
+		Epochs:      4,
+		QATEpochs:   3,
+		WBits:       4,
+		ABits:       4,
+		BatchSize:   32,
+		LR:          0.05,
+		LRDecay:     0.85,
+		Momentum:    0.9,
+		WeightDecay: 1e-4,
+		Seed:        1,
+	}
+}
+
+// Result summarises a training run.
+type Result struct {
+	TrainLoss  []float64 // per epoch
+	FinalLoss  float64
+	EpochsRun  int
+	QATEnabled bool
+}
+
+// Train runs float training followed by QAT fine-tuning on net.
+func Train(net *nn.Sequential, ds Dataset, cfg Config) (Result, error) {
+	if cfg.BatchSize < 1 {
+		return Result{}, fmt.Errorf("train: batch size %d", cfg.BatchSize)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > cfg.BatchSize {
+		workers = cfg.BatchSize
+	}
+	opt := NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := Result{}
+	lr := cfg.LR
+
+	totalEpochs := cfg.Epochs + cfg.QATEpochs
+	for epoch := 0; epoch < totalEpochs; epoch++ {
+		if epoch == cfg.Epochs && cfg.QATEpochs > 0 {
+			// Switch to quantization-aware fine-tuning. WBits == 0 means
+			// the caller attached (possibly mixed-precision) quantizers
+			// itself; leave them untouched.
+			if cfg.WBits > 0 {
+				nn.EnableQAT(net, cfg.WBits)
+			}
+			res.QATEnabled = true
+		}
+		// Freeze activation calibration for the last half of QAT.
+		if cfg.QATEpochs > 0 && epoch >= cfg.Epochs+(cfg.QATEpochs+1)/2 {
+			nn.FreezeActQuant(net, true)
+		}
+		opt.LR = lr
+		loss, err := trainEpoch(net, ds, cfg, opt, rng, workers)
+		if err != nil {
+			return res, err
+		}
+		res.TrainLoss = append(res.TrainLoss, loss)
+		res.FinalLoss = loss
+		res.EpochsRun++
+		lr *= cfg.LRDecay
+		if cfg.Verbose {
+			fmt.Printf("epoch %2d/%d  loss %.4f  lr %.4f  qat=%v\n", epoch+1, totalEpochs, loss, opt.LR, res.QATEnabled)
+		}
+	}
+	nn.FreezeActQuant(net, true)
+	return res, nil
+}
+
+// trainEpoch runs one pass over the dataset with data-parallel workers.
+func trainEpoch(net *nn.Sequential, ds Dataset, cfg Config, opt *SGD, rng *rand.Rand, workers int) (float64, error) {
+	n := ds.Len()
+	perm := rng.Perm(n)
+	inShape := ds.InputShape()
+	sampleSize := 1
+	for _, s := range inShape {
+		sampleSize *= s
+	}
+
+	clones := make([]*nn.Sequential, workers)
+	for i := range clones {
+		clones[i] = net.CloneShared()
+	}
+	masterParams := net.Params()
+
+	totalLoss := 0.0
+	batches := 0
+	for start := 0; start < n; start += cfg.BatchSize {
+		end := start + cfg.BatchSize
+		if end > n {
+			end = n
+		}
+		idxs := perm[start:end]
+		// Split the batch across workers.
+		per := (len(idxs) + workers - 1) / workers
+		var wg sync.WaitGroup
+		losses := make([]float64, workers)
+		errs := make([]error, workers)
+		counts := make([]int, workers)
+		for w := 0; w < workers; w++ {
+			lo := w * per
+			if lo >= len(idxs) {
+				break
+			}
+			hi := lo + per
+			if hi > len(idxs) {
+				hi = len(idxs)
+			}
+			wg.Add(1)
+			go func(w int, part []int) {
+				defer wg.Done()
+				clone := clones[w]
+				clone.ZeroGrad()
+				shape := append([]int{len(part)}, inShape...)
+				x := nn.NewTensor(shape...)
+				labels := make([]int, len(part))
+				for i, idx := range part {
+					labels[i] = ds.Sample(idx, x.Data[i*sampleSize:(i+1)*sampleSize])
+				}
+				y, err := clone.Forward(x, true)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				loss, grad, err := nn.SoftmaxCrossEntropy(y, labels)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if err := clone.Backward(grad); err != nil {
+					errs[w] = err
+					return
+				}
+				losses[w] = loss
+				counts[w] = len(part)
+			}(w, idxs[lo:hi])
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		// Reduce worker gradients into the master params, weighted by
+		// each worker's share of the batch.
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		for _, p := range masterParams {
+			p.ZeroGrad()
+		}
+		for w, clone := range clones {
+			if counts[w] == 0 {
+				continue
+			}
+			scale := float64(counts[w]) / float64(total)
+			cp := clone.Params()
+			for pi, p := range masterParams {
+				for i := range p.Grad {
+					p.Grad[i] += cp[pi].Grad[i] * scale
+				}
+			}
+			totalLoss += losses[w] * scale
+		}
+		batches++
+		opt.Step(masterParams)
+		// Propagate activation-quantizer calibration from worker 0 back
+		// to the master (scales drift identically across workers since
+		// data distribution is shared; worker 0 is representative).
+		if err := nn.SyncActQuantScales(net, clones[0]); err != nil {
+			return 0, err
+		}
+		for _, clone := range clones[1:] {
+			if err := nn.SyncActQuantScales(clone, net); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if batches == 0 {
+		return 0, fmt.Errorf("train: empty dataset")
+	}
+	return totalLoss / float64(batches), nil
+}
+
+// Evaluate computes classification accuracy of net over ds in inference
+// mode, in parallel batches.
+func Evaluate(net *nn.Sequential, ds Dataset, batchSize int) (float64, error) {
+	if batchSize < 1 {
+		batchSize = 64
+	}
+	n := ds.Len()
+	inShape := ds.InputShape()
+	sampleSize := 1
+	for _, s := range inShape {
+		sampleSize *= s
+	}
+	hits := 0
+	for start := 0; start < n; start += batchSize {
+		end := start + batchSize
+		if end > n {
+			end = n
+		}
+		shape := append([]int{end - start}, inShape...)
+		x := nn.NewTensor(shape...)
+		labels := make([]int, end-start)
+		for i := 0; i < end-start; i++ {
+			labels[i] = ds.Sample(start+i, x.Data[i*sampleSize:(i+1)*sampleSize])
+		}
+		y, err := net.Forward(x, false)
+		if err != nil {
+			return 0, err
+		}
+		preds := nn.Argmax(y)
+		for i, p := range preds {
+			if p == labels[i] {
+				hits++
+			}
+		}
+	}
+	return float64(hits) / float64(n), nil
+}
+
+// EvaluatePhotonic measures accuracy through the photonic executor, which
+// is the end-to-end number Table 1 reports for Lightator.
+func EvaluatePhotonic(pe *nn.PhotonicExec, ds Dataset, batchSize, maxSamples int) (float64, error) {
+	if batchSize < 1 {
+		batchSize = 16
+	}
+	n := ds.Len()
+	if maxSamples > 0 && n > maxSamples {
+		n = maxSamples
+	}
+	inShape := ds.InputShape()
+	sampleSize := 1
+	for _, s := range inShape {
+		sampleSize *= s
+	}
+	hits := 0
+	for start := 0; start < n; start += batchSize {
+		end := start + batchSize
+		if end > n {
+			end = n
+		}
+		shape := append([]int{end - start}, inShape...)
+		x := nn.NewTensor(shape...)
+		labels := make([]int, end-start)
+		for i := 0; i < end-start; i++ {
+			labels[i] = ds.Sample(start+i, x.Data[i*sampleSize:(i+1)*sampleSize])
+		}
+		y, err := pe.Forward(x)
+		if err != nil {
+			return 0, err
+		}
+		preds := nn.Argmax(y)
+		for i, p := range preds {
+			if p == labels[i] {
+				hits++
+			}
+		}
+	}
+	return float64(hits) / float64(n), nil
+}

@@ -1,0 +1,204 @@
+// Package lightator is the public API of the Lightator reproduction: an
+// optical near-sensor accelerator with compressive acquisition for
+// versatile image processing at the edge (Morsali et al., DAC 2024).
+//
+// The facade wires together the internal subsystems — the ADC-less Bayer
+// sensor, the DMVA laser array, the MR-based optical core with its
+// Compressive Acquisitor, the hardware mapper and the architecture
+// simulator — behind a small surface:
+//
+//	acc, _ := lightator.New(lightator.DefaultConfig())
+//	frame, _ := acc.Capture(scene)            // ADC-less 4-bit readout
+//	small, _ := acc.AcquireCompressed(scene)  // + fused gray/avg-pool CA
+//	y, _ := acc.MatVec(weights, activations)  // raw photonic MVM
+//	rep, _ := acc.Simulate("lenet")           // power/latency/FPS report
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package lightator
+
+import (
+	"fmt"
+
+	"lightator/internal/arch"
+	"lightator/internal/energy"
+	"lightator/internal/mapping"
+	"lightator/internal/models"
+	"lightator/internal/oc"
+	"lightator/internal/photonics"
+	"lightator/internal/sensor"
+)
+
+// Re-exported core types so callers only import this package.
+type (
+	// Image is an H x W x C scene or feature plane with values in [0,1].
+	Image = sensor.Image
+	// Frame is a 4-bit ADC-less sensor readout.
+	Frame = sensor.Frame
+	// Fidelity selects the analog simulation depth (Ideal, Physical,
+	// PhysicalNoisy).
+	Fidelity = oc.Fidelity
+	// PerformanceReport is a whole-model architecture simulation result.
+	PerformanceReport = arch.Report
+	// LayerDims describes one DNN layer for the simulator.
+	LayerDims = mapping.LayerDims
+	// Ring is the add-drop microring resonator device model.
+	Ring = photonics.Ring
+)
+
+// Fidelity levels.
+const (
+	Ideal         = oc.Ideal
+	Physical      = oc.Physical
+	PhysicalNoisy = oc.PhysicalNoisy
+)
+
+// NewImage allocates a zeroed image.
+func NewImage(h, w, c int) *Image { return sensor.NewImage(h, w, c) }
+
+// WeightBankRing returns an MR aligned to the given wavelength with the
+// weight-bank geometry used throughout the optical core (Fig. 1 device).
+func WeightBankRing(wavelength float64) *Ring { return photonics.WeightBankRing(wavelength) }
+
+// CBandCenter is the center of the WDM grid, meters.
+const CBandCenter = photonics.CBandCenter
+
+// Precision is a [W:A] configuration, optionally mixed (Lightator-MX).
+type Precision struct {
+	// WBits is the weight precision mapped onto MR detunings (paper: 4,
+	// 3 or 2).
+	WBits int
+	// ABits is the DMVA activation precision (paper: 4).
+	ABits int
+	// MXFirstWBits, when non-zero, keeps the first weight layer at this
+	// precision (the paper's Lightator-MX scheme).
+	MXFirstWBits int
+}
+
+// Name renders the paper's [W:A] notation.
+func (p Precision) Name() string {
+	if p.MXFirstWBits != 0 && p.MXFirstWBits != p.WBits {
+		return fmt.Sprintf("[%d:%d][%d:%d]", p.MXFirstWBits, p.ABits, p.WBits, p.ABits)
+	}
+	return fmt.Sprintf("[%d:%d]", p.WBits, p.ABits)
+}
+
+// schedule converts to the simulator's precision schedule.
+func (p Precision) schedule() arch.PrecisionSchedule {
+	if p.MXFirstWBits != 0 {
+		return arch.MX(p.MXFirstWBits, p.WBits, p.ABits)
+	}
+	return arch.Uniform(p.WBits, p.ABits)
+}
+
+// Config assembles an accelerator instance.
+type Config struct {
+	// Precision of the optical core.
+	Precision Precision
+	// Fidelity of the analog simulation.
+	Fidelity Fidelity
+	// SensorRows/SensorCols size the pixel array (the paper's imager is
+	// 256x256).
+	SensorRows, SensorCols int
+	// CAPool is the Compressive Acquisitor's pooling factor (even, >= 2);
+	// 0 disables the CA stage.
+	CAPool int
+}
+
+// DefaultConfig is the paper's flagship configuration: [4:4], physical
+// analog model, 256x256 sensor, 2x2 compressive acquisition.
+func DefaultConfig() Config {
+	return Config{
+		Precision:  Precision{WBits: 4, ABits: 4},
+		Fidelity:   Physical,
+		SensorRows: sensor.DefaultRows,
+		SensorCols: sensor.DefaultCols,
+		CAPool:     2,
+	}
+}
+
+// Accelerator is a configured Lightator instance.
+type Accelerator struct {
+	cfg    Config
+	array  *sensor.Array
+	core   *oc.Core
+	ca     *oc.Acquisitor
+	params energy.Params
+}
+
+// New builds an accelerator.
+func New(cfg Config) (*Accelerator, error) {
+	if cfg.SensorRows == 0 {
+		cfg.SensorRows = sensor.DefaultRows
+	}
+	if cfg.SensorCols == 0 {
+		cfg.SensorCols = sensor.DefaultCols
+	}
+	arr, err := sensor.NewArray(cfg.SensorRows, cfg.SensorCols)
+	if err != nil {
+		return nil, err
+	}
+	core, err := oc.NewCore(cfg.Precision.WBits, cfg.Precision.ABits, cfg.Fidelity)
+	if err != nil {
+		return nil, err
+	}
+	acc := &Accelerator{cfg: cfg, array: arr, core: core, params: energy.Default()}
+	if cfg.CAPool != 0 {
+		ca, err := oc.NewAcquisitor(core, cfg.CAPool)
+		if err != nil {
+			return nil, err
+		}
+		acc.ca = ca
+	}
+	return acc, nil
+}
+
+// Config returns the accelerator's configuration.
+func (a *Accelerator) Config() Config { return a.cfg }
+
+// Capture exposes the ADC-less acquisition path: Bayer mosaic, global-
+// shutter exposure and 15-comparator CRC readout to 4-bit codes.
+func (a *Accelerator) Capture(scene *Image) (*Frame, error) {
+	return a.array.Capture(scene)
+}
+
+// AcquireCompressed captures a scene and runs the Compressive Acquisitor:
+// fused RGB-to-grayscale + average pooling in one optical pass (Eq. 1).
+func (a *Accelerator) AcquireCompressed(scene *Image) (*Image, error) {
+	if a.ca == nil {
+		return nil, fmt.Errorf("lightator: compressive acquisition disabled (CAPool = 0)")
+	}
+	frame, err := a.array.Capture(scene)
+	if err != nil {
+		return nil, err
+	}
+	return a.ca.Compress(frame)
+}
+
+// MatVec programs a weight matrix (entries in [-1,1]) onto the MR banks
+// and streams one activation vector (entries in [0,1]) through the
+// optical core, returning the analog MAC results.
+func (a *Accelerator) MatVec(weights [][]float64, activations []float64) ([]float64, error) {
+	return a.core.MatVec(weights, activations)
+}
+
+// Simulate runs a named descriptor model ("lenet", "vgg9", "vgg9-ca",
+// "vgg16", "vgg13", "alexnet") through the architecture simulator at the
+// accelerator's precision.
+func (a *Accelerator) Simulate(model string) (*PerformanceReport, error) {
+	layers, err := models.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	return arch.Simulate(model, layers, a.cfg.Precision.schedule(), a.params)
+}
+
+// SimulateLayers runs an arbitrary layer list through the simulator.
+func (a *Accelerator) SimulateLayers(name string, layers []LayerDims) (*PerformanceReport, error) {
+	return arch.Simulate(name, layers, a.cfg.Precision.schedule(), a.params)
+}
+
+// Models lists the built-in descriptor models.
+func Models() []string {
+	return []string{"lenet", "vgg9", "vgg9-ca", "vgg9-cifar100", "vgg13", "vgg16", "alexnet"}
+}

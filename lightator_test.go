@@ -1,0 +1,139 @@
+package lightator
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultConfigBuilds(t *testing.T) {
+	acc, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Config().SensorRows != 256 || acc.Config().SensorCols != 256 {
+		t.Error("default sensor not 256x256")
+	}
+}
+
+func TestPrecisionNames(t *testing.T) {
+	if (Precision{WBits: 4, ABits: 4}).Name() != "[4:4]" {
+		t.Error("uniform name")
+	}
+	if (Precision{WBits: 3, ABits: 4, MXFirstWBits: 4}).Name() != "[4:4][3:4]" {
+		t.Error("MX name")
+	}
+}
+
+func TestCapturePipeline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SensorRows, cfg.SensorCols = 16, 16
+	acc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene := NewImage(16, 16, 3)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			for c := 0; c < 3; c++ {
+				scene.Set(y, x, c, float64(x)/15)
+			}
+		}
+	}
+	frame, err := acc.Capture(scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.CodeAt(0, 0) != 0 {
+		t.Error("dark corner not code 0")
+	}
+	if frame.CodeAt(0, 15) != 15 {
+		t.Error("bright corner not code 15")
+	}
+	small, err := acc.AcquireCompressed(scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.H != 8 || small.W != 8 || small.C != 1 {
+		t.Fatalf("compressed dims %dx%dx%d", small.H, small.W, small.C)
+	}
+	// Gradient preserved after compression.
+	if small.At(0, 7, 0) <= small.At(0, 0, 0) {
+		t.Error("compression destroyed the gradient")
+	}
+}
+
+func TestAcquireCompressedDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CAPool = 0
+	cfg.SensorRows, cfg.SensorCols = 8, 8
+	acc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.AcquireCompressed(NewImage(8, 8, 3)); err == nil {
+		t.Error("CA disabled but compression succeeded")
+	}
+}
+
+func TestMatVecThroughFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Fidelity = Ideal
+	acc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := [][]float64{{1, -1, 0.5}, {-0.5, 0.25, 0.75}}
+	x := []float64{1, 0.5, 0.25}
+	y, err := acc.MatVec(w, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != 2 {
+		t.Fatalf("output length %d", len(y))
+	}
+	// Quantized ideal arithmetic tracks the float result within the
+	// 4-bit budget.
+	want0 := 1.0 - 0.5 + 0.5*0.25
+	if math.Abs(y[0]-want0) > 0.2 {
+		t.Errorf("y[0] = %g, want about %g", y[0], want0)
+	}
+}
+
+func TestSimulateThroughFacade(t *testing.T) {
+	acc, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Models() {
+		rep, err := acc.Simulate(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if rep.FPS <= 0 || rep.MaxPower <= 0 {
+			t.Errorf("%s: degenerate report", m)
+		}
+	}
+	if _, err := acc.Simulate("nope"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestRingReExport(t *testing.T) {
+	r := WeightBankRing(CBandCenter)
+	if r.QFactor(CBandCenter) < 1000 {
+		t.Error("weight-bank ring Q too low through facade")
+	}
+}
+
+func TestPrecisionValidationThroughNew(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Precision.WBits = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("0-bit weights accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.CAPool = 3
+	if _, err := New(cfg); err == nil {
+		t.Error("odd CA pool accepted")
+	}
+}
