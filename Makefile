@@ -1,0 +1,29 @@
+# Canonical repo checks. `make check` is the gate every change must pass:
+# vet + build + the full test suite under the race detector (the
+# concurrent pipeline is only trustworthy race-clean).
+
+GO ?= go
+
+.PHONY: check vet build test test-race bench bench-pipeline
+
+check: vet build test-race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Microbenchmarks (one pass; raise -benchtime for stable numbers).
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Throughput trajectory of the batched paths only.
+bench-pipeline:
+	$(GO) test -bench 'MatVecBatch|Pipeline' -run '^$$' .

@@ -1,7 +1,9 @@
 package lightator_test
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"lightator"
@@ -315,6 +317,103 @@ func BenchmarkScheduleLayer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := mapping.ScheduleLayer(d); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Batched / concurrent path benchmarks. Every sub-benchmark reports
+// frames/sec so successive PRs have a throughput trajectory to compare
+// against. Worker sweeps cover {1, 2, 4, NumCPU}, batches {1, 16, 64}.
+
+// benchWorkerCounts is the deduplicated worker sweep.
+func benchWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+var benchBatchSizes = []int{1, 16, 64}
+
+// BenchmarkMatVecBatch measures the batched MVM path: a 512x243 weight
+// matrix programmed once (MR tuning is the slow, amortised step), then
+// activation frames streamed through with the matrix rows sharded across
+// workers — the oc.MatVecBatch row-sharding model.
+func BenchmarkMatVecBatch(b *testing.B) {
+	core, err := oc.NewCore(4, 4, oc.Physical)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	w := make([][]float64, 512)
+	for r := range w {
+		w[r] = make([]float64, 243)
+		for i := range w[r] {
+			w[r][i] = rng.Float64()*2 - 1
+		}
+	}
+	pm, err := core.Program(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range benchWorkerCounts() {
+		for _, batch := range benchBatchSizes {
+			xs := make([][]float64, batch)
+			for i := range xs {
+				xs[i] = make([]float64, 243)
+				for j := range xs[i] {
+					xs[i][j] = rng.Float64()
+				}
+			}
+			b.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for f, x := range xs {
+						if _, err := pm.ApplyParallel(x, workers, oc.DeriveSeed(3, f)); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "frames/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkPipeline measures the end-to-end concurrent frame pipeline
+// (capture + compressive acquisition) on a 64x64 sensor.
+func BenchmarkPipeline(b *testing.B) {
+	cfg := lightator.DefaultConfig()
+	cfg.SensorRows, cfg.SensorCols = 64, 64
+	acc, err := lightator.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for _, workers := range benchWorkerCounts() {
+		for _, batch := range benchBatchSizes {
+			scenes := make([]*lightator.Image, batch)
+			for i := range scenes {
+				s := lightator.NewImage(64, 64, 3)
+				for j := range s.Pix {
+					s.Pix[j] = rng.Float64()
+				}
+				scenes[i] = s
+			}
+			b.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch), func(b *testing.B) {
+				p, err := acc.NewPipeline(lightator.PipelineOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := p.Run(scenes); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "frames/sec")
+			})
 		}
 	}
 }

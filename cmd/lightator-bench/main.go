@@ -1,27 +1,107 @@
 // Command lightator-bench regenerates the paper's tables and figures
-// (DESIGN.md §3 maps each experiment to its source).
+// (DESIGN.md §3 maps each experiment to its source) and measures the
+// batched concurrent pipeline.
 //
 // Usage:
 //
 //	lightator-bench -exp all -profile quick
 //	lightator-bench -exp fig8
 //	lightator-bench -exp table1 -profile full
+//	lightator-bench -batch 64 -workers 4    # concurrent pipeline throughput
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
+	"lightator"
 	"lightator/internal/experiments"
 )
+
+// runPipelineBench streams `batch` synthetic 256x256 scenes through the
+// concurrent pipeline (capture + compressive acquisition + a small MVM
+// head) at the given worker count, printing measured aggregate FPS with
+// per-stage latency histograms, plus the modeled batch report from the
+// architecture simulator for the same frame count.
+func runPipelineBench(batch, workers int, seed int64) error {
+	cfg := lightator.DefaultConfig()
+	cfg.Seed = seed
+	acc, err := lightator.New(cfg)
+	if err != nil {
+		return err
+	}
+	// A 10-row MVM head over the 128x128 CA plane: the smallest
+	// classifier-shaped load that exercises all three stages.
+	caOut := (cfg.SensorRows / cfg.CAPool) * (cfg.SensorCols / cfg.CAPool)
+	rng := rand.New(rand.NewSource(seed))
+	weights := make([][]float64, 10)
+	for r := range weights {
+		weights[r] = make([]float64, caOut)
+		for c := range weights[r] {
+			weights[r][c] = rng.Float64()*2 - 1
+		}
+	}
+	p, err := acc.NewPipeline(lightator.PipelineOptions{Workers: workers, Weights: weights})
+	if err != nil {
+		return err
+	}
+	scenes := make([]*lightator.Image, batch)
+	for i := range scenes {
+		s := lightator.NewImage(cfg.SensorRows, cfg.SensorCols, 3)
+		for j := range s.Pix {
+			s.Pix[j] = rng.Float64()
+		}
+		scenes[i] = s
+	}
+	results, stats, err := p.Run(scenes)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	fmt.Println("== measured (concurrent pipeline) ==")
+	fmt.Println(stats.Render())
+
+	// Modeled counterpart: the same batch through the architecture
+	// simulator (vgg9-ca is the paper's CA-fronted streaming workload).
+	// Simulate is deterministic, so one run stands in for every frame.
+	rep, err := acc.Simulate("vgg9-ca")
+	if err != nil {
+		return err
+	}
+	reports := make([]*lightator.PerformanceReport, batch)
+	for i := range reports {
+		reports[i] = rep
+	}
+	agg, err := lightator.AggregateReports(reports)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== modeled (architecture simulator, vgg9-ca) ==")
+	fmt.Println(agg.Render())
+	return nil
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, table1, ablations, all")
 	profile := flag.String("profile", "quick", "training budget for accuracy columns: smoke, quick, full")
 	seed := flag.Int64("seed", 7, "experiment seed")
-	workers := flag.Int("workers", 8, "training worker goroutines")
+	workers := flag.Int("workers", 8, "worker goroutines (training, and the -batch pipeline)")
+	batch := flag.Int("batch", 0, "when > 0, run the concurrent pipeline over this many frames and report aggregate FPS instead of the paper experiments")
 	flag.Parse()
+
+	if *batch > 0 {
+		if err := runPipelineBench(*batch, *workers, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "lightator-bench: pipeline: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var prof experiments.Profile
 	switch *profile {

@@ -1,0 +1,3 @@
+module lightator
+
+go 1.24

@@ -1,0 +1,74 @@
+package arch
+
+import "fmt"
+
+// BatchReport aggregates per-frame simulation reports across a batch —
+// the modeled counterpart of the measured pipeline stats. Frames in a
+// batch may run different models or precisions (the "versatile" workload
+// mix of the paper's title), so aggregation is over heterogeneous
+// reports.
+type BatchReport struct {
+	// Frames is the number of reports aggregated.
+	Frames int
+	// TotalLatency is the serial sum of frame latencies, seconds — the
+	// steady-state time one core needs for the whole batch.
+	TotalLatency float64
+	// MeanLatency is TotalLatency / Frames.
+	MeanLatency float64
+	// BatchFPS is Frames / TotalLatency: aggregate single-core
+	// throughput over the batch mix.
+	BatchFPS float64
+	// MinFPS and MaxFPS bound the per-frame rates in the batch.
+	MinFPS, MaxFPS float64
+	// MaxPower is the highest instantaneous power any frame reaches.
+	MaxPower float64
+	// AvgPower is the time-weighted mean power across the batch.
+	AvgPower float64
+	// KFPSPerW is BatchFPS / MaxPower / 1000, matching the paper's
+	// efficiency metric at batch granularity.
+	KFPSPerW float64
+	// TotalMACs and TotalWeights summarise the batch workload.
+	TotalMACs, TotalWeights int64
+}
+
+// Aggregate folds a batch of per-frame reports into a BatchReport.
+func Aggregate(reports []*Report) (*BatchReport, error) {
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("arch: empty report batch")
+	}
+	b := &BatchReport{Frames: len(reports)}
+	for i, r := range reports {
+		if r == nil {
+			return nil, fmt.Errorf("arch: nil report at batch index %d", i)
+		}
+		b.TotalLatency += r.FrameLatency
+		if i == 0 || r.FPS < b.MinFPS {
+			b.MinFPS = r.FPS
+		}
+		if r.FPS > b.MaxFPS {
+			b.MaxFPS = r.FPS
+		}
+		if r.MaxPower > b.MaxPower {
+			b.MaxPower = r.MaxPower
+		}
+		b.AvgPower += r.AvgPower * r.FrameLatency
+		b.TotalMACs += r.TotalMACs
+		b.TotalWeights += r.TotalWeights
+	}
+	if b.TotalLatency > 0 {
+		b.AvgPower /= b.TotalLatency
+		b.BatchFPS = float64(b.Frames) / b.TotalLatency
+	}
+	b.MeanLatency = b.TotalLatency / float64(b.Frames)
+	if b.MaxPower > 0 {
+		b.KFPSPerW = b.BatchFPS / b.MaxPower / 1000
+	}
+	return b, nil
+}
+
+// Render returns a one-line human-readable summary.
+func (b *BatchReport) Render() string {
+	return fmt.Sprintf(
+		"batch: %d frames, %.3f ms mean latency, %.1f FPS (per-frame %.1f..%.1f), %.3f W max, %.3f W avg, %.2f KFPS/W",
+		b.Frames, b.MeanLatency*1e3, b.BatchFPS, b.MinFPS, b.MaxFPS, b.MaxPower, b.AvgPower, b.KFPSPerW)
+}

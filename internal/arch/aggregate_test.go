@@ -1,0 +1,71 @@
+package arch
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAggregateHomogeneousBatch(t *testing.T) {
+	rep := simulate(t, "lenet", Uniform(4, 4))
+	reports := []*Report{rep, rep, rep, rep}
+	b, err := Aggregate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Frames != 4 {
+		t.Fatalf("frames %d", b.Frames)
+	}
+	// A homogeneous batch collapses to the per-frame numbers.
+	if math.Abs(b.BatchFPS-rep.FPS) > 1e-9*rep.FPS {
+		t.Errorf("batch FPS %g, want %g", b.BatchFPS, rep.FPS)
+	}
+	if b.MinFPS != rep.FPS || b.MaxFPS != rep.FPS {
+		t.Errorf("FPS bounds %g..%g, want both %g", b.MinFPS, b.MaxFPS, rep.FPS)
+	}
+	if math.Abs(b.MeanLatency-rep.FrameLatency) > 1e-15 {
+		t.Errorf("mean latency %g, want %g", b.MeanLatency, rep.FrameLatency)
+	}
+	if math.Abs(b.AvgPower-rep.AvgPower) > 1e-9*rep.AvgPower {
+		t.Errorf("avg power %g, want %g", b.AvgPower, rep.AvgPower)
+	}
+	if b.TotalMACs != 4*rep.TotalMACs {
+		t.Errorf("total MACs %d, want %d", b.TotalMACs, 4*rep.TotalMACs)
+	}
+	if !strings.Contains(b.Render(), "4 frames") {
+		t.Errorf("render: %q", b.Render())
+	}
+}
+
+func TestAggregateMixedBatch(t *testing.T) {
+	small := simulate(t, "lenet", Uniform(4, 4))
+	big := simulate(t, "vgg9", Uniform(4, 4))
+	b, err := Aggregate([]*Report{small, big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MinFPS != big.FPS || b.MaxFPS != small.FPS {
+		t.Errorf("FPS bounds %g..%g, want %g..%g", b.MinFPS, b.MaxFPS, big.FPS, small.FPS)
+	}
+	// Mixed-batch throughput sits between the two models' rates and is
+	// dominated by the slow model (harmonic, not arithmetic, mean).
+	if b.BatchFPS <= big.FPS || b.BatchFPS >= small.FPS {
+		t.Errorf("batch FPS %g outside (%g, %g)", b.BatchFPS, big.FPS, small.FPS)
+	}
+	arithmetic := (small.FPS + big.FPS) / 2
+	if b.BatchFPS >= arithmetic {
+		t.Errorf("batch FPS %g not below arithmetic mean %g", b.BatchFPS, arithmetic)
+	}
+	if b.MaxPower < small.MaxPower || b.MaxPower < big.MaxPower {
+		t.Errorf("max power %g below a member's", b.MaxPower)
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	if _, err := Aggregate(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := Aggregate([]*Report{nil}); err == nil {
+		t.Error("nil report accepted")
+	}
+}

@@ -1,0 +1,220 @@
+package oc
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"lightator/internal/sensor"
+)
+
+// testMatrix builds a deterministic rows x cols weight matrix in [-1, 1].
+func testMatrix(rows, cols int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([][]float64, rows)
+	for r := range w {
+		w[r] = make([]float64, cols)
+		for c := range w[r] {
+			w[r][c] = 2*rng.Float64() - 1
+		}
+	}
+	return w
+}
+
+func testVector(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return x
+}
+
+func TestDeriveSeedDecorrelates(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(7, i)
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(7, 0) == DeriveSeed(8, 0) {
+		t.Error("base seeds 7 and 8 derive the same child seed")
+	}
+}
+
+func TestApplySeededReproducible(t *testing.T) {
+	core, err := NewCore(4, 4, PhysicalNoisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := core.Program(testMatrix(8, 20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := testVector(20, 2)
+	a, err := pm.ApplySeeded(x, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave an unrelated noisy Apply: it must not perturb the
+	// seeded stream.
+	if _, err := pm.Apply(x); err != nil {
+		t.Fatal(err)
+	}
+	b, err := pm.ApplySeeded(x, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range a {
+		if a[r] != b[r] {
+			t.Fatalf("row %d differs across identical seeded calls: %g vs %g", r, a[r], b[r])
+		}
+	}
+	c, err := pm.ApplySeeded(x, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for r := range a {
+		if a[r] != c[r] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noisy outputs")
+	}
+}
+
+func TestApplyParallelMatchesSerial(t *testing.T) {
+	for _, fid := range []Fidelity{Ideal, Physical, PhysicalNoisy} {
+		core, err := NewCore(4, 4, fid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm, err := core.Program(testMatrix(17, 25, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := testVector(25, 4)
+		want, err := pm.ApplySeeded(x, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 4, 8, 32, runtime.NumCPU()} {
+			got, err := pm.ApplyParallel(x, workers, 5)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", fid, workers, err)
+			}
+			for r := range want {
+				if got[r] != want[r] {
+					t.Fatalf("%v workers=%d row %d: %g != serial %g", fid, workers, r, got[r], want[r])
+				}
+			}
+		}
+	}
+}
+
+func TestMatVecBatchMatchesPerFrame(t *testing.T) {
+	core, err := NewCore(4, 4, PhysicalNoisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := testMatrix(6, 12, 6)
+	xs := make([][]float64, 5)
+	for i := range xs {
+		xs[i] = testVector(12, int64(10+i))
+	}
+	ys, err := core.MatVecBatch(w, xs, 4, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := core.Program(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		want, err := pm.ApplySeeded(x, DeriveSeed(77, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range want {
+			if ys[i][r] != want[r] {
+				t.Fatalf("frame %d row %d: batch %g != per-frame %g", i, r, ys[i][r], want[r])
+			}
+		}
+	}
+}
+
+func TestMatVecBatchErrors(t *testing.T) {
+	core, err := NewCore(4, 4, Ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := testMatrix(2, 4, 1)
+	if _, err := core.MatVecBatch(w, nil, 2, 0); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := core.MatVecBatch(w, [][]float64{{1, 2, 3}}, 2, 0); err == nil {
+		t.Error("length-mismatched activation accepted")
+	}
+}
+
+func TestCompressSeededMatchesCompressNoiseless(t *testing.T) {
+	for _, fid := range []Fidelity{Ideal, Physical} {
+		core, err := NewCore(4, 4, fid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ca, err := NewAcquisitor(core, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := &sensor.Frame{Rows: 8, Cols: 8, Codes: make([]uint8, 64)}
+		for i := range f.Codes {
+			f.Codes[i] = uint8(i % 16)
+		}
+		a, err := ca.Compress(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ca.CompressSeeded(f, 123)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Pix {
+			if a.Pix[i] != b.Pix[i] {
+				t.Fatalf("%v: pixel %d differs: %g vs %g", fid, i, a.Pix[i], b.Pix[i])
+			}
+		}
+	}
+}
+
+func TestCompressSeededReproducibleNoisy(t *testing.T) {
+	core, err := NewCore(4, 4, PhysicalNoisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := NewAcquisitor(core, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &sensor.Frame{Rows: 8, Cols: 8, Codes: make([]uint8, 64)}
+	for i := range f.Codes {
+		f.Codes[i] = uint8((i * 5) % 16)
+	}
+	a, err := ca.CompressSeeded(f, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ca.CompressSeeded(f, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatalf("pixel %d differs across identical seeded calls", i)
+		}
+	}
+}

@@ -100,7 +100,29 @@ func NewAcquisitor(core *Core, poolN int) (*Acquisitor, error) {
 // Compress runs the fused grayscale + average pooling over a raw Bayer
 // frame readout, producing a single-channel activation plane of size
 // (H/N) x (W/N) with values in [0, 1].
+//
+// In PhysicalNoisy fidelity Compress draws from the core's shared noise
+// source (see ProgrammedMatrix.Apply); concurrent frame streams should
+// use CompressSeeded instead.
 func (a *Acquisitor) Compress(f *sensor.Frame) (*sensor.Image, error) {
+	return a.compress(f, func(window []float64, _ int) ([]float64, error) {
+		return a.pm.Apply(window)
+	})
+}
+
+// CompressSeeded is Compress with deterministic noise: window j of the
+// output plane draws from a stream seeded with DeriveSeed(seed, j), so
+// the compressed frame is bit-identical for a given (frame, seed) no
+// matter how many frames are being compressed concurrently.
+func (a *Acquisitor) CompressSeeded(f *sensor.Frame, seed int64) (*sensor.Image, error) {
+	return a.compress(f, func(window []float64, j int) ([]float64, error) {
+		return a.pm.ApplySeeded(window, DeriveSeed(seed, j))
+	})
+}
+
+// compress walks the pooling windows, delegating each weighted sum to
+// apply (which receives the window index for seeding).
+func (a *Acquisitor) compress(f *sensor.Frame, apply func([]float64, int) ([]float64, error)) (*sensor.Image, error) {
 	n := a.PoolN
 	if f.Rows%n != 0 || f.Cols%n != 0 {
 		return nil, fmt.Errorf("oc: frame %dx%d not divisible by pool %d", f.Rows, f.Cols, n)
@@ -117,7 +139,7 @@ func (a *Acquisitor) Compress(f *sensor.Frame) (*sensor.Image, error) {
 					i++
 				}
 			}
-			y, err := a.pm.Apply(window)
+			y, err := apply(window, oy*outW+ox)
 			if err != nil {
 				return nil, err
 			}

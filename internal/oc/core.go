@@ -13,6 +13,7 @@ package oc
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"lightator/internal/mapping"
 	"lightator/internal/photonics"
@@ -198,34 +199,132 @@ func (pm *ProgrammedMatrix) ArmCount() int {
 	return n
 }
 
+// quantize returns the ABits-quantized copy of an activation vector.
+func (pm *ProgrammedMatrix) quantize(x []float64) ([]float64, error) {
+	if len(x) != pm.cols {
+		return nil, fmt.Errorf("oc: input length %d, want %d", len(x), pm.cols)
+	}
+	xq := make([]float64, len(x))
+	for i, v := range x {
+		xq[i] = pm.core.QuantizeActivation(v)
+	}
+	return xq, nil
+}
+
+// applyRow computes one output row from quantized activations. ns, when
+// non-nil, supplies per-arm BPD noise; each arm draws exactly one sample
+// in segment order, so a given noise source yields a reproducible row.
+func (pm *ProgrammedMatrix) applyRow(xq []float64, r int, ns *photonics.NoiseSource) float64 {
+	sum := 0.0
+	for _, s := range pm.segs[r] {
+		partial := 0.0
+		for i, cf := range s.coeffs {
+			partial += cf * xq[s.start+i]
+		}
+		if ns != nil {
+			partial += ns.Gaussian(0, pm.core.noiseSigma)
+		}
+		sum += partial
+	}
+	return sum
+}
+
 // Apply computes y = W*x through the optical path. Activations are
 // clipped to [0,1] and quantized to the core's ABits. The result is in
 // normalised units: exact quantized W*x in Ideal fidelity, perturbed by
 // crosstalk and optionally noise otherwise.
+//
+// In PhysicalNoisy fidelity Apply draws from the core's shared noise
+// source, so it is neither safe for concurrent use nor reproducible
+// across interleavings; concurrent callers should use ApplySeeded or
+// ApplyParallel, which derive an independent stream per output row.
 func (pm *ProgrammedMatrix) Apply(x []float64) ([]float64, error) {
-	if len(x) != pm.cols {
-		return nil, fmt.Errorf("oc: input length %d, want %d", len(x), pm.cols)
+	xq, err := pm.quantize(x)
+	if err != nil {
+		return nil, err
 	}
-	c := pm.core
-	xq := make([]float64, len(x))
-	for i, v := range x {
-		xq[i] = c.QuantizeActivation(v)
+	var ns *photonics.NoiseSource
+	if pm.core.Fidelity == PhysicalNoisy {
+		ns = pm.core.noise
 	}
 	y := make([]float64, pm.rows)
-	for r, row := range pm.segs {
-		sum := 0.0
-		for _, s := range row {
-			partial := 0.0
-			for i, cf := range s.coeffs {
-				partial += cf * xq[s.start+i]
-			}
-			if c.Fidelity == PhysicalNoisy {
-				partial += c.noise.Gaussian(0, c.noiseSigma)
-			}
-			sum += partial
-		}
-		y[r] = sum
+	for r := range pm.segs {
+		y[r] = pm.applyRow(xq, r, ns)
 	}
+	return y, nil
+}
+
+// DeriveSeed maps a base seed and an index to a decorrelated child seed
+// (SplitMix64 finalizer). The batched paths use it to give every frame —
+// and every output row within a frame — its own deterministic noise
+// stream, so results do not depend on goroutine scheduling.
+func DeriveSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(i)+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// ApplySeeded computes y = W*x like Apply, but in PhysicalNoisy fidelity
+// the noise of output row r is drawn from an independent stream seeded
+// with DeriveSeed(seed, r). Two calls with the same inputs and seed are
+// bit-identical, regardless of what ran in between — the reproducibility
+// contract the batched pipeline is built on. Safe for concurrent use.
+func (pm *ProgrammedMatrix) ApplySeeded(x []float64, seed int64) ([]float64, error) {
+	xq, err := pm.quantize(x)
+	if err != nil {
+		return nil, err
+	}
+	y := make([]float64, pm.rows)
+	pm.applySeededRange(xq, y, 0, pm.rows, seed)
+	return y, nil
+}
+
+// applySeededRange fills y[lo:hi] with seeded rows.
+func (pm *ProgrammedMatrix) applySeededRange(xq, y []float64, lo, hi int, seed int64) {
+	noisy := pm.core.Fidelity == PhysicalNoisy
+	for r := lo; r < hi; r++ {
+		var ns *photonics.NoiseSource
+		if noisy {
+			ns = photonics.NewNoiseSource(DeriveSeed(seed, r))
+		}
+		y[r] = pm.applyRow(xq, r, ns)
+	}
+}
+
+// ApplyParallel computes y = W*x with the output rows sharded across up
+// to `workers` goroutines. Because every row's noise stream is seeded
+// independently (see ApplySeeded), the result is bit-identical to
+// ApplySeeded(x, seed) for any worker count. workers <= 1 runs serially.
+func (pm *ProgrammedMatrix) ApplyParallel(x []float64, workers int, seed int64) ([]float64, error) {
+	if workers > pm.rows {
+		workers = pm.rows
+	}
+	if workers <= 1 {
+		return pm.ApplySeeded(x, seed)
+	}
+	xq, err := pm.quantize(x)
+	if err != nil {
+		return nil, err
+	}
+	y := make([]float64, pm.rows)
+	var wg sync.WaitGroup
+	chunk := (pm.rows + workers - 1) / workers
+	for lo := 0; lo < pm.rows; lo += chunk {
+		hi := lo + chunk
+		if hi > pm.rows {
+			hi = pm.rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			pm.applySeededRange(xq, y, lo, hi, seed)
+		}(lo, hi)
+	}
+	wg.Wait()
 	return y, nil
 }
 
@@ -254,4 +353,29 @@ func (c *Core) MatVec(w [][]float64, x []float64) ([]float64, error) {
 		return nil, err
 	}
 	return pm.Apply(x)
+}
+
+// MatVecBatch programs w once and streams a batch of activation vectors
+// through it, sharding the rows of the weight matrix across up to
+// `workers` goroutines per vector (the MR banks are programmed once; the
+// row shards model independent arms reading out in parallel). Frame i's
+// noise is seeded with DeriveSeed(seed, i), so the batch result is
+// bit-identical for any worker count and reproducible across runs.
+func (c *Core) MatVecBatch(w [][]float64, xs [][]float64, workers int, seed int64) ([][]float64, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("oc: empty activation batch")
+	}
+	pm, err := c.Program(w)
+	if err != nil {
+		return nil, err
+	}
+	ys := make([][]float64, len(xs))
+	for i, x := range xs {
+		y, err := pm.ApplyParallel(x, workers, DeriveSeed(seed, i))
+		if err != nil {
+			return nil, fmt.Errorf("oc: batch frame %d: %w", i, err)
+		}
+		ys[i] = y
+	}
+	return ys, nil
 }

@@ -1,0 +1,321 @@
+// Package pipeline is Lightator's batched, concurrent frame engine: a
+// bounded worker pool that streams scenes through the accelerator's
+// stages — ADC-less Capture, Compressive Acquisition, and an optional
+// programmed optical MVM — at high aggregate throughput.
+//
+// The paper's pitch (DAC 2024) is versatile image processing on frame
+// *streams*, not single stills; this package is the load-bearing layer
+// that turns the one-scene facade paths into a stream server. Three
+// properties drive the design:
+//
+//   - Bounded parallelism and backpressure: each Run/Stream call keeps
+//     at most Workers frames in flight; job and result queues are
+//     bounded, so a slow consumer throttles producers instead of
+//     ballooning memory. (Concurrent Run/Stream calls each bring their
+//     own pool — the bound is per call, not per Pipeline.)
+//
+//   - Determinism: frame i derives its noise seed from (Seed, i) via
+//     oc.DeriveSeed, and every stage draws from per-row / per-window
+//     child streams. N-worker output is therefore bit-identical to the
+//     1-worker run — goroutine scheduling can never change a result,
+//     even in PhysicalNoisy fidelity.
+//
+//   - Isolation: the sensor Array latches exposure state, so each worker
+//     clones its own array; the programmed MR banks (CA weights and the
+//     optional MVM matrix) are immutable after programming and shared.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"lightator/internal/oc"
+	"lightator/internal/sensor"
+)
+
+// Stage seed tags: frame seed s yields DeriveSeed(s, stage) per stage, so
+// stages of one frame never share a noise stream.
+const (
+	seedCompress = 1
+	seedMatVec   = 2
+)
+
+// Config assembles a pipeline.
+type Config struct {
+	// Rows, Cols size the per-worker sensor arrays.
+	Rows, Cols int
+	// Workers bounds the number of frames processed concurrently.
+	// Defaults to runtime.NumCPU().
+	Workers int
+	// Queue is the depth of the job and result buffers (backpressure
+	// window). Defaults to 2*Workers.
+	Queue int
+	// Seed is the base noise seed; frame i uses oc.DeriveSeed(Seed, i).
+	Seed int64
+	// CAPool enables the Compressive Acquisition stage when non-zero
+	// (even, >= 2 — the Bayer quad constraint).
+	CAPool int
+	// Weights, when non-nil, adds an optical MVM stage applied to the
+	// flattened output of the previous stage (the compressed plane when
+	// CAPool > 0, the raw frame intensities otherwise). Entries in [-1,1].
+	Weights [][]float64
+	// Core executes the CA and MVM stages; required when either is
+	// enabled.
+	Core *oc.Core
+	// Array, when non-nil, is the sensor prototype the workers clone
+	// (preserving its device models); its dimensions override Rows/Cols.
+	// When nil a default array of Rows x Cols is built.
+	Array *sensor.Array
+}
+
+// Result is one frame's trip through the pipeline. Stages that were not
+// enabled leave their field nil.
+type Result struct {
+	// Index is the frame's position in the input order.
+	Index int
+	// Frame is the ADC-less capture readout.
+	Frame *sensor.Frame
+	// Compressed is the CA output plane (nil when CAPool == 0).
+	Compressed *sensor.Image
+	// Output is the MVM stage result (nil when Weights == nil).
+	Output []float64
+	// Err is the first stage error; later stages are skipped. A frame
+	// error does not abort the run — other frames keep flowing.
+	Err error
+	// CaptureTime, CompressTime and MatVecTime are per-stage latencies.
+	CaptureTime, CompressTime, MatVecTime time.Duration
+}
+
+// Pipeline is a configured worker pool. It is safe to call Run and
+// Stream from multiple goroutines, but each Stream's input channel must
+// be closed by its producer, and its result channel fully drained by the
+// consumer, to release the workers — abandoning a result channel
+// mid-stream blocks the pool once the queue fills (there is no
+// cancellation path yet). Note the cumulative Stats sum per-run wall
+// times, so cumulative FPS reads as serialized-equivalent throughput
+// when runs overlap in time.
+type Pipeline struct {
+	cfg   Config
+	ca    *oc.Acquisitor
+	pm    *oc.ProgrammedMatrix
+	proto *sensor.Array
+
+	mu    sync.Mutex
+	total Stats
+}
+
+// New validates the configuration and programs the shared MR banks.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.Array != nil {
+		cfg.Rows, cfg.Cols = cfg.Array.Rows, cfg.Array.Cols
+	}
+	if cfg.Rows <= 0 || cfg.Cols <= 0 {
+		return nil, fmt.Errorf("pipeline: invalid sensor size %dx%d", cfg.Rows, cfg.Cols)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 2 * cfg.Workers
+	}
+	proto := cfg.Array
+	if proto == nil {
+		arr, err := sensor.NewArray(cfg.Rows, cfg.Cols)
+		if err != nil {
+			return nil, err
+		}
+		proto = arr
+	}
+	p := &Pipeline{cfg: cfg, proto: proto}
+	if cfg.CAPool != 0 || cfg.Weights != nil {
+		if cfg.Core == nil {
+			return nil, fmt.Errorf("pipeline: CA/MVM stages enabled but no optical core configured")
+		}
+	}
+	mvmCols := cfg.Rows * cfg.Cols
+	if cfg.CAPool != 0 {
+		if cfg.Rows%cfg.CAPool != 0 || cfg.Cols%cfg.CAPool != 0 {
+			return nil, fmt.Errorf("pipeline: sensor %dx%d not divisible by CA pool %d", cfg.Rows, cfg.Cols, cfg.CAPool)
+		}
+		ca, err := oc.NewAcquisitor(cfg.Core, cfg.CAPool)
+		if err != nil {
+			return nil, err
+		}
+		p.ca = ca
+		mvmCols = (cfg.Rows / cfg.CAPool) * (cfg.Cols / cfg.CAPool)
+	}
+	if cfg.Weights != nil {
+		if len(cfg.Weights) == 0 || len(cfg.Weights[0]) != mvmCols {
+			have := 0
+			if len(cfg.Weights) > 0 {
+				have = len(cfg.Weights[0])
+			}
+			return nil, fmt.Errorf("pipeline: MVM weights have %d columns, stage input is %d", have, mvmCols)
+		}
+		pm, err := cfg.Core.Program(cfg.Weights)
+		if err != nil {
+			return nil, err
+		}
+		p.pm = pm
+	}
+	return p, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// processFrame runs every enabled stage for one frame on one worker.
+func (p *Pipeline) processFrame(arr *sensor.Array, idx int, scene *sensor.Image, st *Stats) Result {
+	res := Result{Index: idx}
+	frameSeed := oc.DeriveSeed(p.cfg.Seed, idx)
+	st.Frames++
+
+	t0 := time.Now()
+	frame, err := arr.Capture(scene)
+	res.CaptureTime = time.Since(t0)
+	st.Capture.Observe(res.CaptureTime)
+	if err != nil {
+		res.Err = fmt.Errorf("pipeline: frame %d capture: %w", idx, err)
+		st.Errors++
+		return res
+	}
+	res.Frame = frame
+
+	var activations []float64
+	if p.ca != nil {
+		t0 = time.Now()
+		small, err := p.ca.CompressSeeded(frame, oc.DeriveSeed(frameSeed, seedCompress))
+		res.CompressTime = time.Since(t0)
+		st.Compress.Observe(res.CompressTime)
+		if err != nil {
+			res.Err = fmt.Errorf("pipeline: frame %d compress: %w", idx, err)
+			st.Errors++
+			return res
+		}
+		res.Compressed = small
+		activations = small.Pix
+	} else if p.pm != nil {
+		activations = make([]float64, frame.Rows*frame.Cols)
+		for y := 0; y < frame.Rows; y++ {
+			for x := 0; x < frame.Cols; x++ {
+				activations[y*frame.Cols+x] = frame.Intensity(y, x)
+			}
+		}
+	}
+
+	if p.pm != nil {
+		t0 = time.Now()
+		y, err := p.pm.ApplySeeded(activations, oc.DeriveSeed(frameSeed, seedMatVec))
+		res.MatVecTime = time.Since(t0)
+		st.MatVec.Observe(res.MatVecTime)
+		if err != nil {
+			res.Err = fmt.Errorf("pipeline: frame %d matvec: %w", idx, err)
+			st.Errors++
+			return res
+		}
+		res.Output = y
+	}
+	return res
+}
+
+// job pairs a frame with its input-order index.
+type job struct {
+	idx   int
+	scene *sensor.Image
+}
+
+// run is the shared engine: it drains jobs with the worker pool, hands
+// each Result to emit, and returns the merged run stats.
+func (p *Pipeline) run(jobs <-chan job, emit func(Result)) *Stats {
+	start := time.Now()
+	var (
+		wg      sync.WaitGroup
+		workers = p.cfg.Workers
+		locals  = make([]*Stats, workers)
+	)
+	for w := 0; w < workers; w++ {
+		st := &Stats{}
+		locals[w] = st
+		arr := p.proto.Clone()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				// emit targets either a distinct slice index or a
+				// channel — both safe from concurrent workers.
+				emit(p.processFrame(arr, j.idx, j.scene, st))
+			}
+		}()
+	}
+	wg.Wait()
+	run := &Stats{Workers: workers}
+	for _, st := range locals {
+		run.merge(st)
+	}
+	run.Wall = time.Since(start)
+	if run.Wall > 0 {
+		run.FPS = float64(run.Frames) / run.Wall.Seconds()
+	}
+	p.mu.Lock()
+	p.total.Workers = workers
+	p.total.merge(run)
+	p.total.Wall += run.Wall
+	if p.total.Wall > 0 {
+		p.total.FPS = float64(p.total.Frames) / p.total.Wall.Seconds()
+	}
+	p.mu.Unlock()
+	return run
+}
+
+// Run processes a batch of scenes and returns results in input order,
+// plus the run's aggregate stats. Per-frame failures are reported in
+// Result.Err; Run itself only fails on an empty batch.
+func (p *Pipeline) Run(scenes []*sensor.Image) ([]Result, *Stats, error) {
+	if len(scenes) == 0 {
+		return nil, nil, fmt.Errorf("pipeline: empty batch")
+	}
+	jobs := make(chan job, p.cfg.Queue)
+	go func() {
+		for i, s := range scenes {
+			jobs <- job{idx: i, scene: s}
+		}
+		close(jobs)
+	}()
+	results := make([]Result, len(scenes))
+	stats := p.run(jobs, func(r Result) { results[r.Index] = r })
+	return results, stats, nil
+}
+
+// Stream processes scenes from a channel, emitting results as frames
+// finish (unordered — Result.Index identifies the frame). The result
+// channel is buffered to the configured Queue depth, so a slow consumer
+// exerts backpressure on the workers, which in turn stop draining the
+// input. The result channel closes once the input channel is closed and
+// every in-flight frame has been emitted.
+func (p *Pipeline) Stream(in <-chan *sensor.Image) <-chan Result {
+	jobs := make(chan job, p.cfg.Queue)
+	out := make(chan Result, p.cfg.Queue)
+	go func() {
+		i := 0
+		for s := range in {
+			jobs <- job{idx: i, scene: s}
+			i++
+		}
+		close(jobs)
+	}()
+	go func() {
+		p.run(jobs, func(r Result) { out <- r })
+		close(out)
+	}()
+	return out
+}
+
+// Stats returns a snapshot of the cumulative stats across every Run and
+// Stream this pipeline has completed.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}

@@ -1,0 +1,292 @@
+package pipeline
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"lightator/internal/oc"
+	"lightator/internal/sensor"
+)
+
+// testScenes builds deterministic RGB scenes with per-frame structure so
+// no two frames capture identically.
+func testScenes(n, rows, cols int) []*sensor.Image {
+	rng := rand.New(rand.NewSource(42))
+	scenes := make([]*sensor.Image, n)
+	for i := range scenes {
+		s := sensor.NewImage(rows, cols, 3)
+		for j := range s.Pix {
+			s.Pix[j] = rng.Float64()
+		}
+		scenes[i] = s
+	}
+	return scenes
+}
+
+// testWeights builds an MVM matrix for the post-CA plane.
+func testWeights(rows, cols int) [][]float64 {
+	rng := rand.New(rand.NewSource(7))
+	w := make([][]float64, rows)
+	for r := range w {
+		w[r] = make([]float64, cols)
+		for c := range w[r] {
+			w[r][c] = 2*rng.Float64() - 1
+		}
+	}
+	return w
+}
+
+func newTestPipeline(t *testing.T, fid oc.Fidelity, workers int) *Pipeline {
+	t.Helper()
+	core, err := oc.NewCore(4, 4, fid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		Rows: 16, Cols: 16,
+		Workers: workers,
+		Seed:    1234,
+		CAPool:  2,
+		Weights: testWeights(4, 64),
+		Core:    core,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// assertIdentical requires two results to be byte-identical across every
+// stage output.
+func assertIdentical(t *testing.T, a, b Result) {
+	t.Helper()
+	if (a.Err == nil) != (b.Err == nil) {
+		t.Fatalf("frame %d: error mismatch: %v vs %v", a.Index, a.Err, b.Err)
+	}
+	if a.Err != nil {
+		return
+	}
+	for i := range a.Frame.Codes {
+		if a.Frame.Codes[i] != b.Frame.Codes[i] {
+			t.Fatalf("frame %d: capture code %d differs", a.Index, i)
+		}
+	}
+	for i := range a.Compressed.Pix {
+		if a.Compressed.Pix[i] != b.Compressed.Pix[i] {
+			t.Fatalf("frame %d: compressed pixel %d differs: %g vs %g",
+				a.Index, i, a.Compressed.Pix[i], b.Compressed.Pix[i])
+		}
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			t.Fatalf("frame %d: MVM output %d differs: %g vs %g",
+				a.Index, i, a.Output[i], b.Output[i])
+		}
+	}
+}
+
+// TestWorkersMatchSerial is the acceptance-criterion test: for every
+// fidelity — including PhysicalNoisy — N-worker output is byte-identical
+// to the 1-worker (serial) run under the same seed.
+func TestWorkersMatchSerial(t *testing.T) {
+	scenes := testScenes(12, 16, 16)
+	for _, fid := range []oc.Fidelity{oc.Ideal, oc.Physical, oc.PhysicalNoisy} {
+		serial, _, err := newTestPipeline(t, fid, 1).Run(scenes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, runtime.NumCPU()} {
+			got, _, err := newTestPipeline(t, fid, workers).Run(scenes)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", fid, workers, err)
+			}
+			for i := range serial {
+				assertIdentical(t, serial[i], got[i])
+			}
+		}
+	}
+}
+
+// TestSeededBatchesReproducible pins the determinism guarantee for noisy
+// batches: same seed, same bits; different seed, different bits.
+func TestSeededBatchesReproducible(t *testing.T) {
+	scenes := testScenes(6, 16, 16)
+	run := func(seed int64) []Result {
+		core, err := oc.NewCore(4, 4, oc.PhysicalNoisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(Config{
+			Rows: 16, Cols: 16, Workers: 4, Seed: seed,
+			CAPool: 2, Weights: testWeights(4, 64), Core: core,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := p.Run(scenes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(555), run(555)
+	for i := range a {
+		assertIdentical(t, a[i], b[i])
+	}
+	c := run(556)
+	same := true
+	for i := range a {
+		for j := range a[i].Output {
+			if a[i].Output[j] != c[i].Output[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different base seeds produced identical noisy batches")
+	}
+}
+
+func TestStreamDeliversAllFrames(t *testing.T) {
+	const n = 20
+	scenes := testScenes(n, 16, 16)
+	p := newTestPipeline(t, oc.Physical, 4)
+	in := make(chan *sensor.Image)
+	go func() {
+		for _, s := range scenes {
+			in <- s
+		}
+		close(in)
+	}()
+	seen := map[int]bool{}
+	for res := range p.Stream(in) {
+		if res.Err != nil {
+			t.Fatalf("frame %d: %v", res.Index, res.Err)
+		}
+		if seen[res.Index] {
+			t.Fatalf("frame %d delivered twice", res.Index)
+		}
+		seen[res.Index] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("got %d frames, want %d", len(seen), n)
+	}
+	st := p.Stats()
+	if st.Frames != n || st.FPS <= 0 {
+		t.Errorf("stats: frames=%d fps=%g", st.Frames, st.FPS)
+	}
+}
+
+// TestStreamMatchesRun checks the two entry points agree frame-by-frame.
+func TestStreamMatchesRun(t *testing.T) {
+	scenes := testScenes(8, 16, 16)
+	batch, _, err := newTestPipeline(t, oc.PhysicalNoisy, 3).Run(scenes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newTestPipeline(t, oc.PhysicalNoisy, 3)
+	in := make(chan *sensor.Image, len(scenes))
+	for _, s := range scenes {
+		in <- s
+	}
+	close(in)
+	for res := range p.Stream(in) {
+		assertIdentical(t, batch[res.Index], res)
+	}
+}
+
+// TestFrameErrorsDoNotAbort: a bad frame carries its error; the rest of
+// the batch still processes.
+func TestFrameErrorsDoNotAbort(t *testing.T) {
+	scenes := testScenes(5, 16, 16)
+	scenes[2] = sensor.NewImage(8, 8, 3) // wrong dimensions for the array
+	p := newTestPipeline(t, oc.Ideal, 2)
+	results, stats, err := p.Run(scenes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if i == 2 {
+			if r.Err == nil {
+				t.Error("mismatched frame did not error")
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Errorf("frame %d: unexpected error %v", i, r.Err)
+		}
+	}
+	if stats.Errors != 1 || stats.Frames != 5 {
+		t.Errorf("stats: frames=%d errors=%d", stats.Frames, stats.Errors)
+	}
+}
+
+func TestStatsHistograms(t *testing.T) {
+	scenes := testScenes(10, 16, 16)
+	_, st, err := newTestPipeline(t, oc.Physical, 2).Run(scenes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []*LatencyHist{&st.Capture, &st.Compress, &st.MatVec} {
+		if h.Count != 10 {
+			t.Errorf("histogram count %d, want 10", h.Count)
+		}
+		if h.Mean() <= 0 || h.Max < h.Min {
+			t.Errorf("degenerate histogram: %s", h.String())
+		}
+		if q50, q99 := h.Quantile(0.5), h.Quantile(0.99); q50 > q99 {
+			t.Errorf("p50 %v > p99 %v", q50, q99)
+		}
+	}
+	if st.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestLatencyHistMergeAndQuantile(t *testing.T) {
+	var a, b LatencyHist
+	for i := 1; i <= 100; i++ {
+		a.Observe(time.Duration(i) * time.Microsecond)
+	}
+	b.Observe(5 * time.Millisecond)
+	a.Merge(b)
+	if a.Count != 101 {
+		t.Fatalf("merged count %d", a.Count)
+	}
+	if a.Max != 5*time.Millisecond || a.Min != time.Microsecond {
+		t.Errorf("min/max %v/%v", a.Min, a.Max)
+	}
+	if q := a.Quantile(1); q != a.Max {
+		t.Errorf("p100 %v != max %v", q, a.Max)
+	}
+	if q := a.Quantile(0.5); q < 32*time.Microsecond || q > 256*time.Microsecond {
+		t.Errorf("p50 %v outside plausible bucket bounds", q)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	core, err := oc.NewCore(4, 4, oc.Ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero rows", Config{Cols: 16, CAPool: 2, Core: core}},
+		{"no core", Config{Rows: 16, Cols: 16, CAPool: 2}},
+		{"indivisible pool", Config{Rows: 16, Cols: 18, CAPool: 4, Core: core}},
+		{"odd pool", Config{Rows: 16, Cols: 16, CAPool: 3, Core: core}},
+		{"bad weight width", Config{Rows: 16, Cols: 16, CAPool: 2, Core: core, Weights: testWeights(2, 63)}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := New(Config{Rows: 16, Cols: 16}); err != nil {
+		t.Errorf("capture-only pipeline rejected: %v", err)
+	}
+}

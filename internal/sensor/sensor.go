@@ -146,6 +146,21 @@ func Default() *Array {
 	return a
 }
 
+// Clone returns an array sharing this one's device models (the PD and
+// CRC are read-only after construction) but with its own exposure latch,
+// so clones can capture concurrently. Capture mutates the latched pixel
+// voltages, which is why a single Array must not be shared between
+// goroutines — each pipeline worker clones its own.
+func (a *Array) Clone() *Array {
+	return &Array{
+		Rows: a.Rows,
+		Cols: a.Cols,
+		PD:   a.PD,
+		CRC:  a.CRC,
+		vpd:  make([]float64, a.Rows*a.Cols),
+	}
+}
+
 // Expose latches V_PD for every pixel from a raw (mosaicked, single-plane)
 // frame. The scene must match the array dimensions.
 func (a *Array) Expose(raw *Image) error {

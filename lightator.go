@@ -13,6 +13,28 @@
 //	y, _ := acc.MatVec(weights, activations)  // raw photonic MVM
 //	rep, _ := acc.Simulate("lenet")           // power/latency/FPS report
 //
+// # Batched frame streams
+//
+// The single-scene paths above process one frame on the calling
+// goroutine. For frame streams — the workload the paper's FPS numbers
+// are about — the facade exposes a bounded worker-pool pipeline
+// (internal/pipeline) that runs Capture, Compressive Acquisition and an
+// optional programmed MVM concurrently with per-frame deterministic
+// noise seeding, so N-worker output is bit-identical to the 1-worker
+// pipeline run even in PhysicalNoisy fidelity. (The batched paths seed
+// noise per frame, so in PhysicalNoisy they intentionally differ from
+// the shared-stream single-scene calls above — determinism, not stream
+// continuity, is the contract.)
+//
+//	p, _ := acc.NewPipeline(lightator.PipelineOptions{Workers: 4})
+//	results, stats, _ := p.Run(scenes)        // ordered batch
+//	out := p.Stream(sceneCh)                  // backpressured stream
+//
+// Convenience wrappers cover the common batch shapes: CaptureBatch,
+// AcquireCompressedBatch, and MatVecBatch (which shards the weight
+// matrix rows across goroutines). See docs/PIPELINE.md for the worker
+// model and determinism guarantees.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure.
 package lightator
@@ -26,6 +48,7 @@ import (
 	"lightator/internal/models"
 	"lightator/internal/oc"
 	"lightator/internal/photonics"
+	"lightator/internal/pipeline"
 	"lightator/internal/sensor"
 )
 
@@ -44,6 +67,15 @@ type (
 	LayerDims = mapping.LayerDims
 	// Ring is the add-drop microring resonator device model.
 	Ring = photonics.Ring
+	// Pipeline is the batched concurrent frame engine.
+	Pipeline = pipeline.Pipeline
+	// PipelineResult is one frame's trip through the pipeline.
+	PipelineResult = pipeline.Result
+	// PipelineStats aggregates a pipeline run (FPS, per-stage latency
+	// histograms).
+	PipelineStats = pipeline.Stats
+	// BatchPerformanceReport aggregates per-frame simulation reports.
+	BatchPerformanceReport = arch.BatchReport
 )
 
 // Fidelity levels.
@@ -103,6 +135,35 @@ type Config struct {
 	// CAPool is the Compressive Acquisitor's pooling factor (even, >= 2);
 	// 0 disables the CA stage.
 	CAPool int
+	// Seed is the base noise seed for the batched paths: frame i of a
+	// batch derives its own stream from (Seed, i), making PhysicalNoisy
+	// batches reproducible regardless of worker count or scheduling.
+	Seed int64
+}
+
+// validate rejects configurations the deeper layers would only trip over
+// later (or with an opaque message).
+func (c Config) validate() error {
+	p := c.Precision
+	if p.WBits < 1 || p.WBits > 8 {
+		return fmt.Errorf("lightator: weight precision %d bits outside [1,8] (paper: 4, 3 or 2)", p.WBits)
+	}
+	if p.ABits < 1 || p.ABits > 8 {
+		return fmt.Errorf("lightator: activation precision %d bits outside [1,8] (paper: 4)", p.ABits)
+	}
+	if p.MXFirstWBits < 0 || p.MXFirstWBits > 8 {
+		return fmt.Errorf("lightator: MX first-layer precision %d bits outside [0,8]", p.MXFirstWBits)
+	}
+	if c.SensorRows < 0 || c.SensorCols < 0 {
+		return fmt.Errorf("lightator: negative sensor size %dx%d", c.SensorRows, c.SensorCols)
+	}
+	if c.CAPool < 0 {
+		return fmt.Errorf("lightator: negative CA pooling factor %d", c.CAPool)
+	}
+	if c.CAPool != 0 && (c.CAPool%2 != 0 || c.CAPool < 2) {
+		return fmt.Errorf("lightator: CA pooling factor %d must be even and >= 2 (Bayer quads), or 0 to disable", c.CAPool)
+	}
+	return nil
 }
 
 // DefaultConfig is the paper's flagship configuration: [4:4], physical
@@ -114,6 +175,7 @@ func DefaultConfig() Config {
 		SensorRows: sensor.DefaultRows,
 		SensorCols: sensor.DefaultCols,
 		CAPool:     2,
+		Seed:       0x11647a70,
 	}
 }
 
@@ -128,6 +190,9 @@ type Accelerator struct {
 
 // New builds an accelerator.
 func New(cfg Config) (*Accelerator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if cfg.SensorRows == 0 {
 		cfg.SensorRows = sensor.DefaultRows
 	}
@@ -180,6 +245,123 @@ func (a *Accelerator) AcquireCompressed(scene *Image) (*Image, error) {
 // optical core, returning the analog MAC results.
 func (a *Accelerator) MatVec(weights [][]float64, activations []float64) ([]float64, error) {
 	return a.core.MatVec(weights, activations)
+}
+
+// PipelineOptions configure a batched concurrent pipeline on top of the
+// accelerator's sensor and optical core.
+type PipelineOptions struct {
+	// Workers bounds the frames processed concurrently; 0 means
+	// runtime.NumCPU().
+	Workers int
+	// Queue is the backpressure window (job/result buffer depth); 0
+	// means 2*Workers.
+	Queue int
+	// Seed overrides the accelerator Config's base noise seed when
+	// non-zero.
+	Seed int64
+	// Weights, when non-nil, adds an optical MVM stage after capture /
+	// compression (see pipeline.Config.Weights for the expected width).
+	Weights [][]float64
+	// DisableCA drops the Compressive Acquisition stage even when the
+	// accelerator has one configured (capture-only streams).
+	DisableCA bool
+}
+
+// NewPipeline builds a batched, concurrent frame pipeline: a bounded
+// worker pool streaming scenes through Capture -> Compressive
+// Acquisition -> optional MVM with per-frame deterministic noise. See
+// docs/PIPELINE.md.
+func (a *Accelerator) NewPipeline(opts PipelineOptions) (*Pipeline, error) {
+	seed := a.cfg.Seed
+	if opts.Seed != 0 {
+		seed = opts.Seed
+	}
+	capool := a.cfg.CAPool
+	if opts.DisableCA {
+		capool = 0
+	}
+	return pipeline.New(pipeline.Config{
+		Workers: opts.Workers,
+		Queue:   opts.Queue,
+		Seed:    seed,
+		CAPool:  capool,
+		Weights: opts.Weights,
+		Core:    a.core,
+		// Workers clone the accelerator's own array, so pipeline capture
+		// uses the same device models as the serial Capture path.
+		Array: a.array,
+	})
+}
+
+// firstBatchErr surfaces the first per-frame error of a batch run.
+func firstBatchErr(results []PipelineResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// CaptureBatch captures a batch of scenes across `workers` goroutines
+// (each worker owns a clone of the sensor array), returning frames in
+// input order.
+func (a *Accelerator) CaptureBatch(scenes []*Image, workers int) ([]*Frame, error) {
+	p, err := a.NewPipeline(PipelineOptions{Workers: workers, DisableCA: true})
+	if err != nil {
+		return nil, err
+	}
+	results, _, err := p.Run(scenes)
+	if err != nil {
+		return nil, err
+	}
+	if err := firstBatchErr(results); err != nil {
+		return nil, err
+	}
+	frames := make([]*Frame, len(results))
+	for i, r := range results {
+		frames[i] = r.Frame
+	}
+	return frames, nil
+}
+
+// AcquireCompressedBatch runs capture + compressive acquisition over a
+// batch of scenes with bounded parallelism. Frame i's noise is seeded
+// from (Config.Seed, i), so the batch is reproducible for any worker
+// count.
+func (a *Accelerator) AcquireCompressedBatch(scenes []*Image, workers int) ([]*Image, error) {
+	if a.ca == nil {
+		return nil, fmt.Errorf("lightator: compressive acquisition disabled (CAPool = 0)")
+	}
+	p, err := a.NewPipeline(PipelineOptions{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	results, _, err := p.Run(scenes)
+	if err != nil {
+		return nil, err
+	}
+	if err := firstBatchErr(results); err != nil {
+		return nil, err
+	}
+	out := make([]*Image, len(results))
+	for i, r := range results {
+		out[i] = r.Compressed
+	}
+	return out, nil
+}
+
+// MatVecBatch programs the weight matrix once and streams a batch of
+// activation vectors through it, sharding the matrix rows across up to
+// `workers` goroutines. Deterministic for a given Config.Seed.
+func (a *Accelerator) MatVecBatch(weights [][]float64, activations [][]float64, workers int) ([][]float64, error) {
+	return a.core.MatVecBatch(weights, activations, workers, a.cfg.Seed)
+}
+
+// AggregateReports folds per-frame simulation reports into a batch-level
+// summary (modeled batch FPS, power envelope, workload totals).
+func AggregateReports(reports []*PerformanceReport) (*BatchPerformanceReport, error) {
+	return arch.Aggregate(reports)
 }
 
 // Simulate runs a named descriptor model ("lenet", "vgg9", "vgg9-ca",

@@ -16,11 +16,60 @@ func TestDefaultConfigBuilds(t *testing.T) {
 }
 
 func TestPrecisionNames(t *testing.T) {
-	if (Precision{WBits: 4, ABits: 4}).Name() != "[4:4]" {
-		t.Error("uniform name")
+	cases := []struct {
+		name string
+		p    Precision
+		want string
+	}{
+		{"flagship", Precision{WBits: 4, ABits: 4}, "[4:4]"},
+		{"reduced", Precision{WBits: 2, ABits: 4}, "[2:4]"},
+		{"asymmetric", Precision{WBits: 3, ABits: 2}, "[3:2]"},
+		{"mx", Precision{WBits: 3, ABits: 4, MXFirstWBits: 4}, "[4:4][3:4]"},
+		{"mx-2bit-rest", Precision{WBits: 2, ABits: 4, MXFirstWBits: 4}, "[4:4][2:4]"},
+		{"mx-equal-collapses", Precision{WBits: 4, ABits: 4, MXFirstWBits: 4}, "[4:4]"},
+		{"zero-mx-is-uniform", Precision{WBits: 4, ABits: 4, MXFirstWBits: 0}, "[4:4]"},
 	}
-	if (Precision{WBits: 3, ABits: 4, MXFirstWBits: 4}).Name() != "[4:4][3:4]" {
-		t.Error("MX name")
+	for _, c := range cases {
+		if got := c.p.Name(); got != c.want {
+			t.Errorf("%s: Name() = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mod := func(f func(*Config)) Config {
+		cfg := DefaultConfig()
+		f(&cfg)
+		return cfg
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"default", DefaultConfig(), true},
+		{"ca disabled", mod(func(c *Config) { c.CAPool = 0 }), true},
+		{"4x4 pooling", mod(func(c *Config) { c.CAPool = 4 }), true},
+		{"paper 2-bit weights", mod(func(c *Config) { c.Precision.WBits = 2 }), true},
+		{"zero wbits", mod(func(c *Config) { c.Precision.WBits = 0 }), false},
+		{"negative wbits", mod(func(c *Config) { c.Precision.WBits = -3 }), false},
+		{"oversized wbits", mod(func(c *Config) { c.Precision.WBits = 9 }), false},
+		{"zero abits", mod(func(c *Config) { c.Precision.ABits = 0 }), false},
+		{"negative abits", mod(func(c *Config) { c.Precision.ABits = -1 }), false},
+		{"negative mx bits", mod(func(c *Config) { c.Precision.MXFirstWBits = -2 }), false},
+		{"odd ca pool", mod(func(c *Config) { c.CAPool = 3 }), false},
+		{"unit ca pool", mod(func(c *Config) { c.CAPool = 1 }), false},
+		{"negative ca pool", mod(func(c *Config) { c.CAPool = -2 }), false},
+		{"negative sensor", mod(func(c *Config) { c.SensorRows = -1 }), false},
+	}
+	for _, c := range cases {
+		_, err := New(c.cfg)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid config accepted", c.name)
+		}
 	}
 }
 
@@ -135,5 +184,168 @@ func TestPrecisionValidationThroughNew(t *testing.T) {
 	cfg.CAPool = 3
 	if _, err := New(cfg); err == nil {
 		t.Error("odd CA pool accepted")
+	}
+}
+
+// batchScenes builds deterministic per-frame-distinct RGB scenes.
+func batchScenes(n, rows, cols int) []*Image {
+	scenes := make([]*Image, n)
+	for i := range scenes {
+		s := NewImage(rows, cols, 3)
+		for y := 0; y < rows; y++ {
+			for x := 0; x < cols; x++ {
+				for c := 0; c < 3; c++ {
+					s.Set(y, x, c, float64((y*cols+x+i*37+c*11)%97)/96)
+				}
+			}
+		}
+		scenes[i] = s
+	}
+	return scenes
+}
+
+func smallAccelerator(t *testing.T, fid Fidelity) *Accelerator {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.SensorRows, cfg.SensorCols = 16, 16
+	cfg.Fidelity = fid
+	acc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
+func TestCaptureBatchMatchesSerial(t *testing.T) {
+	acc := smallAccelerator(t, Physical)
+	scenes := batchScenes(9, 16, 16)
+	frames, err := acc.CaptureBatch(scenes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scenes {
+		want, err := acc.Capture(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Codes {
+			if frames[i].Codes[j] != want.Codes[j] {
+				t.Fatalf("frame %d code %d: batch %d != serial %d", i, j, frames[i].Codes[j], want.Codes[j])
+			}
+		}
+	}
+}
+
+func TestAcquireCompressedBatchMatchesSerial(t *testing.T) {
+	// Noiseless fidelities: the batch path must agree with the serial
+	// facade path bit-for-bit.
+	for _, fid := range []Fidelity{Ideal, Physical} {
+		acc := smallAccelerator(t, fid)
+		scenes := batchScenes(5, 16, 16)
+		batch, err := acc.AcquireCompressedBatch(scenes, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range scenes {
+			want, err := acc.AcquireCompressed(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want.Pix {
+				if batch[i].Pix[j] != want.Pix[j] {
+					t.Fatalf("%v frame %d pixel %d: batch %g != serial %g", fid, i, j, batch[i].Pix[j], want.Pix[j])
+				}
+			}
+		}
+	}
+}
+
+func TestAcquireCompressedBatchDeterministicNoisy(t *testing.T) {
+	acc := smallAccelerator(t, PhysicalNoisy)
+	scenes := batchScenes(6, 16, 16)
+	a, err := acc.AcquireCompressedBatch(scenes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := acc.AcquireCompressedBatch(scenes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i].Pix {
+			if a[i].Pix[j] != b[i].Pix[j] {
+				t.Fatalf("noisy batch not scheduling-invariant: frame %d pixel %d", i, j)
+			}
+		}
+	}
+}
+
+func TestMatVecBatchThroughFacade(t *testing.T) {
+	acc := smallAccelerator(t, Ideal)
+	w := [][]float64{{1, -1, 0.5}, {-0.5, 0.25, 0.75}}
+	xs := [][]float64{{1, 0.5, 0.25}, {0.25, 1, 0}, {0, 0, 1}}
+	ys, err := acc.MatVecBatch(w, xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		want, err := acc.MatVec(w, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range want {
+			if ys[i][r] != want[r] {
+				t.Fatalf("frame %d row %d: batch %g != serial %g", i, r, ys[i][r], want[r])
+			}
+		}
+	}
+}
+
+func TestPipelineThroughFacade(t *testing.T) {
+	acc := smallAccelerator(t, PhysicalNoisy)
+	weights := make([][]float64, 3)
+	for r := range weights {
+		weights[r] = make([]float64, 64) // (16/2)*(16/2) CA outputs
+		for c := range weights[r] {
+			weights[r][c] = float64((r+c)%5)/4 - 0.5
+		}
+	}
+	p, err := acc.NewPipeline(PipelineOptions{Workers: 4, Weights: weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenes := batchScenes(8, 16, 16)
+	results, stats, err := p.Run(scenes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 || stats.Frames != 8 || stats.FPS <= 0 {
+		t.Fatalf("degenerate run: %d results, %+v", len(results), stats)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("frame %d: %v", i, r.Err)
+		}
+		if r.Index != i || r.Frame == nil || r.Compressed == nil || len(r.Output) != 3 {
+			t.Fatalf("frame %d: incomplete result", i)
+		}
+	}
+}
+
+func TestAggregateReportsThroughFacade(t *testing.T) {
+	acc, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := acc.Simulate("lenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AggregateReports([]*PerformanceReport{rep, rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Frames != 2 || b.BatchFPS <= 0 {
+		t.Errorf("degenerate batch report %+v", b)
 	}
 }
