@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race bench bench-pipeline
+.PHONY: check vet build test test-race bench bench-pipeline serve
 
 check: vet build test-race
 
@@ -27,3 +27,8 @@ bench:
 # Throughput trajectory of the batched paths only.
 bench-pipeline:
 	$(GO) test -bench 'MatVecBatch|Pipeline' -run '^$$' .
+
+# Run the HTTP serving layer locally (docs/SERVER.md). Override flags:
+#   make serve SERVE_FLAGS='-addr :9090 -fidelity physical-noisy'
+serve:
+	$(GO) run ./cmd/lightator-serve $(SERVE_FLAGS)

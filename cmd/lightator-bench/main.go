@@ -1,6 +1,6 @@
 // Command lightator-bench regenerates the paper's tables and figures
-// (DESIGN.md §3 maps each experiment to its source) and measures the
-// batched concurrent pipeline.
+// (internal/experiments maps each experiment to its source; docs/DESIGN.md
+// has the system inventory) and measures the batched concurrent pipeline.
 //
 // Usage:
 //
@@ -8,24 +8,48 @@
 //	lightator-bench -exp fig8
 //	lightator-bench -exp table1 -profile full
 //	lightator-bench -batch 64 -workers 4    # concurrent pipeline throughput
+//	lightator-bench -batch 64 -json         # machine-readable perf record
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"lightator"
 	"lightator/internal/experiments"
+	"lightator/internal/pipeline"
 )
+
+// benchReport is the -json output: one machine-readable record per
+// pipeline bench run, so the repo's perf trajectory (BENCH_*.json) can be
+// recorded and diffed across PRs.
+type benchReport struct {
+	Batch      int   `json:"batch"`
+	Workers    int   `json:"workers"`
+	Seed       int64 `json:"seed"`
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	NumCPU     int   `json:"num_cpu"`
+	// Caveat is set on single-CPU hosts, where parallel speedup cannot
+	// be observed no matter the worker count.
+	Caveat string `json:"caveat,omitempty"`
+	// Measured is the concurrent pipeline run (FPS, per-stage p50/p99).
+	Measured pipeline.StatsReport `json:"measured"`
+	// ModeledFPS and ModeledKFPSPerW come from the architecture
+	// simulator for the same workload (vgg9-ca).
+	ModeledFPS      float64 `json:"modeled_fps"`
+	ModeledKFPSPerW float64 `json:"modeled_kfps_per_w"`
+}
 
 // runPipelineBench streams `batch` synthetic 256x256 scenes through the
 // concurrent pipeline (capture + compressive acquisition + a small MVM
 // head) at the given worker count, printing measured aggregate FPS with
 // per-stage latency histograms, plus the modeled batch report from the
 // architecture simulator for the same frame count.
-func runPipelineBench(batch, workers int, seed int64) error {
+func runPipelineBench(batch, workers int, seed int64, asJSON bool) error {
 	cfg := lightator.DefaultConfig()
 	cfg.Seed = seed
 	acc, err := lightator.New(cfg)
@@ -64,8 +88,6 @@ func runPipelineBench(batch, workers int, seed int64) error {
 			return r.Err
 		}
 	}
-	fmt.Println("== measured (concurrent pipeline) ==")
-	fmt.Println(stats.Render())
 
 	// Modeled counterpart: the same batch through the architecture
 	// simulator (vgg9-ca is the paper's CA-fronted streaming workload).
@@ -82,6 +104,27 @@ func runPipelineBench(batch, workers int, seed int64) error {
 	if err != nil {
 		return err
 	}
+
+	if asJSON {
+		out := benchReport{
+			Batch:           batch,
+			Workers:         workers,
+			Seed:            seed,
+			GOMAXPROCS:      runtime.GOMAXPROCS(0),
+			NumCPU:          runtime.NumCPU(),
+			Measured:        stats.Report(),
+			ModeledFPS:      rep.FPS,
+			ModeledKFPSPerW: rep.KFPSPerW,
+		}
+		if out.NumCPU == 1 {
+			out.Caveat = "single-CPU host: worker parallelism cannot speed up this run; measured FPS understates multi-core throughput"
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Println("== measured (concurrent pipeline) ==")
+	fmt.Println(stats.Render())
 	fmt.Println("== modeled (architecture simulator, vgg9-ca) ==")
 	fmt.Println(agg.Render())
 	return nil
@@ -93,10 +136,11 @@ func main() {
 	seed := flag.Int64("seed", 7, "experiment seed")
 	workers := flag.Int("workers", 8, "worker goroutines (training, and the -batch pipeline)")
 	batch := flag.Int("batch", 0, "when > 0, run the concurrent pipeline over this many frames and report aggregate FPS instead of the paper experiments")
+	asJSON := flag.Bool("json", false, "with -batch: emit a machine-readable report (FPS, per-stage p50/p99, CPU counts) for the BENCH_*.json perf trajectory")
 	flag.Parse()
 
 	if *batch > 0 {
-		if err := runPipelineBench(*batch, *workers, *seed); err != nil {
+		if err := runPipelineBench(*batch, *workers, *seed, *asJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "lightator-bench: pipeline: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,117 @@
+// Command lightator-serve exposes a Lightator accelerator over HTTP/JSON:
+// /v1/capture, /v1/compress, /v1/matvec and /v1/simulate, backed by a
+// dynamic micro-batcher over the concurrent frame pipeline, with
+// /metrics and /healthz for operations. See docs/SERVER.md.
+//
+// Usage:
+//
+//	lightator-serve -addr :8080
+//	lightator-serve -fidelity physical-noisy -batch 16 -batch-delay 5ms
+//	lightator-serve -rows 64 -cols 64 -capool 4 -queue 256
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, new
+// work is rejected with 503, and in-flight micro-batches drain before the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lightator"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	fidelity := flag.String("fidelity", "physical", "analog fidelity: ideal, physical, physical-noisy")
+	wbits := flag.Int("wbits", 4, "weight precision bits")
+	abits := flag.Int("abits", 4, "activation precision bits")
+	rows := flag.Int("rows", 0, "sensor rows (0 = paper default 256)")
+	cols := flag.Int("cols", 0, "sensor cols (0 = paper default 256)")
+	capool := flag.Int("capool", 2, "compressive acquisition pooling factor (0 disables /v1/compress)")
+	seed := flag.Int64("seed", 0, "base noise seed (0 = config default)")
+	workers := flag.Int("workers", 0, "pipeline workers per batch (0 = NumCPU)")
+	batch := flag.Int("batch", 8, "micro-batch flush size")
+	batchDelay := flag.Duration("batch-delay", 2*time.Millisecond, "micro-batch flush deadline")
+	queue := flag.Int("queue", 64, "admission queue depth per batched endpoint (full = 429)")
+	maxBatches := flag.Int("max-batches", 2, "concurrent in-flight pipeline batches per endpoint")
+	cache := flag.Int("cache", 256, "response cache entries (negative disables)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	cfg := lightator.DefaultConfig()
+	cfg.Precision.WBits = *wbits
+	cfg.Precision.ABits = *abits
+	cfg.CAPool = *capool
+	if *rows > 0 {
+		cfg.SensorRows = *rows
+	}
+	if *cols > 0 {
+		cfg.SensorCols = *cols
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	switch *fidelity {
+	case "ideal":
+		cfg.Fidelity = lightator.Ideal
+	case "physical":
+		cfg.Fidelity = lightator.Physical
+	case "physical-noisy":
+		cfg.Fidelity = lightator.PhysicalNoisy
+	default:
+		fmt.Fprintf(os.Stderr, "lightator-serve: unknown fidelity %q\n", *fidelity)
+		os.Exit(1)
+	}
+
+	acc, err := lightator.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lightator-serve: %v\n", err)
+		os.Exit(1)
+	}
+	srv, err := acc.NewServer(lightator.ServeOptions{
+		Workers:      *workers,
+		BatchSize:    *batch,
+		BatchDelay:   *batchDelay,
+		Queue:        *queue,
+		MaxBatches:   *maxBatches,
+		CacheEntries: *cache,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lightator-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr) }()
+	fmt.Printf("lightator-serve: %s sensor %dx%d %s, micro-batch %d@%v, listening on %s\n",
+		cfg.Fidelity, cfg.SensorRows, cfg.SensorCols,
+		cfg.Precision.Name(), *batch, *batchDelay, *addr)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "lightator-serve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Println("lightator-serve: shutting down, draining in-flight work...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "lightator-serve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("lightator-serve: drained cleanly")
+	}
+}

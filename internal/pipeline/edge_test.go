@@ -1,0 +1,134 @@
+// Edge cases the serving layer depends on: seeded submissions that are
+// independent of batch composition, stream termination behaviour, and
+// stats that stay sane with zero frames.
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"lightator/internal/oc"
+	"lightator/internal/sensor"
+)
+
+// TestRunSeededBatchIndependence is the contract the server's
+// micro-batcher is built on: a frame's result depends only on its own
+// (scene, seed) pair — processing it alone, or inside any batch mix, in
+// any slot, yields identical bytes.
+func TestRunSeededBatchIndependence(t *testing.T) {
+	scenes := testScenes(6, 16, 16)
+	p := newTestPipeline(t, oc.PhysicalNoisy, 4)
+
+	// Each frame alone, as frame 0 of a Run under its own seed.
+	solo := make([]Result, len(scenes))
+	for i, s := range scenes {
+		sp := newTestPipeline(t, oc.PhysicalNoisy, 1)
+		sp.cfg.Seed = int64(1000 + i)
+		res, _, err := sp.Run([]*sensor.Image{s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo[i] = res[0]
+	}
+
+	// The same frames coalesced into one seeded batch, reversed order.
+	batch := make([]SeededScene, len(scenes))
+	for i := range scenes {
+		j := len(scenes) - 1 - i
+		batch[i] = SeededScene{Seed: int64(1000 + j), Scene: scenes[j]}
+	}
+	got, stats, err := p.RunSeeded(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames != len(scenes) {
+		t.Errorf("stats frames %d, want %d", stats.Frames, len(scenes))
+	}
+	for i := range batch {
+		j := len(scenes) - 1 - i
+		want := solo[j]
+		want.Index = i // position differs by construction; outputs must not
+		assertIdentical(t, want, got[i])
+	}
+}
+
+// TestRunSeededEmpty mirrors Run's empty-batch contract.
+func TestRunSeededEmpty(t *testing.T) {
+	p := newTestPipeline(t, oc.Ideal, 2)
+	if _, _, err := p.RunSeeded(nil); err == nil {
+		t.Error("empty seeded batch accepted")
+	}
+}
+
+// TestStreamEarlyClose: an input channel closed before any frame arrives
+// must terminate the stream promptly with a sane zero-frame stats report.
+func TestStreamEarlyClose(t *testing.T) {
+	p := newTestPipeline(t, oc.Physical, 3)
+	in := make(chan *sensor.Image)
+	close(in)
+	out := p.Stream(in)
+	select {
+	case _, ok := <-out:
+		if ok {
+			t.Fatal("result emitted for empty stream")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not close after early input close")
+	}
+	st := p.Stats()
+	if st.Frames != 0 || st.Errors != 0 {
+		t.Errorf("zero-frame stats: frames=%d errors=%d", st.Frames, st.Errors)
+	}
+	if st.FPS != 0 {
+		t.Errorf("zero-frame FPS %g, want 0 (no divide-by-zero artifacts)", st.FPS)
+	}
+	if st.Render() == "" {
+		t.Error("zero-frame Render is empty")
+	}
+	rep := st.Report()
+	if rep.Capture.Count != 0 || rep.Capture.P99NS != 0 || rep.FPS != 0 {
+		t.Errorf("zero-frame report not zeroed: %+v", rep)
+	}
+}
+
+// TestStreamAbandonedConsumer: a consumer that stops reading does not
+// wedge the pool as long as the remaining results fit the buffered result
+// channel — the documented contract the server relies on for departed
+// clients. Completion is observed via the cumulative stats, which only
+// update when the run's workers have all exited.
+func TestStreamAbandonedConsumer(t *testing.T) {
+	p := newTestPipeline(t, oc.Physical, 2) // Queue defaults to 2*Workers = 4
+	const n = 4
+	scenes := testScenes(n, 16, 16)
+	in := make(chan *sensor.Image, n)
+	for _, s := range scenes {
+		in <- s
+	}
+	close(in)
+	out := p.Stream(in)
+	<-out // read one result, then abandon the channel
+	deadline := time.After(10 * time.Second)
+	for {
+		if p.Stats().Frames == n {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("pool did not finish after consumer abandoned the stream: %+v", p.Stats())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestEmptyHistReport pins the zero-value behaviour of the latency
+// histogram export.
+func TestEmptyHistReport(t *testing.T) {
+	var h LatencyHist
+	rep := h.Report()
+	if rep != (StageReport{}) {
+		t.Errorf("empty histogram report not zero: %+v", rep)
+	}
+	if h.Mean() != 0 || h.Quantile(0.99) != 0 {
+		t.Error("empty histogram mean/quantile not zero")
+	}
+}

@@ -167,9 +167,10 @@ func New(cfg Config) (*Pipeline, error) {
 func (p *Pipeline) Config() Config { return p.cfg }
 
 // processFrame runs every enabled stage for one frame on one worker.
-func (p *Pipeline) processFrame(arr *sensor.Array, idx int, scene *sensor.Image, st *Stats) Result {
+// frameSeed is the frame's top-level noise seed; stages derive children
+// from it.
+func (p *Pipeline) processFrame(arr *sensor.Array, idx int, frameSeed int64, scene *sensor.Image, st *Stats) Result {
 	res := Result{Index: idx}
-	frameSeed := oc.DeriveSeed(p.cfg.Seed, idx)
 	st.Frames++
 
 	t0 := time.Now()
@@ -220,20 +221,26 @@ func (p *Pipeline) processFrame(arr *sensor.Array, idx int, scene *sensor.Image,
 	return res
 }
 
-// job pairs a frame with its input-order index.
+// job pairs a frame with its input-order index and resolved noise seed.
 type job struct {
 	idx   int
+	seed  int64
 	scene *sensor.Image
 }
 
 // run is the shared engine: it drains jobs with the worker pool, hands
-// each Result to emit, and returns the merged run stats.
-func (p *Pipeline) run(jobs <-chan job, emit func(Result)) *Stats {
+// each Result to emit, and returns the merged run stats. known caps the
+// pool when the caller knows the job count up front (a micro-batch of 2
+// frames should not clone NumCPU sensor arrays); 0 means unknown.
+func (p *Pipeline) run(known int, jobs <-chan job, emit func(Result)) *Stats {
 	start := time.Now()
+	workers := p.cfg.Workers
+	if known > 0 && known < workers {
+		workers = known
+	}
 	var (
-		wg      sync.WaitGroup
-		workers = p.cfg.Workers
-		locals  = make([]*Stats, workers)
+		wg     sync.WaitGroup
+		locals = make([]*Stats, workers)
 	)
 	for w := 0; w < workers; w++ {
 		st := &Stats{}
@@ -245,7 +252,7 @@ func (p *Pipeline) run(jobs <-chan job, emit func(Result)) *Stats {
 			for j := range jobs {
 				// emit targets either a distinct slice index or a
 				// channel — both safe from concurrent workers.
-				emit(p.processFrame(arr, j.idx, j.scene, st))
+				emit(p.processFrame(arr, j.idx, j.seed, j.scene, st))
 			}
 		}()
 	}
@@ -259,7 +266,9 @@ func (p *Pipeline) run(jobs <-chan job, emit func(Result)) *Stats {
 		run.FPS = float64(run.Frames) / run.Wall.Seconds()
 	}
 	p.mu.Lock()
-	p.total.Workers = workers
+	// Cumulative stats report the configured pool bound, not the possibly
+	// batch-capped count of the last run.
+	p.total.Workers = p.cfg.Workers
 	p.total.merge(run)
 	p.total.Wall += run.Wall
 	if p.total.Wall > 0 {
@@ -279,12 +288,46 @@ func (p *Pipeline) Run(scenes []*sensor.Image) ([]Result, *Stats, error) {
 	jobs := make(chan job, p.cfg.Queue)
 	go func() {
 		for i, s := range scenes {
-			jobs <- job{idx: i, scene: s}
+			jobs <- job{idx: i, seed: oc.DeriveSeed(p.cfg.Seed, i), scene: s}
 		}
 		close(jobs)
 	}()
 	results := make([]Result, len(scenes))
-	stats := p.run(jobs, func(r Result) { results[r.Index] = r })
+	stats := p.run(len(scenes), jobs, func(r Result) { results[r.Index] = r })
+	return results, stats, nil
+}
+
+// SeededScene is a single-frame submission with an explicit base seed: the
+// frame is processed exactly as frame 0 of a Run on a pipeline configured
+// with that seed. It is the hook a request/response front-end (the network
+// serving layer) uses to coalesce independent requests into one pipeline
+// batch without the batch composition leaking into any result — each
+// frame's noise depends only on its own (scene, seed) pair.
+type SeededScene struct {
+	// Seed is the base noise seed for this frame alone.
+	Seed int64
+	// Scene is the RGB input.
+	Scene *sensor.Image
+}
+
+// RunSeeded processes a batch of independently-seeded scenes and returns
+// results in input order (Result.Index is the submission position). Frame
+// i's output is bit-identical to Run([]{scenes[i]}) on a pipeline whose
+// Config.Seed is jobs[i].Seed — regardless of which other frames share the
+// batch or how many workers drain it.
+func (p *Pipeline) RunSeeded(batch []SeededScene) ([]Result, *Stats, error) {
+	if len(batch) == 0 {
+		return nil, nil, fmt.Errorf("pipeline: empty batch")
+	}
+	jobs := make(chan job, p.cfg.Queue)
+	go func() {
+		for i, s := range batch {
+			jobs <- job{idx: i, seed: oc.DeriveSeed(s.Seed, 0), scene: s.Scene}
+		}
+		close(jobs)
+	}()
+	results := make([]Result, len(batch))
+	stats := p.run(len(batch), jobs, func(r Result) { results[r.Index] = r })
 	return results, stats, nil
 }
 
@@ -300,13 +343,13 @@ func (p *Pipeline) Stream(in <-chan *sensor.Image) <-chan Result {
 	go func() {
 		i := 0
 		for s := range in {
-			jobs <- job{idx: i, scene: s}
+			jobs <- job{idx: i, seed: oc.DeriveSeed(p.cfg.Seed, i), scene: s}
 			i++
 		}
 		close(jobs)
 	}()
 	go func() {
-		p.run(jobs, func(r Result) { out <- r })
+		p.run(0, jobs, func(r Result) { out <- r })
 		close(out)
 	}()
 	return out

@@ -135,6 +135,57 @@ type Stats struct {
 	MatVec   LatencyHist
 }
 
+// StageReport is a JSON-marshalable latency summary of one stage, with
+// quantiles resolved from the histogram (all durations in nanoseconds).
+type StageReport struct {
+	Count  int   `json:"count"`
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	MinNS  int64 `json:"min_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+// Report resolves the histogram into a machine-readable summary.
+func (h *LatencyHist) Report() StageReport {
+	return StageReport{
+		Count:  h.Count,
+		MeanNS: int64(h.Mean()),
+		P50NS:  int64(h.Quantile(0.5)),
+		P99NS:  int64(h.Quantile(0.99)),
+		MinNS:  int64(h.Min),
+		MaxNS:  int64(h.Max),
+	}
+}
+
+// StatsReport is the machine-readable counterpart of Stats, consumed by
+// the serving layer's /metrics endpoint and lightator-bench -json. Stages
+// that never ran report Count == 0.
+type StatsReport struct {
+	Frames   int         `json:"frames"`
+	Errors   int         `json:"errors"`
+	Workers  int         `json:"workers"`
+	WallNS   int64       `json:"wall_ns"`
+	FPS      float64     `json:"fps"`
+	Capture  StageReport `json:"capture"`
+	Compress StageReport `json:"compress"`
+	MatVec   StageReport `json:"matvec"`
+}
+
+// Report exports the stats snapshot in machine-readable form.
+func (s *Stats) Report() StatsReport {
+	return StatsReport{
+		Frames:   s.Frames,
+		Errors:   s.Errors,
+		Workers:  s.Workers,
+		WallNS:   int64(s.Wall),
+		FPS:      s.FPS,
+		Capture:  s.Capture.Report(),
+		Compress: s.Compress.Report(),
+		MatVec:   s.MatVec.Report(),
+	}
+}
+
 // merge folds a worker-local accumulator into the run totals.
 func (s *Stats) merge(o *Stats) {
 	s.Frames += o.Frames

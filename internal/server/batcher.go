@@ -1,0 +1,192 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"lightator/internal/pipeline"
+	"lightator/internal/sensor"
+)
+
+// Admission-control sentinels the handlers translate to HTTP statuses.
+var (
+	// errOverloaded means the bounded submission queue was full (429).
+	errOverloaded = errors.New("server: overloaded, request queue full")
+	// errDraining means the server is shutting down (503).
+	errDraining = errors.New("server: draining, not accepting new work")
+)
+
+// batchItem is one request's trip through the micro-batcher.
+type batchItem struct {
+	seed  int64
+	scene *sensor.Image
+	// done receives exactly one Result. It is buffered, so delivery never
+	// blocks a flush on a departed client.
+	done chan pipeline.Result
+}
+
+// batcher coalesces single-frame submissions into pipeline batches. A
+// collector goroutine accumulates items and flushes when the batch fills
+// (size trigger) or when BatchDelay has elapsed since the batch's first
+// item (deadline trigger) — the classic dynamic micro-batching policy.
+// Flushes run on their own goroutines, bounded by a slot semaphore, so
+// the collector keeps admitting while a batch is in the pipeline.
+//
+// Every frame carries its own seed into pipeline.RunSeeded, so which
+// requests happen to share a batch can never change any response — the
+// property the serving determinism contract rests on.
+type batcher struct {
+	pipe  *pipeline.Pipeline
+	size  int
+	delay time.Duration
+	m     *metrics
+
+	in    chan batchItem
+	slots chan struct{} // limits concurrent in-flight flushes
+
+	// mu orders submissions against shutdown: close() flips closed under
+	// the write lock, so once it proceeds no submit can still be mid-
+	// enqueue and the final drain sweep is guaranteed to see every
+	// admitted item.
+	mu       sync.RWMutex
+	closed   bool
+	quit     chan struct{} // closed by close(): collector flushes and exits
+	done     chan struct{} // closed by the collector on exit
+	flushing sync.WaitGroup
+}
+
+// newBatcher starts the collector. queue bounds admission; maxFlights
+// bounds concurrent pipeline batches.
+func newBatcher(pipe *pipeline.Pipeline, size, queue, maxFlights int, delay time.Duration, m *metrics) *batcher {
+	b := &batcher{
+		pipe:  pipe,
+		size:  size,
+		delay: delay,
+		m:     m,
+		in:    make(chan batchItem, queue),
+		slots: make(chan struct{}, maxFlights),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go b.collect()
+	return b
+}
+
+// submit enqueues one item without blocking; a full queue is an overload.
+func (b *batcher) submit(it batchItem) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return errDraining
+	}
+	select {
+	case b.in <- it:
+		return nil
+	default:
+		return errOverloaded
+	}
+}
+
+// collect is the batching loop. It never processes frames itself: full
+// batches are handed to dispatch, which runs them on a flush goroutine.
+func (b *batcher) collect() {
+	defer close(b.done)
+	for {
+		// Wait for the batch's first item; its arrival starts the clock.
+		var first batchItem
+		select {
+		case first = <-b.in:
+		case <-b.quit:
+			b.drainRemaining()
+			return
+		}
+		batch := []batchItem{first}
+		timer := time.NewTimer(b.delay)
+		trigger := flushDeadline
+	collecting:
+		for len(batch) < b.size {
+			select {
+			case it := <-b.in:
+				batch = append(batch, it)
+			case <-timer.C:
+				break collecting
+			case <-b.quit:
+				trigger = flushDrain
+				break collecting
+			}
+		}
+		if len(batch) == b.size {
+			trigger = flushSize
+		}
+		timer.Stop()
+		b.dispatch(batch, trigger)
+		select {
+		case <-b.quit:
+			b.drainRemaining()
+			return
+		default:
+		}
+	}
+}
+
+// drainRemaining flushes whatever is still queued at shutdown so every
+// admitted request gets its response before Drain returns.
+func (b *batcher) drainRemaining() {
+	var batch []batchItem
+	for {
+		select {
+		case it := <-b.in:
+			batch = append(batch, it)
+			if len(batch) == b.size {
+				b.dispatch(batch, flushDrain)
+				batch = nil
+			}
+		default:
+			if len(batch) > 0 {
+				b.dispatch(batch, flushDrain)
+			}
+			return
+		}
+	}
+}
+
+// dispatch runs one batch through the pipeline on its own goroutine,
+// bounded by the flight slots, and delivers each frame's result.
+func (b *batcher) dispatch(batch []batchItem, trigger flushTrigger) {
+	b.slots <- struct{}{}
+	b.flushing.Add(1)
+	go func() {
+		defer func() {
+			<-b.slots
+			b.flushing.Done()
+		}()
+		b.m.flush(len(batch), trigger)
+		jobs := make([]pipeline.SeededScene, len(batch))
+		for i, it := range batch {
+			jobs[i] = pipeline.SeededScene{Seed: it.seed, Scene: it.scene}
+		}
+		results, _, err := b.pipe.RunSeeded(jobs)
+		if err != nil {
+			for _, it := range batch {
+				it.done <- pipeline.Result{Err: err}
+			}
+			return
+		}
+		for i, it := range batch {
+			it.done <- results[i]
+		}
+	}()
+}
+
+// close stops admission, flushes everything already queued, and waits for
+// in-flight flushes, so every admitted request has its response delivered
+// before close returns. Safe to call once.
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	close(b.quit)
+	<-b.done
+	b.flushing.Wait()
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+)
+
+// responseCache is a content-addressed LRU over marshaled response bodies.
+// Keys hash the full request content (endpoint, seed, raw sample bytes),
+// so a hit replays the exact bytes a fresh computation would produce —
+// safe only because every cached endpoint is deterministic in its key
+// (the server skips the cache for noisy compress/matvec; see Server).
+//
+// Eviction is double-bounded: by entry count and by total body bytes,
+// because bodies are client-sized (a matvec response can be megabytes) —
+// an entry-count bound alone would let a few hundred large responses pin
+// unbounded memory.
+type responseCache struct {
+	mu       sync.Mutex
+	cap      int
+	maxBytes int
+	bytes    int
+	ll       *list.List // front = most recently used
+	items    map[cacheKey]*list.Element
+}
+
+// cacheMaxBytes bounds the total cached body bytes regardless of the
+// entry cap.
+const cacheMaxBytes = 64 << 20
+
+type cacheKey [sha256.Size]byte
+
+type cacheEntry struct {
+	key  cacheKey
+	body []byte
+}
+
+// newResponseCache returns nil when capacity <= 0 (cache disabled); the
+// nil receiver is safe on every method.
+func newResponseCache(capacity int) *responseCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &responseCache{
+		cap:      capacity,
+		maxBytes: cacheMaxBytes,
+		ll:       list.New(),
+		items:    make(map[cacheKey]*list.Element),
+	}
+}
+
+// hashRequest builds a cache key from an endpoint tag, the effective seed
+// and the request's content bytes.
+func hashRequest(endpoint string, seed int64, parts ...[]byte) cacheKey {
+	h := sha256.New()
+	h.Write([]byte(endpoint))
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], uint64(seed))
+	h.Write(s[:])
+	for _, p := range parts {
+		// Length-prefix each part so concatenations can't collide.
+		binary.LittleEndian.PutUint64(s[:], uint64(len(p)))
+		h.Write(s[:])
+		h.Write(p)
+	}
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// get returns the cached body and marks it most recently used.
+func (c *responseCache) get(key cacheKey) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put inserts a body, evicting least recently used entries while either
+// bound (entry count, total bytes) is exceeded. Bodies larger than the
+// whole byte budget are not cached at all.
+func (c *responseCache) put(key cacheKey, body []byte) {
+	if c == nil || len(body) > cacheMaxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.bytes += len(body) - len(e.body)
+		e.body = body
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.bytes += len(body)
+	}
+	for c.ll.Len() > c.cap || c.bytes > c.maxBytes {
+		last := c.ll.Back()
+		if last == nil {
+			break
+		}
+		e := last.Value.(*cacheEntry)
+		c.ll.Remove(last)
+		delete(c.items, e.key)
+		c.bytes -= len(e.body)
+	}
+}
+
+// len reports the current entry count.
+func (c *responseCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

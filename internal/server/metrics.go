@@ -1,0 +1,219 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lightator/internal/pipeline"
+)
+
+// flushTrigger labels why a micro-batch left the collector.
+type flushTrigger string
+
+const (
+	flushSize     flushTrigger = "size"     // batch filled to BatchSize
+	flushDeadline flushTrigger = "deadline" // BatchDelay expired
+	flushDrain    flushTrigger = "drain"    // server shutdown flushed it
+)
+
+// epCounters accumulates one endpoint's request counters. Latency is only
+// observed for requests that produced a response (2xx or 4xx/5xx with a
+// body), not for rejected admissions.
+type epCounters struct {
+	requests  int64
+	errors    int64
+	rejected  int64
+	cacheHits int64
+	cacheMiss int64
+	lat       pipeline.LatencyHist
+}
+
+// metrics is the server-wide counter set. One mutex is plenty: every
+// update is a few integer adds, far off the request hot path's decode and
+// pipeline costs.
+type metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	endpoints map[string]*epCounters
+	flushes   map[flushTrigger]int64
+	frames    int64 // frames that went through a micro-batch
+	maxBatch  int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*epCounters),
+		flushes:   make(map[flushTrigger]int64),
+	}
+}
+
+func (m *metrics) ep(endpoint string) *epCounters {
+	c, ok := m.endpoints[endpoint]
+	if !ok {
+		c = &epCounters{}
+		m.endpoints[endpoint] = c
+	}
+	return c
+}
+
+// observe records one completed request.
+func (m *metrics) observe(endpoint string, d time.Duration, isErr bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.ep(endpoint)
+	c.requests++
+	if isErr {
+		c.errors++
+	}
+	c.lat.Observe(d)
+}
+
+// reject records an admission-control rejection (429/503).
+func (m *metrics) reject(endpoint string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.ep(endpoint)
+	c.requests++
+	c.rejected++
+}
+
+// cache records a cache lookup outcome.
+func (m *metrics) cache(endpoint string, hit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.ep(endpoint)
+	if hit {
+		c.cacheHits++
+	} else {
+		c.cacheMiss++
+	}
+}
+
+// flush records one micro-batch dispatch.
+func (m *metrics) flush(n int, trigger flushTrigger) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.flushes[trigger]++
+	m.frames += int64(n)
+	if n > m.maxBatch {
+		m.maxBatch = n
+	}
+}
+
+// EndpointSnapshot is one endpoint's counters at snapshot time.
+type EndpointSnapshot struct {
+	Requests    int64                `json:"requests"`
+	Errors      int64                `json:"errors"`
+	Rejected    int64                `json:"rejected"`
+	CacheHits   int64                `json:"cache_hits"`
+	CacheMisses int64                `json:"cache_misses"`
+	Latency     pipeline.StageReport `json:"latency"`
+}
+
+// BatcherSnapshot summarises micro-batcher activity.
+type BatcherSnapshot struct {
+	SizeFlushes     int64 `json:"size_flushes"`
+	DeadlineFlushes int64 `json:"deadline_flushes"`
+	DrainFlushes    int64 `json:"drain_flushes"`
+	BatchedFrames   int64 `json:"batched_frames"`
+	MaxBatch        int   `json:"max_batch"`
+}
+
+// MetricsSnapshot is the full machine-readable state of a running server,
+// served as JSON at /metrics?format=json.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Inflight      int64                       `json:"inflight"`
+	Draining      bool                        `json:"draining"`
+	CacheEntries  int                         `json:"cache_entries"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Batcher       BatcherSnapshot             `json:"batcher"`
+	// Capture and Compress are the cumulative pipeline stats behind the
+	// batched endpoints (frames, FPS, per-stage latency histograms).
+	Capture  pipeline.StatsReport `json:"capture_pipeline"`
+	Compress pipeline.StatsReport `json:"compress_pipeline"`
+}
+
+// snapshot captures the counters; pipeline stats and gauges are filled in
+// by the server, which owns them.
+func (m *metrics) snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Endpoints:     make(map[string]EndpointSnapshot, len(m.endpoints)),
+		Batcher: BatcherSnapshot{
+			SizeFlushes:     m.flushes[flushSize],
+			DeadlineFlushes: m.flushes[flushDeadline],
+			DrainFlushes:    m.flushes[flushDrain],
+			BatchedFrames:   m.frames,
+			MaxBatch:        m.maxBatch,
+		},
+	}
+	for name, c := range m.endpoints {
+		snap.Endpoints[name] = EndpointSnapshot{
+			Requests:    c.requests,
+			Errors:      c.errors,
+			Rejected:    c.rejected,
+			CacheHits:   c.cacheHits,
+			CacheMisses: c.cacheMiss,
+			Latency:     c.lat.Report(),
+		}
+	}
+	return snap
+}
+
+// renderProm renders the snapshot in Prometheus text exposition format.
+func renderProm(snap MetricsSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lightator_uptime_seconds %g\n", snap.UptimeSeconds)
+	fmt.Fprintf(&b, "lightator_inflight_requests %d\n", snap.Inflight)
+	fmt.Fprintf(&b, "lightator_cache_entries %d\n", snap.CacheEntries)
+	names := make([]string, 0, len(snap.Endpoints))
+	for name := range snap.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ep := snap.Endpoints[name]
+		fmt.Fprintf(&b, "lightator_requests_total{endpoint=%q} %d\n", name, ep.Requests)
+		fmt.Fprintf(&b, "lightator_request_errors_total{endpoint=%q} %d\n", name, ep.Errors)
+		fmt.Fprintf(&b, "lightator_rejected_total{endpoint=%q} %d\n", name, ep.Rejected)
+		fmt.Fprintf(&b, "lightator_cache_hits_total{endpoint=%q} %d\n", name, ep.CacheHits)
+		fmt.Fprintf(&b, "lightator_cache_misses_total{endpoint=%q} %d\n", name, ep.CacheMisses)
+		if ep.Latency.Count > 0 {
+			fmt.Fprintf(&b, "lightator_request_latency_seconds{endpoint=%q,quantile=\"0.5\"} %g\n",
+				name, float64(ep.Latency.P50NS)/1e9)
+			fmt.Fprintf(&b, "lightator_request_latency_seconds{endpoint=%q,quantile=\"0.99\"} %g\n",
+				name, float64(ep.Latency.P99NS)/1e9)
+		}
+	}
+	// Fixed slice order: scrapes must be diffable, so no map iteration.
+	for _, fl := range []struct {
+		trigger flushTrigger
+		n       int64
+	}{
+		{flushSize, snap.Batcher.SizeFlushes},
+		{flushDeadline, snap.Batcher.DeadlineFlushes},
+		{flushDrain, snap.Batcher.DrainFlushes},
+	} {
+		fmt.Fprintf(&b, "lightator_batch_flushes_total{trigger=%q} %d\n", fl.trigger, fl.n)
+	}
+	fmt.Fprintf(&b, "lightator_batched_frames_total %d\n", snap.Batcher.BatchedFrames)
+	fmt.Fprintf(&b, "lightator_batch_max_size %d\n", snap.Batcher.MaxBatch)
+	for _, p := range []struct {
+		name string
+		rep  pipeline.StatsReport
+	}{
+		{"capture", snap.Capture},
+		{"compress", snap.Compress},
+	} {
+		fmt.Fprintf(&b, "lightator_pipeline_frames_total{pipeline=%q} %d\n", p.name, p.rep.Frames)
+		fmt.Fprintf(&b, "lightator_pipeline_fps{pipeline=%q} %g\n", p.name, p.rep.FPS)
+	}
+	return b.String()
+}

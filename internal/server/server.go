@@ -1,0 +1,561 @@
+// Package server is Lightator's network serving layer: an HTTP/JSON
+// front-end over the accelerator that turns independent requests into
+// pipeline batches via dynamic micro-batching.
+//
+//	POST /v1/capture   one ADC-less sensor readout        (micro-batched)
+//	POST /v1/compress  capture + compressive acquisition  (micro-batched)
+//	POST /v1/matvec    one optical matrix-vector product
+//	POST /v1/simulate  architecture simulation of a named model
+//	GET  /healthz      liveness (always 200 while the process runs)
+//	GET  /readyz       readiness (503 while draining)
+//	GET  /metrics      Prometheus text (or ?format=json snapshot)
+//
+// Three serving properties are load-bearing (docs/SERVER.md):
+//
+//   - Determinism: a micro-batched response is byte-identical to the
+//     corresponding direct facade call — each frame enters the pipeline
+//     with its own seed (pipeline.RunSeeded), so batch composition never
+//     leaks into a result. That also makes responses content-addressable:
+//     deterministic fidelities are served from a content-hash LRU cache.
+//
+//   - Backpressure: admission is a bounded queue; when it is full the
+//     request is rejected with 429 instead of queueing unboundedly.
+//
+//   - Graceful shutdown: Drain stops admission (503 for new work),
+//     flushes partially-filled batches immediately, and waits for every
+//     in-flight frame before returning.
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"lightator/internal/arch"
+	"lightator/internal/oc"
+	"lightator/internal/pipeline"
+	"lightator/internal/sensor"
+)
+
+// maxBodyBytes bounds request bodies: a 256x256 RGB float64 scene is
+// ~2.1 MB base64-encoded, so 64 MB leaves generous headroom for larger
+// sensors and matvec weight payloads without letting one client exhaust
+// memory.
+const maxBodyBytes = 64 << 20
+
+// Backend wires the server to the accelerator internals. The facade
+// (lightator.Accelerator.NewServer) is the intended constructor of this
+// struct; tests may assemble it directly.
+type Backend struct {
+	// Capture is the capture-only pipeline behind /v1/capture.
+	Capture *pipeline.Pipeline
+	// Compress is the capture+CA pipeline behind /v1/compress; nil when
+	// the accelerator has compressive acquisition disabled.
+	Compress *pipeline.Pipeline
+	// Core executes /v1/matvec.
+	Core *oc.Core
+	// Seed is the base noise seed a request without an explicit seed
+	// uses — the accelerator Config.Seed, so default responses line up
+	// with the facade's batched paths.
+	Seed int64
+	// Deterministic reports whether the analog fidelity is noise-free
+	// (Ideal or Physical); it gates the response cache for the compute
+	// endpoints. (Seeded noisy responses are reproducible too, but the
+	// cache intentionally serves only deterministic fidelities.)
+	Deterministic bool
+	// Simulate runs the architecture simulator for /v1/simulate.
+	Simulate func(model string) (*arch.Report, error)
+}
+
+// Config tunes the serving layer; zero values take the documented
+// defaults.
+type Config struct {
+	// BatchSize flushes a micro-batch when it reaches this many frames.
+	// Default 8.
+	BatchSize int
+	// BatchDelay flushes a partial batch this long after its first frame
+	// arrived. Default 2ms.
+	BatchDelay time.Duration
+	// Queue bounds each batched endpoint's admission queue; a full queue
+	// rejects with 429. Default 64.
+	Queue int
+	// MaxBatches bounds concurrent in-flight pipeline batches per
+	// endpoint. Default 2.
+	MaxBatches int
+	// CacheEntries sizes the content-hash response LRU; 0 means the
+	// default 256, negative disables caching.
+	CacheEntries int
+}
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.BatchDelay <= 0 {
+		c.BatchDelay = 2 * time.Millisecond
+	}
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.MaxBatches <= 0 {
+		c.MaxBatches = 2
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	return c
+}
+
+// Server is a configured serving layer. Create with New, expose with
+// Handler (or Serve/ListenAndServe), stop with Drain or Shutdown.
+type Server struct {
+	backend Backend
+	cfg     Config
+	mux     *http.ServeMux
+	m       *metrics
+	cache   *responseCache
+
+	captureB  *batcher
+	compressB *batcher
+
+	inflight atomic.Int64
+	draining atomic.Bool
+	stopped  chan struct{} // closed when Drain has finished
+
+	httpSrv *http.Server
+}
+
+// New builds a server over the backend. The Capture pipeline is required;
+// Compress may be nil (its endpoint then reports 501).
+func New(b Backend, cfg Config) (*Server, error) {
+	if b.Capture == nil {
+		return nil, fmt.Errorf("server: backend needs a capture pipeline")
+	}
+	if b.Core == nil {
+		return nil, fmt.Errorf("server: backend needs an optical core")
+	}
+	if b.Simulate == nil {
+		return nil, fmt.Errorf("server: backend needs a simulate function")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		backend: b,
+		cfg:     cfg,
+		m:       newMetrics(),
+		cache:   newResponseCache(cfg.CacheEntries),
+		stopped: make(chan struct{}),
+	}
+	// Built here, not in Serve, so Shutdown never races a concurrent
+	// Serve call on the field.
+	s.httpSrv = &http.Server{}
+	s.captureB = newBatcher(b.Capture, cfg.BatchSize, cfg.Queue, cfg.MaxBatches, cfg.BatchDelay, s.m)
+	if b.Compress != nil {
+		s.compressB = newBatcher(b.Compress, cfg.BatchSize, cfg.Queue, cfg.MaxBatches, cfg.BatchDelay, s.m)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/capture", s.instrument("/v1/capture", s.handleCapture))
+	mux.HandleFunc("POST /v1/compress", s.instrument("/v1/compress", s.handleCompress))
+	mux.HandleFunc("POST /v1/matvec", s.instrument("/v1/matvec", s.handleMatVec))
+	mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler (for httptest or embedding behind an
+// existing server/router).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns a snapshot of the server's counters and the cumulative
+// pipeline stats behind the batched endpoints.
+func (s *Server) Metrics() MetricsSnapshot {
+	snap := s.m.snapshot()
+	snap.Inflight = s.inflight.Load()
+	snap.Draining = s.draining.Load()
+	snap.CacheEntries = s.cache.len()
+	st := s.backend.Capture.Stats()
+	snap.Capture = st.Report()
+	if s.backend.Compress != nil {
+		st = s.backend.Compress.Stats()
+		snap.Compress = st.Report()
+	}
+	return snap
+}
+
+// Drain gracefully stops the serving layer: new submissions are rejected
+// with 503 immediately, partially-collected micro-batches flush without
+// waiting out their deadline, and Drain returns once every in-flight
+// frame has its response delivered (or ctx expires — the drain itself
+// keeps going in the background, and further Drain calls wait on it).
+// The HTTP listener, if any, is not touched — use Shutdown for the full
+// sequence.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		go func() {
+			s.captureB.close()
+			if s.compressB != nil {
+				s.compressB.close()
+			}
+			close(s.stopped)
+		}()
+	}
+	select {
+	case <-s.stopped:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+}
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error {
+	s.httpSrv.Handler = s.mux
+	return s.httpSrv.Serve(l)
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown is the full graceful stop for a Serve/ListenAndServe server:
+// stop accepting connections, let in-flight handlers finish (they keep
+// being fed by the still-running batchers), then drain the batchers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	httpErr := s.httpSrv.Shutdown(ctx)
+	if err := s.Drain(ctx); err != nil {
+		return err
+	}
+	return httpErr
+}
+
+// statusClientClosed is nginx's convention for "client went away while we
+// were working"; it is not a server failure and must not trip error-rate
+// alerts.
+const statusClientClosed = 499
+
+// instrument wraps a handler with inflight/latency/error accounting.
+func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request) (int, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		start := time.Now()
+		status, err := h(w, r)
+		if err != nil {
+			writeError(w, status, err)
+		}
+		switch status {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			s.m.reject(endpoint)
+		default:
+			s.m.observe(endpoint, time.Since(start), status >= 400 && status != statusClientClosed)
+		}
+	}
+}
+
+// writeJSON marshals body with status; the precomputed form is used on
+// cache hits so hit and miss responses are the same bytes.
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	body, _ := json.Marshal(ErrorResponse{Error: err.Error()})
+	writeJSON(w, status, body)
+}
+
+// decodeBody strictly decodes a JSON request body.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("server: request body: %w", err)
+	}
+	return nil
+}
+
+// decodeStatus maps a body-decode failure to its HTTP status: 413 when
+// the MaxBytesReader cap tripped, 400 otherwise.
+func decodeStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// effectiveSeed resolves a request's seed against the server default.
+func (s *Server) effectiveSeed(req *int64) int64 {
+	if req != nil {
+		return *req
+	}
+	return s.backend.Seed
+}
+
+// submitFrame runs one scene through a batched endpoint: cache probe,
+// micro-batcher submission, and the wait for this frame's result. The
+// request context bounds the wait, so a departed client releases its
+// handler even though the frame itself still completes in the batch.
+func (s *Server) submitFrame(r *http.Request, b *batcher, seed int64, scene *sensor.Image) (pipeline.Result, int, error) {
+	if s.draining.Load() {
+		return pipeline.Result{}, http.StatusServiceUnavailable, errDraining
+	}
+	it := batchItem{seed: seed, scene: scene, done: make(chan pipeline.Result, 1)}
+	if err := b.submit(it); err != nil {
+		status := http.StatusTooManyRequests
+		if errors.Is(err, errDraining) {
+			status = http.StatusServiceUnavailable
+		}
+		return pipeline.Result{}, status, err
+	}
+	select {
+	case res := <-it.done:
+		if res.Err != nil {
+			// Frame-level errors are bad inputs (e.g. scene/sensor size
+			// mismatch), surfaced per-frame by the pipeline.
+			return pipeline.Result{}, http.StatusBadRequest, res.Err
+		}
+		return res, http.StatusOK, nil
+	case <-r.Context().Done():
+		return pipeline.Result{}, statusClientClosed, fmt.Errorf("server: client went away: %w", r.Context().Err())
+	}
+}
+
+// respond is the shared cache-or-compute tail of every compute endpoint:
+// probe the cache when use is set (recording hit/miss), otherwise run
+// compute, cache the marshaled body (when use) and write it. Keeping this
+// in one place guarantees hit and miss responses are the same bytes on
+// every endpoint.
+func (s *Server) respond(w http.ResponseWriter, endpoint string, use bool, key cacheKey, compute func() ([]byte, int, error)) (int, error) {
+	if use {
+		if body, ok := s.cache.get(key); ok {
+			s.m.cache(endpoint, true)
+			writeJSON(w, http.StatusOK, body)
+			return http.StatusOK, nil
+		}
+		s.m.cache(endpoint, false)
+	}
+	body, status, err := compute()
+	if err != nil {
+		return status, err
+	}
+	if use {
+		s.cache.put(key, body)
+	}
+	writeJSON(w, http.StatusOK, body)
+	return http.StatusOK, nil
+}
+
+// handleCapture serves one ADC-less readout. Capture has no analog noise,
+// so responses cache in every fidelity.
+func (s *Server) handleCapture(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req CaptureRequest
+	if err := decodeBody(r, &req); err != nil {
+		return decodeStatus(err), err
+	}
+	rawPix, err := validateImageWire(req.Scene)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	// The key deliberately omits the seed: capture is noise-free, so the
+	// same scene hits regardless of the requested seed.
+	var key cacheKey
+	if s.cache != nil {
+		key = hashRequest("capture", 0, rawPix, dimBytes(req.Scene.H, req.Scene.W, req.Scene.C))
+	}
+	return s.respond(w, "/v1/capture", s.cache != nil, key, func() ([]byte, int, error) {
+		scene := imageFromRaw(req.Scene, rawPix)
+		res, status, err := s.submitFrame(r, s.captureB, s.effectiveSeed(req.Seed), scene)
+		if err != nil {
+			return nil, status, err
+		}
+		body, err := json.Marshal(CaptureResponse{Frame: EncodeFrame(res.Frame)})
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		return body, http.StatusOK, nil
+	})
+}
+
+// handleCompress serves capture + compressive acquisition. Caching is
+// gated on deterministic fidelity: in PhysicalNoisy the response depends
+// on the seeded noise streams and the cache stays out of the path.
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) (int, error) {
+	if s.compressB == nil {
+		return http.StatusNotImplemented, fmt.Errorf("server: compressive acquisition disabled (CAPool = 0)")
+	}
+	var req CompressRequest
+	if err := decodeBody(r, &req); err != nil {
+		return decodeStatus(err), err
+	}
+	rawPix, err := validateImageWire(req.Scene)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	// Cacheable implies a noise-free fidelity, where the seed cannot
+	// influence the output — the key omits it so equal scenes hit across
+	// seeds.
+	cacheable := s.cache != nil && s.backend.Deterministic
+	var key cacheKey
+	if cacheable {
+		key = hashRequest("compress", 0, rawPix, dimBytes(req.Scene.H, req.Scene.W, req.Scene.C))
+	}
+	return s.respond(w, "/v1/compress", cacheable, key, func() ([]byte, int, error) {
+		scene := imageFromRaw(req.Scene, rawPix)
+		res, status, err := s.submitFrame(r, s.compressB, s.effectiveSeed(req.Seed), scene)
+		if err != nil {
+			return nil, status, err
+		}
+		body, err := json.Marshal(CompressResponse{Image: EncodeImage(res.Compressed)})
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		return body, http.StatusOK, nil
+	})
+}
+
+// handleMatVec programs the request's weight matrix and applies the
+// activation vector with the frame-0 seed derivation, matching the
+// facade's MatVecBatch on a single-vector batch.
+// Draining is checked inside the compute closure, not up front, so cache
+// hits keep serving mid-drain on every endpoint (same policy as
+// capture/compress, whose drain check lives in submitFrame).
+func (s *Server) handleMatVec(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req MatVecRequest
+	if err := decodeBody(r, &req); err != nil {
+		return decodeStatus(err), err
+	}
+	if len(req.Weights) == 0 || len(req.Activations) == 0 {
+		return http.StatusBadRequest, fmt.Errorf("server: matvec needs weights and activations")
+	}
+	// Seed omitted for the same reason as compress: cacheable means
+	// noise-free, so the result is seed-independent.
+	cacheable := s.cache != nil && s.backend.Deterministic
+	var key cacheKey
+	if cacheable {
+		parts := make([][]byte, 0, len(req.Weights)+1)
+		for _, row := range req.Weights {
+			parts = append(parts, floatBytes(row))
+		}
+		parts = append(parts, floatBytes(req.Activations))
+		key = hashRequest("matvec", 0, parts...)
+	}
+	return s.respond(w, "/v1/matvec", cacheable, key, func() ([]byte, int, error) {
+		if s.draining.Load() {
+			return nil, http.StatusServiceUnavailable, errDraining
+		}
+		ys, err := s.backend.Core.MatVecBatch(req.Weights, [][]float64{req.Activations}, 1, s.effectiveSeed(req.Seed))
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		body, err := json.Marshal(MatVecResponse{Output: ys[0]})
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		return body, http.StatusOK, nil
+	})
+}
+
+// handleSimulate runs the architecture simulator; reports are
+// deterministic, so they always cache.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req SimulateRequest
+	if err := decodeBody(r, &req); err != nil {
+		return decodeStatus(err), err
+	}
+	if req.Model == "" {
+		return http.StatusBadRequest, fmt.Errorf("server: simulate needs a model name")
+	}
+	var key cacheKey
+	if s.cache != nil {
+		key = hashRequest("simulate", 0, []byte(req.Model))
+	}
+	return s.respond(w, "/v1/simulate", s.cache != nil, key, func() ([]byte, int, error) {
+		if s.draining.Load() {
+			return nil, http.StatusServiceUnavailable, errDraining
+		}
+		rep, err := s.backend.Simulate(req.Model)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		body, err := json.Marshal(rep)
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		return body, http.StatusOK, nil
+	})
+}
+
+// handleHealthz reports liveness: always 200 while the process runs, even
+// mid-drain — a liveness probe that fails during drain would get the
+// process killed before its in-flight work finishes. Routing decisions
+// belong to /readyz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	state := "ok"
+	if s.draining.Load() {
+		state = "draining"
+	}
+	body, _ := json.Marshal(map[string]any{
+		"status":   state,
+		"inflight": s.inflight.Load(),
+	})
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz reports readiness: 503 while draining so load balancers
+// stop routing here, 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ready"
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	body, _ := json.Marshal(map[string]any{"status": state})
+	writeJSON(w, status, body)
+}
+
+// handleMetrics serves Prometheus text by default, the full JSON snapshot
+// with ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.Metrics()
+	if r.URL.Query().Get("format") == "json" {
+		body, err := json.Marshal(snap)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, renderProm(snap))
+}
+
+// dimBytes packs dimensions into the cache key so 2x8 and 8x2 planes with
+// identical sample bytes hash differently.
+func dimBytes(dims ...int) []byte {
+	buf := make([]byte, 8*len(dims))
+	for i, d := range dims {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(d))
+	}
+	return buf
+}

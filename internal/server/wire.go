@@ -1,0 +1,169 @@
+// Wire formats of the serving layer. Images and frames travel as JSON
+// envelopes carrying base64-encoded raw sample bytes: float64 samples are
+// little-endian IEEE 754, frame codes one byte per pixel. The encoding is
+// lossless, so a value that round-trips through the wire is bit-identical
+// to the original — the property the serving layer's determinism contract
+// (docs/SERVER.md) is stated in terms of.
+package server
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lightator/internal/sensor"
+)
+
+// ImageWire is the transport form of a sensor.Image.
+type ImageWire struct {
+	H int `json:"h"`
+	W int `json:"w"`
+	C int `json:"c"`
+	// Pix is base64 (StdEncoding) of H*W*C little-endian float64 samples.
+	Pix string `json:"pix_b64"`
+}
+
+// FrameWire is the transport form of a sensor.Frame (4-bit codes, one
+// byte per pixel).
+type FrameWire struct {
+	Rows  int    `json:"rows"`
+	Cols  int    `json:"cols"`
+	Codes string `json:"codes_b64"`
+}
+
+// floatBytes returns the little-endian byte representation of xs.
+func floatBytes(xs []float64) []byte {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	return buf
+}
+
+// EncodeImage converts an image to its wire form.
+func EncodeImage(im *sensor.Image) ImageWire {
+	return ImageWire{
+		H: im.H, W: im.W, C: im.C,
+		Pix: base64.StdEncoding.EncodeToString(floatBytes(im.Pix)),
+	}
+}
+
+// DecodeImage validates and converts a wire image back to a sensor.Image.
+func DecodeImage(w ImageWire) (*sensor.Image, error) {
+	raw, err := validateImageWire(w)
+	if err != nil {
+		return nil, err
+	}
+	return imageFromRaw(w, raw), nil
+}
+
+// maxWireDim bounds each wire dimension. Far beyond any plausible sensor,
+// but small enough that dimension products cannot overflow int — without
+// the bound, crafted dims like 2^31 x 2^30 wrap the 8*n length check and
+// panic the allocation instead of returning 400.
+const maxWireDim = 1 << 16
+
+// validateImageWire checks dims and decodes the base64 payload, returning
+// the raw little-endian sample bytes (identical to floatBytes of the
+// decoded image). The handlers hash these directly for cache keys, so a
+// cache hit never pays the float64 materialisation — imageFromRaw runs
+// only on a miss.
+func validateImageWire(w ImageWire) ([]byte, error) {
+	if w.H <= 0 || w.W <= 0 || w.H > maxWireDim || w.W > maxWireDim || (w.C != 1 && w.C != 3) {
+		return nil, fmt.Errorf("server: invalid image dims %dx%dx%d", w.H, w.W, w.C)
+	}
+	raw, err := base64.StdEncoding.DecodeString(w.Pix)
+	if err != nil {
+		return nil, fmt.Errorf("server: image pixel data: %w", err)
+	}
+	n := w.H * w.W * w.C
+	if len(raw) != 8*n {
+		return nil, fmt.Errorf("server: image pixel data is %d bytes, want %d (%d float64 samples)", len(raw), 8*n, n)
+	}
+	return raw, nil
+}
+
+// imageFromRaw materialises the image from validated raw sample bytes.
+func imageFromRaw(w ImageWire, raw []byte) *sensor.Image {
+	im := sensor.NewImage(w.H, w.W, w.C)
+	for i := range im.Pix {
+		im.Pix[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return im
+}
+
+// EncodeFrame converts a frame readout to its wire form.
+func EncodeFrame(f *sensor.Frame) FrameWire {
+	return FrameWire{
+		Rows: f.Rows, Cols: f.Cols,
+		Codes: base64.StdEncoding.EncodeToString(f.Codes),
+	}
+}
+
+// DecodeFrame validates and converts a wire frame back to a sensor.Frame.
+func DecodeFrame(w FrameWire) (*sensor.Frame, error) {
+	if w.Rows <= 0 || w.Cols <= 0 || w.Rows > maxWireDim || w.Cols > maxWireDim {
+		return nil, fmt.Errorf("server: invalid frame dims %dx%d", w.Rows, w.Cols)
+	}
+	raw, err := base64.StdEncoding.DecodeString(w.Codes)
+	if err != nil {
+		return nil, fmt.Errorf("server: frame code data: %w", err)
+	}
+	if len(raw) != w.Rows*w.Cols {
+		return nil, fmt.Errorf("server: frame code data is %d bytes, want %d", len(raw), w.Rows*w.Cols)
+	}
+	return &sensor.Frame{Rows: w.Rows, Cols: w.Cols, Codes: raw}, nil
+}
+
+// CaptureRequest asks for one ADC-less sensor readout of a scene.
+type CaptureRequest struct {
+	Scene ImageWire `json:"scene"`
+	// Seed overrides the server's base noise seed for this request when
+	// non-nil. Capture itself is noise-free; the field exists so every
+	// endpoint shares one request shape.
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+// CaptureResponse carries the 4-bit frame readout.
+type CaptureResponse struct {
+	Frame FrameWire `json:"frame"`
+}
+
+// CompressRequest asks for capture + compressive acquisition of a scene.
+// The response is bit-identical to the facade's AcquireCompressedBatch on
+// a single-scene batch under the effective seed, no matter how the server
+// micro-batches the request.
+type CompressRequest struct {
+	Scene ImageWire `json:"scene"`
+	Seed  *int64    `json:"seed,omitempty"`
+}
+
+// CompressResponse carries the compressed activation plane.
+type CompressResponse struct {
+	Image ImageWire `json:"image"`
+}
+
+// MatVecRequest asks for one optical matrix-vector product. Weights are
+// row-major with entries in [-1,1]; activations in [0,1].
+type MatVecRequest struct {
+	Weights     [][]float64 `json:"weights"`
+	Activations []float64   `json:"activations"`
+	Seed        *int64      `json:"seed,omitempty"`
+}
+
+// MatVecResponse carries the analog MAC results.
+type MatVecResponse struct {
+	Output []float64 `json:"output"`
+}
+
+// SimulateRequest names a built-in descriptor model for the architecture
+// simulator.
+type SimulateRequest struct {
+	Model string `json:"model"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

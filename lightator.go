@@ -35,8 +35,21 @@
 // matrix rows across goroutines). See docs/PIPELINE.md for the worker
 // model and determinism guarantees.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record of every table and figure.
+// # Network serving
+//
+// The serving layer (internal/server) exposes the accelerator over
+// HTTP/JSON with dynamic micro-batching: concurrent requests coalesce
+// into pipeline batches without changing any response byte (each frame
+// carries its own seed into the batch).
+//
+//	srv, _ := acc.NewServer(lightator.ServeOptions{})
+//	go srv.ListenAndServe(":8080")        // or cmd/lightator-serve
+//
+// See docs/SERVER.md for endpoints, wire formats, batching policy and
+// operational behaviour (backpressure, caching, graceful drain).
+//
+// See docs/DESIGN.md for the system inventory and docs/PIPELINE.md for
+// the concurrent pipeline's worker model and determinism guarantees.
 package lightator
 
 import (

@@ -1,0 +1,120 @@
+package lightator
+
+import (
+	"time"
+
+	"lightator/internal/server"
+)
+
+// Server is the HTTP/JSON serving layer over an accelerator: /v1/capture,
+// /v1/compress, /v1/matvec and /v1/simulate backed by a dynamic
+// micro-batcher over the frame pipeline, with admission control, a
+// content-hash response cache for deterministic fidelities, /metrics and
+// /healthz, and graceful drain. See docs/SERVER.md.
+type Server = server.Server
+
+// ServerMetrics is a snapshot of a running server's counters and pipeline
+// stats.
+type ServerMetrics = server.MetricsSnapshot
+
+// Wire-format types: images and frames travel as JSON envelopes with
+// base64-encoded raw samples, losslessly — a round-tripped value is
+// bit-identical to the original.
+type (
+	// ImageWire is the transport form of an Image.
+	ImageWire = server.ImageWire
+	// FrameWire is the transport form of a Frame.
+	FrameWire = server.FrameWire
+	// CaptureRequest/CaptureResponse are the /v1/capture wire pair.
+	CaptureRequest  = server.CaptureRequest
+	CaptureResponse = server.CaptureResponse
+	// CompressRequest/CompressResponse are the /v1/compress wire pair.
+	CompressRequest  = server.CompressRequest
+	CompressResponse = server.CompressResponse
+	// MatVecRequest/MatVecResponse are the /v1/matvec wire pair.
+	MatVecRequest  = server.MatVecRequest
+	MatVecResponse = server.MatVecResponse
+	// SimulateRequest is the /v1/simulate request ({"model": "lenet"}).
+	SimulateRequest = server.SimulateRequest
+	// ServerError is the body of every non-2xx server response.
+	ServerError = server.ErrorResponse
+)
+
+// EncodeImage converts an image to its wire form.
+func EncodeImage(im *Image) ImageWire { return server.EncodeImage(im) }
+
+// DecodeImage converts a wire image back, validating dimensions against
+// the payload.
+func DecodeImage(w ImageWire) (*Image, error) { return server.DecodeImage(w) }
+
+// EncodeFrame converts a frame readout to its wire form.
+func EncodeFrame(f *Frame) FrameWire { return server.EncodeFrame(f) }
+
+// DecodeFrame converts a wire frame back, validating dimensions.
+func DecodeFrame(w FrameWire) (*Frame, error) { return server.DecodeFrame(w) }
+
+// ServeOptions configure the serving layer built over an accelerator.
+// Zero values take the documented defaults.
+type ServeOptions struct {
+	// Workers bounds each pipeline batch's concurrency; 0 means
+	// runtime.NumCPU().
+	Workers int
+	// BatchSize flushes a micro-batch at this many coalesced requests
+	// (default 8).
+	BatchSize int
+	// BatchDelay flushes a partial batch this long after its first
+	// request (default 2ms). Raise it to trade tail latency for bigger
+	// batches.
+	BatchDelay time.Duration
+	// Queue bounds the admission queue per batched endpoint; a full
+	// queue answers 429 (default 64).
+	Queue int
+	// MaxBatches bounds concurrent in-flight pipeline batches per
+	// endpoint (default 2).
+	MaxBatches int
+	// CacheEntries sizes the content-hash response LRU (default 256;
+	// negative disables).
+	CacheEntries int
+}
+
+// NewServer builds the HTTP serving layer over this accelerator. The
+// determinism contract: a response is byte-identical to the corresponding
+// direct facade call under the request's effective seed —
+//
+//	/v1/capture  == Capture(scene)                                (all fidelities)
+//	/v1/compress == AcquireCompressedBatch([]{scene}, 1)          (all fidelities)
+//	             == AcquireCompressed(scene)                      (Ideal, Physical)
+//	/v1/matvec   == MatVecBatch(w, [][]float64{x}, 1)             (all fidelities)
+//	             == MatVec(w, x)                                  (Ideal, Physical)
+//	/v1/simulate == Simulate(model)
+//
+// no matter how the micro-batcher coalesces concurrent requests. Requests
+// default to the accelerator's Config.Seed; a request-level "seed" field
+// overrides it per call.
+func (a *Accelerator) NewServer(opts ServeOptions) (*Server, error) {
+	capture, err := a.NewPipeline(PipelineOptions{Workers: opts.Workers, DisableCA: true})
+	if err != nil {
+		return nil, err
+	}
+	var compress *Pipeline
+	if a.ca != nil {
+		compress, err = a.NewPipeline(PipelineOptions{Workers: opts.Workers})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return server.New(server.Backend{
+		Capture:       capture,
+		Compress:      compress,
+		Core:          a.core,
+		Seed:          a.cfg.Seed,
+		Deterministic: a.cfg.Fidelity != PhysicalNoisy,
+		Simulate:      a.Simulate,
+	}, server.Config{
+		BatchSize:    opts.BatchSize,
+		BatchDelay:   opts.BatchDelay,
+		Queue:        opts.Queue,
+		MaxBatches:   opts.MaxBatches,
+		CacheEntries: opts.CacheEntries,
+	})
+}
