@@ -1,12 +1,13 @@
 # Canonical repo checks. `make check` is the gate every change must pass:
 # vet + build + the full test suite under the race detector (the
-# concurrent pipeline is only trustworthy race-clean).
+# concurrent pipeline is only trustworthy race-clean) + the docs link
+# checker (relative links in *.md must resolve).
 
 GO ?= go
 
-.PHONY: check vet build test test-race bench bench-pipeline serve
+.PHONY: check vet build test test-race linkcheck bench bench-pipeline bench-kernels serve
 
-check: vet build test-race
+check: vet build test-race linkcheck
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +21,10 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# Fail on broken relative links in the repo's markdown files.
+linkcheck:
+	$(GO) run ./cmd/linkcheck
+
 # Microbenchmarks (one pass; raise -benchtime for stable numbers).
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -27,6 +32,10 @@ bench:
 # Throughput trajectory of the batched paths only.
 bench-pipeline:
 	$(GO) test -bench 'MatVecBatch|Pipeline' -run '^$$' .
+
+# Per-kernel compressed-domain throughput (docs/KERNELS.md).
+bench-kernels:
+	$(GO) run ./cmd/lightator-bench -batch 16 -kernels
 
 # Run the HTTP serving layer locally (docs/SERVER.md). Override flags:
 #   make serve SERVE_FLAGS='-addr :9090 -fidelity physical-noisy'

@@ -9,6 +9,7 @@
 //	lightator-bench -exp table1 -profile full
 //	lightator-bench -batch 64 -workers 4    # concurrent pipeline throughput
 //	lightator-bench -batch 64 -json         # machine-readable perf record
+//	lightator-bench -batch 16 -kernels      # + per-kernel compressed-domain sweep
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"time"
 
 	"lightator"
 	"lightator/internal/experiments"
@@ -42,6 +44,53 @@ type benchReport struct {
 	// simulator for the same workload (vgg9-ca).
 	ModeledFPS      float64 `json:"modeled_fps"`
 	ModeledKFPSPerW float64 `json:"modeled_kfps_per_w"`
+	// Kernels holds the per-kernel compressed-domain sweep (-kernels):
+	// one record per registered kernel, so BENCH_*.json tracks the
+	// /v1/process hot path across PRs.
+	Kernels []kernelBenchRecord `json:"kernels,omitempty"`
+}
+
+// kernelBenchRecord is one compressed-domain kernel's throughput record:
+// the full capture+CA+kernel pipeline run (Pipeline.Kernel holds the
+// kernel stage's own latency quantiles).
+type kernelBenchRecord struct {
+	Kernel      string               `json:"kernel"`
+	Description string               `json:"description"`
+	FPS         float64              `json:"fps"`
+	Pipeline    pipeline.StatsReport `json:"pipeline"`
+}
+
+// runKernelSweep streams the scene batch through one capture+CA+kernel
+// pipeline per registered kernel, collecting a throughput record each.
+func runKernelSweep(acc *lightator.Accelerator, scenes []*lightator.Image, workers int) ([]kernelBenchRecord, error) {
+	var records []kernelBenchRecord
+	for _, name := range acc.Kernels() {
+		desc, err := acc.KernelDescription(name)
+		if err != nil {
+			return nil, err
+		}
+		p, err := acc.NewPipeline(lightator.PipelineOptions{Workers: workers, Kernel: name})
+		if err != nil {
+			return nil, err
+		}
+		results, stats, err := p.Run(scenes)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				return nil, r.Err
+			}
+		}
+		rep := stats.Report()
+		records = append(records, kernelBenchRecord{
+			Kernel:      name,
+			Description: desc,
+			FPS:         rep.FPS,
+			Pipeline:    rep,
+		})
+	}
+	return records, nil
 }
 
 // runPipelineBench streams `batch` synthetic 256x256 scenes through the
@@ -49,7 +98,7 @@ type benchReport struct {
 // head) at the given worker count, printing measured aggregate FPS with
 // per-stage latency histograms, plus the modeled batch report from the
 // architecture simulator for the same frame count.
-func runPipelineBench(batch, workers int, seed int64, asJSON bool) error {
+func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep bool) error {
 	cfg := lightator.DefaultConfig()
 	cfg.Seed = seed
 	acc, err := lightator.New(cfg)
@@ -105,6 +154,14 @@ func runPipelineBench(batch, workers int, seed int64, asJSON bool) error {
 		return err
 	}
 
+	var kernelRecords []kernelBenchRecord
+	if kernelSweep {
+		kernelRecords, err = runKernelSweep(acc, scenes, workers)
+		if err != nil {
+			return err
+		}
+	}
+
 	if asJSON {
 		out := benchReport{
 			Batch:           batch,
@@ -115,6 +172,7 @@ func runPipelineBench(batch, workers int, seed int64, asJSON bool) error {
 			Measured:        stats.Report(),
 			ModeledFPS:      rep.FPS,
 			ModeledKFPSPerW: rep.KFPSPerW,
+			Kernels:         kernelRecords,
 		}
 		if out.NumCPU == 1 {
 			out.Caveat = "single-CPU host: worker parallelism cannot speed up this run; measured FPS understates multi-core throughput"
@@ -127,6 +185,15 @@ func runPipelineBench(batch, workers int, seed int64, asJSON bool) error {
 	fmt.Println(stats.Render())
 	fmt.Println("== modeled (architecture simulator, vgg9-ca) ==")
 	fmt.Println(agg.Render())
+	if kernelRecords != nil {
+		fmt.Println("== compressed-domain kernel sweep ==")
+		for _, r := range kernelRecords {
+			fmt.Printf("%-18s %8.1f frames/sec  kernel-stage p50<=%v p99<=%v\n",
+				r.Kernel, r.FPS,
+				time.Duration(r.Pipeline.Kernel.P50NS).Round(time.Microsecond),
+				time.Duration(r.Pipeline.Kernel.P99NS).Round(time.Microsecond))
+		}
+	}
 	return nil
 }
 
@@ -137,10 +204,11 @@ func main() {
 	workers := flag.Int("workers", 8, "worker goroutines (training, and the -batch pipeline)")
 	batch := flag.Int("batch", 0, "when > 0, run the concurrent pipeline over this many frames and report aggregate FPS instead of the paper experiments")
 	asJSON := flag.Bool("json", false, "with -batch: emit a machine-readable report (FPS, per-stage p50/p99, CPU counts) for the BENCH_*.json perf trajectory")
+	kernelSweep := flag.Bool("kernels", false, "with -batch: additionally sweep every registered compressed-domain kernel and report per-kernel throughput")
 	flag.Parse()
 
 	if *batch > 0 {
-		if err := runPipelineBench(*batch, *workers, *seed, *asJSON); err != nil {
+		if err := runPipelineBench(*batch, *workers, *seed, *asJSON, *kernelSweep); err != nil {
 			fmt.Fprintf(os.Stderr, "lightator-bench: pipeline: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,7 +1,9 @@
 // Command lightator-serve exposes a Lightator accelerator over HTTP/JSON:
-// /v1/capture, /v1/compress, /v1/matvec and /v1/simulate, backed by a
-// dynamic micro-batcher over the concurrent frame pipeline, with
-// /metrics and /healthz for operations. See docs/SERVER.md.
+// /v1/capture, /v1/compress, /v1/process (compressed-domain kernels;
+// GET /v1/kernels lists the registry), /v1/matvec and /v1/simulate,
+// backed by a dynamic micro-batcher over the concurrent frame pipeline,
+// with /metrics and /healthz for operations. See docs/SERVER.md and
+// docs/API.md.
 //
 // Usage:
 //
@@ -94,9 +96,9 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(*addr) }()
-	fmt.Printf("lightator-serve: %s sensor %dx%d %s, micro-batch %d@%v, listening on %s\n",
+	fmt.Printf("lightator-serve: %s sensor %dx%d %s, micro-batch %d@%v, %d compressed-domain kernels, listening on %s\n",
 		cfg.Fidelity, cfg.SensorRows, cfg.SensorCols,
-		cfg.Precision.Name(), *batch, *batchDelay, *addr)
+		cfg.Precision.Name(), *batch, *batchDelay, len(acc.Kernels()), *addr)
 
 	select {
 	case err := <-errCh:

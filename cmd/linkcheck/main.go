@@ -1,0 +1,104 @@
+// Command linkcheck verifies the relative links in the repository's
+// markdown files: every [text](path) whose target is not an external URL
+// or a pure fragment must resolve to an existing file or directory,
+// relative to the file that contains it. CI runs it (via `make
+// linkcheck`, part of `make check`) so docs cannot rot silently as the
+// repo is refactored.
+//
+// Usage:
+//
+//	linkcheck [root]    # default root: .
+//
+// Exits non-zero listing every broken link.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target) /
+// ![alt](target). Reference-style links and autolinks are out of scope —
+// the repo's docs use inline links only.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// skippable reports whether a link target is outside the checker's
+// remit: external URLs, mail links, and in-page fragments.
+func skippable(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}
+
+// checkFile returns one message per broken relative link in the markdown
+// file at path.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var broken []string
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skippable(target) {
+				continue
+			}
+			// In-repo anchors (FILE.md#section) check the file part only.
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+				if target == "" {
+					continue
+				}
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				broken = append(broken, fmt.Sprintf("%s:%d: broken link %q (%s)", path, i+1, m[1], resolved))
+			}
+		}
+	}
+	return broken, nil
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var broken []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
+			return nil
+		}
+		msgs, err := checkFile(path)
+		if err != nil {
+			return err
+		}
+		broken = append(broken, msgs...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+		os.Exit(1)
+	}
+	if len(broken) > 0 {
+		for _, msg := range broken {
+			fmt.Fprintln(os.Stderr, msg)
+		}
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken relative link(s)\n", len(broken))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,241 @@
+// Compressed-domain reconstruction: inverting the Compressive
+// Acquisitor's sensing matrix per measurement.
+//
+// The CA compresses each N x N Bayer window with one weight row w
+// (oc.CAWeightsBayer), so the sensing matrix Φ is block-diagonal with w
+// on every block and the least-squares minimum-norm inverse factors per
+// window:
+//
+//	x̂ = Φᵀ (Φ Φᵀ)⁻¹ y  =  w y / ‖w‖²       (per window, since ΦΦᵀ = ‖w‖² I)
+//
+// Two kernels compute it. "reconstruct" programs the closed form —
+// the adjoint column w over the Gram factor — as a (N² x 1) LinOp.
+// "reconstruct-iter" runs Landweber iterations
+//
+//	x_{t+1} = x_t + τ Φᵀ (y − Φ x_t)
+//
+// alternating optical applications of the forward row (Φ) and the
+// adjoint column (Φᵀ), converging geometrically to the same least-squares
+// solution with contraction factor (1 − τ‖w‖²). Both stream activations
+// in [0, 1]: the iterate is rescaled by ‖w‖²/max(w) before the forward
+// pass (and the readout rescaled back) so the physical [0,1] activation
+// range is never exceeded, and the residual stays non-negative because
+// the iterate approaches the solution from below.
+package kernels
+
+import (
+	"fmt"
+
+	"lightator/internal/oc"
+	"lightator/internal/sensor"
+)
+
+// caGeometry derives the per-window CA quantities every reconstruction
+// kernel needs: the weight row, its Gram factor ‖w‖² and its largest
+// entry.
+func caGeometry(poolN int) (w []float64, gram, wmax float64, err error) {
+	w, err = oc.CAWeightsBayer(poolN)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	for _, v := range w {
+		gram += v * v
+		if v > wmax {
+			wmax = v
+		}
+	}
+	return w, gram, wmax, nil
+}
+
+// NewReconstruct builds the closed-form least-squares reconstruction
+// kernel for an accelerator whose CA pools N x N windows: each compressed
+// sample expands into its N x N block x̂ = w y / ‖w‖², programmed as an
+// (N² x 1) operator with the Gram division applied digitally.
+func NewReconstruct(core *oc.Core, poolN int) (Kernel, error) {
+	w, gram, _, err := caGeometry(poolN)
+	if err != nil {
+		return nil, err
+	}
+	op := make([][]float64, len(w))
+	for i, v := range w {
+		op[i] = []float64{v}
+	}
+	return NewLinOp(core, "reconstruct",
+		fmt.Sprintf("least-squares reconstruction: each compressed sample expands to its %dx%d block via the CA adjoint over the Gram factor", poolN, poolN),
+		op, 1, 1, 0, poolN, 1/gram)
+}
+
+// IterOp is the Landweber reconstruction kernel: per compressed sample it
+// alternates optical forward (Φ, a 1 x N² row) and adjoint (Φᵀ, an
+// N² x 1 column) passes, accumulating the iterate digitally.
+type IterOp struct {
+	name  string
+	desc  string
+	n     int     // pooling factor == output block side
+	iters int     // Landweber iteration count
+	tau   float64 // step size; τ‖w‖² < 1 for monotone convergence
+	w     []float64
+	gram  float64
+	wmax  float64
+	fwd   *oc.ProgrammedMatrix // 1 x n²: the CA row w
+	adj   *oc.ProgrammedMatrix // n² x 1: the CA column wᵀ
+}
+
+// DefaultLandweberIters is the default iteration count: with the default
+// step the residual contracts by 10x per iteration, so 12 iterations
+// reach float64-visible convergence.
+const DefaultLandweberIters = 12
+
+// NewReconstructIter builds the Landweber reconstruction kernel. iters
+// <= 0 takes DefaultLandweberIters. The step size is fixed at 0.9/‖w‖²,
+// which keeps every residual non-negative (required: residuals are
+// streamed as light intensities) and contracts the error by 10x per
+// iteration.
+func NewReconstructIter(core *oc.Core, poolN, iters int) (Kernel, error) {
+	if iters <= 0 {
+		iters = DefaultLandweberIters
+	}
+	w, gram, wmax, err := caGeometry(poolN)
+	if err != nil {
+		return nil, err
+	}
+	// Both matrices are programmed at full scale (w/wmax) and the factor
+	// restored digitally, like LinOp: the CA weights shrink as 1/N², and
+	// programming them raw would waste the MR dynamic range.
+	norm := make([]float64, len(w))
+	adjRows := make([][]float64, len(w))
+	for i, v := range w {
+		norm[i] = v / wmax
+		adjRows[i] = []float64{v / wmax}
+	}
+	fwd, err := core.Program([][]float64{norm})
+	if err != nil {
+		return nil, err
+	}
+	adj, err := core.Program(adjRows)
+	if err != nil {
+		return nil, err
+	}
+	return &IterOp{
+		name: "reconstruct-iter",
+		desc: fmt.Sprintf("Landweber least-squares reconstruction: %d alternating optical forward/adjoint passes per %dx%d block", iters, poolN, poolN),
+		n:    poolN, iters: iters, tau: 0.9 / gram,
+		w: w, gram: gram, wmax: wmax,
+		fwd: fwd, adj: adj,
+	}, nil
+}
+
+// Name implements Kernel.
+func (o *IterOp) Name() string { return o.name }
+
+// Description implements Kernel.
+func (o *IterOp) Description() string { return o.desc }
+
+// OutDims implements Kernel.
+func (o *IterOp) OutDims(h, w int) (int, int, error) {
+	if h < 1 || w < 1 {
+		return 0, 0, fmt.Errorf("kernels: %s: empty plane %dx%d", o.name, h, w)
+	}
+	return h * o.n, w * o.n, nil
+}
+
+// iterate runs the Landweber loop for one compressed sample y, filling
+// the n² iterate x. apply executes one programmed-matrix pass (optical or
+// exact, per caller); pass p of the sample uses seed DeriveSeed(seed, p),
+// so forward and adjoint passes of every iteration own disjoint streams.
+func (o *IterOp) iterate(y float64, x []float64, seed int64, apply func(pm *oc.ProgrammedMatrix, in []float64, seed int64) ([]float64, error)) error {
+	for i := range x {
+		x[i] = 0
+	}
+	xs := make([]float64, len(x))
+	// The iterate approaches x̂ = w y/‖w‖² from below, so entries are
+	// bounded by wmax/‖w‖², which can exceed the [0,1] activation range;
+	// stream x · ‖w‖²/wmax (≤ y ≤ 1) and undo the factor on the readout.
+	// The programmed matrices carry w/wmax (full-scale normalisation), so
+	// a forward readout F measures (up/wmax)·wᵀx and an adjoint readout
+	// A_i measures (w_i/wmax)·r.
+	up := o.gram / o.wmax
+	for t := 0; t < o.iters; t++ {
+		for i, v := range x {
+			xs[i] = v * up
+		}
+		f, err := apply(o.fwd, xs, oc.DeriveSeed(seed, 2*t))
+		if err != nil {
+			return err
+		}
+		r := y - f[0]*o.wmax/up
+		// Exact arithmetic keeps r >= 0; quantization can push it a hair
+		// below zero, and negative intensities cannot be emitted.
+		if r < 0 {
+			r = 0
+		}
+		a, err := apply(o.adj, []float64{r}, oc.DeriveSeed(seed, 2*t+1))
+		if err != nil {
+			return err
+		}
+		for i := range x {
+			x[i] += o.tau * a[i] * o.wmax
+		}
+	}
+	return nil
+}
+
+// run shards the plane's samples across workers, each sample seeded with
+// DeriveSeed(seed, j) — the same per-window scheme as LinOp.Apply.
+func (o *IterOp) run(plane *sensor.Image, seed int64, workers int, apply func(pm *oc.ProgrammedMatrix, in []float64, seed int64) ([]float64, error)) (*sensor.Image, error) {
+	if err := checkPlane(o.name, plane); err != nil {
+		return nil, err
+	}
+	if _, _, err := o.OutDims(plane.H, plane.W); err != nil {
+		return nil, err
+	}
+	out := sensor.NewImage(plane.H*o.n, plane.W*o.n, 1)
+	err := oc.ShardRange(plane.H*plane.W, workers, func(lo, hi int) error {
+		x := make([]float64, o.n*o.n)
+		for j := lo; j < hi; j++ {
+			if err := o.iterate(plane.Pix[j], x, oc.DeriveSeed(seed, j), apply); err != nil {
+				return fmt.Errorf("kernels: %s: sample %d: %w", o.name, j, err)
+			}
+			wy, wx := j/plane.W, j%plane.W
+			for by := 0; by < o.n; by++ {
+				for bx := 0; bx < o.n; bx++ {
+					out.Pix[(wy*o.n+by)*out.W+wx*o.n+bx] = x[by*o.n+bx]
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Apply implements Kernel: every pass runs through the optical core.
+func (o *IterOp) Apply(plane *sensor.Image, seed int64, workers int) (*sensor.Image, error) {
+	return o.run(plane, seed, workers, func(pm *oc.ProgrammedMatrix, in []float64, seed int64) ([]float64, error) {
+		return pm.ApplySeeded(in, seed)
+	})
+}
+
+// Reference implements Kernel: the same Landweber loop in exact float
+// arithmetic against the real-valued CA weights. The closure reproduces
+// the programmed matrices' full-scale normalisation (w/wmax) exactly, so
+// iterate's digital rescaling applies unchanged.
+func (o *IterOp) Reference(plane *sensor.Image) (*sensor.Image, error) {
+	exact := func(pm *oc.ProgrammedMatrix, in []float64, _ int64) ([]float64, error) {
+		if pm == o.fwd {
+			sum := 0.0
+			for i, v := range o.w {
+				sum += v / o.wmax * in[i]
+			}
+			return []float64{sum}, nil
+		}
+		out := make([]float64, len(o.w))
+		for i, v := range o.w {
+			out[i] = v / o.wmax * in[0]
+		}
+		return out, nil
+	}
+	return o.run(plane, 0, 1, exact)
+}

@@ -328,6 +328,76 @@ func (pm *ProgrammedMatrix) ApplyParallel(x []float64, workers int, seed int64) 
 	return y, nil
 }
 
+// ShardRange runs fn over [0, n) split into up to `workers` contiguous
+// chunks on separate goroutines, returning one of the chunk errors (if
+// any). fn must only touch disjoint state per index — the pattern every
+// seeded batch path (ApplyBatchSeeded, the kernel layer's per-window
+// loops) uses, where index i owns its own output slot and noise stream.
+// workers <= 1 runs inline.
+func ShardRange(n, workers int, fn func(lo, hi int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return fn(0, n)
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		ferr error
+	)
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			if err := fn(lo, hi); err != nil {
+				mu.Lock()
+				if ferr == nil {
+					ferr = err
+				}
+				mu.Unlock()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return ferr
+}
+
+// ApplyBatchSeeded streams a batch of activation vectors through the
+// programmed matrix, sharding the vectors across up to `workers`
+// goroutines — the batch-level analogue of ApplyParallel's row sharding,
+// without reprogramming the matrix on every call. Vector i draws its
+// noise via ApplySeeded with DeriveSeed(seed, i), so the result is
+// bit-identical for any worker count and any interleaving: the same
+// reproducibility contract as MatVecBatch. The compressed-domain kernel
+// layer (internal/kernels) runs its pooling/convolution windows through
+// this path.
+func (pm *ProgrammedMatrix) ApplyBatchSeeded(xs [][]float64, workers int, seed int64) ([][]float64, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("oc: empty activation batch")
+	}
+	ys := make([][]float64, len(xs))
+	err := ShardRange(len(xs), workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			y, err := pm.ApplySeeded(xs[i], DeriveSeed(seed, i))
+			if err != nil {
+				return fmt.Errorf("oc: batch vector %d: %w", i, err)
+			}
+			ys[i] = y
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ys, nil
+}
+
 // HeaterPower returns the total MR tuning power to hold this matrix, in
 // watts.
 func (pm *ProgrammedMatrix) HeaterPower() float64 {

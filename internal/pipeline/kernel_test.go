@@ -1,0 +1,75 @@
+package pipeline
+
+import (
+	"testing"
+
+	"lightator/internal/kernels"
+	"lightator/internal/oc"
+	"lightator/internal/sensor"
+)
+
+// TestKernelStageMatchesDirectComposition pins the kernel stage's exact
+// seed derivation: frame i's kernel output equals the hand-composed
+// Capture -> CompressSeeded(DeriveSeed(frameSeed, 1)) ->
+// Apply(DeriveSeed(frameSeed, 2)) chain, bit for bit, in PhysicalNoisy
+// fidelity. A change to the stage seed tags breaks the facade/server
+// determinism contract, and this test, together.
+func TestKernelStageMatchesDirectComposition(t *testing.T) {
+	const baseSeed = 987
+	core, err := oc.NewCore(4, 4, oc.PhysicalNoisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern, err := kernels.NewReconstruct(core, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		Rows: 16, Cols: 16, Workers: 3, Seed: baseSeed,
+		CAPool: 2, Kernel: kern, Core: core,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenes := testScenes(5, 16, 16)
+	results, _, err := p.Run(scenes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arr, err := sensor.NewArray(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := oc.NewAcquisitor(core, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("frame %d: %v", i, res.Err)
+		}
+		frameSeed := oc.DeriveSeed(baseSeed, i)
+		frame, err := arr.Capture(scenes[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, err := ca.CompressSeeded(frame, oc.DeriveSeed(frameSeed, seedCompress))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := kern.Apply(small, oc.DeriveSeed(frameSeed, seedKernel), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Processed.H != want.H || res.Processed.W != want.W {
+			t.Fatalf("frame %d: kernel output %dx%d, want %dx%d", i, res.Processed.H, res.Processed.W, want.H, want.W)
+		}
+		for j := range want.Pix {
+			if res.Processed.Pix[j] != want.Pix[j] {
+				t.Fatalf("frame %d: kernel output pixel %d differs: %g (pipeline) vs %g (direct)",
+					i, j, res.Processed.Pix[j], want.Pix[j])
+			}
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"lightator/internal/kernels"
 	"lightator/internal/oc"
 	"lightator/internal/sensor"
 )
@@ -40,6 +41,7 @@ import (
 const (
 	seedCompress = 1
 	seedMatVec   = 2
+	seedKernel   = 3
 )
 
 // Config assembles a pipeline.
@@ -61,6 +63,11 @@ type Config struct {
 	// flattened output of the previous stage (the compressed plane when
 	// CAPool > 0, the raw frame intensities otherwise). Entries in [-1,1].
 	Weights [][]float64
+	// Kernel, when non-nil, adds a compressed-domain processing stage
+	// applied to the CA output plane (requires CAPool > 0); see
+	// internal/kernels and docs/KERNELS.md. Kernel and Weights may be
+	// combined — both consume the compressed plane independently.
+	Kernel kernels.Kernel
 	// Core executes the CA and MVM stages; required when either is
 	// enabled.
 	Core *oc.Core
@@ -79,13 +86,18 @@ type Result struct {
 	Frame *sensor.Frame
 	// Compressed is the CA output plane (nil when CAPool == 0).
 	Compressed *sensor.Image
+	// Processed is the compressed-domain kernel output (nil when
+	// Config.Kernel is nil). Values may lie outside [0,1] — e.g. signed
+	// edge responses.
+	Processed *sensor.Image
 	// Output is the MVM stage result (nil when Weights == nil).
 	Output []float64
 	// Err is the first stage error; later stages are skipped. A frame
 	// error does not abort the run — other frames keep flowing.
 	Err error
-	// CaptureTime, CompressTime and MatVecTime are per-stage latencies.
-	CaptureTime, CompressTime, MatVecTime time.Duration
+	// CaptureTime, CompressTime, KernelTime and MatVecTime are per-stage
+	// latencies.
+	CaptureTime, CompressTime, KernelTime, MatVecTime time.Duration
 }
 
 // Pipeline is a configured worker pool. It is safe to call Run and
@@ -129,10 +141,13 @@ func New(cfg Config) (*Pipeline, error) {
 		proto = arr
 	}
 	p := &Pipeline{cfg: cfg, proto: proto}
-	if cfg.CAPool != 0 || cfg.Weights != nil {
+	if cfg.CAPool != 0 || cfg.Weights != nil || cfg.Kernel != nil {
 		if cfg.Core == nil {
-			return nil, fmt.Errorf("pipeline: CA/MVM stages enabled but no optical core configured")
+			return nil, fmt.Errorf("pipeline: CA/MVM/kernel stages enabled but no optical core configured")
 		}
+	}
+	if cfg.Kernel != nil && cfg.CAPool == 0 {
+		return nil, fmt.Errorf("pipeline: kernel stage %q needs the compressive acquisition stage (CAPool > 0)", cfg.Kernel.Name())
 	}
 	mvmCols := cfg.Rows * cfg.Cols
 	if cfg.CAPool != 0 {
@@ -197,6 +212,22 @@ func (p *Pipeline) processFrame(arr *sensor.Array, idx int, frameSeed int64, sce
 		}
 		res.Compressed = small
 		activations = small.Pix
+
+		if p.cfg.Kernel != nil {
+			t0 = time.Now()
+			// Workers is 1: frame-level parallelism already saturates the
+			// pool, and the kernel contract makes the worker count
+			// unobservable in the output anyway.
+			proc, err := p.cfg.Kernel.Apply(small, oc.DeriveSeed(frameSeed, seedKernel), 1)
+			res.KernelTime = time.Since(t0)
+			st.Kernel.Observe(res.KernelTime)
+			if err != nil {
+				res.Err = fmt.Errorf("pipeline: frame %d kernel %s: %w", idx, p.cfg.Kernel.Name(), err)
+				st.Errors++
+				return res
+			}
+			res.Processed = proc
+		}
 	} else if p.pm != nil {
 		activations = make([]float64, frame.Rows*frame.Cols)
 		for y := 0; y < frame.Rows; y++ {

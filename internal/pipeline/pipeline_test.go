@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"lightator/internal/kernels"
 	"lightator/internal/oc"
 	"lightator/internal/sensor"
 )
@@ -44,12 +45,20 @@ func newTestPipeline(t *testing.T, fid oc.Fidelity, workers int) *Pipeline {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// All four stages enabled: the kernel post-stage rides every
+	// determinism and stream test for free.
+	kern, err := kernels.NewBlockConv(core, "edge", "test edge kernel",
+		[][]float64{{0, -1, 0}, {-1, 4, -1}, {0, -1, 0}}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := New(Config{
 		Rows: 16, Cols: 16,
 		Workers: workers,
 		Seed:    1234,
 		CAPool:  2,
 		Weights: testWeights(4, 64),
+		Kernel:  kern,
 		Core:    core,
 	})
 	if err != nil {
@@ -77,6 +86,17 @@ func assertIdentical(t *testing.T, a, b Result) {
 		if a.Compressed.Pix[i] != b.Compressed.Pix[i] {
 			t.Fatalf("frame %d: compressed pixel %d differs: %g vs %g",
 				a.Index, i, a.Compressed.Pix[i], b.Compressed.Pix[i])
+		}
+	}
+	if (a.Processed == nil) != (b.Processed == nil) {
+		t.Fatalf("frame %d: kernel output presence differs", a.Index)
+	}
+	if a.Processed != nil {
+		for i := range a.Processed.Pix {
+			if a.Processed.Pix[i] != b.Processed.Pix[i] {
+				t.Fatalf("frame %d: kernel output pixel %d differs: %g vs %g",
+					a.Index, i, a.Processed.Pix[i], b.Processed.Pix[i])
+			}
 		}
 	}
 	for i := range a.Output {
@@ -229,7 +249,7 @@ func TestStatsHistograms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, h := range []*LatencyHist{&st.Capture, &st.Compress, &st.MatVec} {
+	for _, h := range []*LatencyHist{&st.Capture, &st.Compress, &st.Kernel, &st.MatVec} {
 		if h.Count != 10 {
 			t.Errorf("histogram count %d, want 10", h.Count)
 		}
@@ -281,6 +301,14 @@ func TestConfigValidation(t *testing.T) {
 		{"odd pool", Config{Rows: 16, Cols: 16, CAPool: 3, Core: core}},
 		{"bad weight width", Config{Rows: 16, Cols: 16, CAPool: 2, Core: core, Weights: testWeights(2, 63)}},
 	}
+	kern, err := kernels.NewBlockConv(core, "edge", "", [][]float64{{1}}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, struct {
+		name string
+		cfg  Config
+	}{"kernel without CA", Config{Rows: 16, Cols: 16, Core: core, Kernel: kern}})
 	for _, c := range cases {
 		if _, err := New(c.cfg); err == nil {
 			t.Errorf("%s: accepted", c.name)

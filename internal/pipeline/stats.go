@@ -128,10 +128,11 @@ type Stats struct {
 	FPS float64
 	// Workers is the worker count the run used.
 	Workers int
-	// Capture, Compress and MatVec are per-stage latency histograms;
-	// stages that were not enabled have Count == 0.
+	// Capture, Compress, Kernel and MatVec are per-stage latency
+	// histograms; stages that were not enabled have Count == 0.
 	Capture  LatencyHist
 	Compress LatencyHist
+	Kernel   LatencyHist
 	MatVec   LatencyHist
 }
 
@@ -169,6 +170,7 @@ type StatsReport struct {
 	FPS      float64     `json:"fps"`
 	Capture  StageReport `json:"capture"`
 	Compress StageReport `json:"compress"`
+	Kernel   StageReport `json:"kernel"`
 	MatVec   StageReport `json:"matvec"`
 }
 
@@ -182,6 +184,7 @@ func (s *Stats) Report() StatsReport {
 		FPS:      s.FPS,
 		Capture:  s.Capture.Report(),
 		Compress: s.Compress.Report(),
+		Kernel:   s.Kernel.Report(),
 		MatVec:   s.MatVec.Report(),
 	}
 }
@@ -192,6 +195,7 @@ func (s *Stats) merge(o *Stats) {
 	s.Errors += o.Errors
 	s.Capture.Merge(o.Capture)
 	s.Compress.Merge(o.Compress)
+	s.Kernel.Merge(o.Kernel)
 	s.MatVec.Merge(o.MatVec)
 }
 
@@ -206,7 +210,7 @@ func (s *Stats) Render() string {
 	for _, st := range []struct {
 		name string
 		h    *LatencyHist
-	}{{"capture", &s.Capture}, {"compress", &s.Compress}, {"matvec", &s.MatVec}} {
+	}{{"capture", &s.Capture}, {"compress", &s.Compress}, {"kernel", &s.Kernel}, {"matvec", &s.MatVec}} {
 		if st.h.Count > 0 {
 			fmt.Fprintf(&b, "\n  %-8s %s", st.name, st.h.String())
 		}

@@ -136,6 +136,9 @@ type MetricsSnapshot struct {
 	// batched endpoints (frames, FPS, per-stage latency histograms).
 	Capture  pipeline.StatsReport `json:"capture_pipeline"`
 	Compress pipeline.StatsReport `json:"compress_pipeline"`
+	// Process holds the cumulative pipeline stats behind /v1/process,
+	// keyed by kernel name (absent when kernels are disabled).
+	Process map[string]pipeline.StatsReport `json:"process_pipelines,omitempty"`
 }
 
 // snapshot captures the counters; pipeline stats and gauges are filled in
@@ -205,13 +208,27 @@ func renderProm(snap MetricsSnapshot) string {
 	}
 	fmt.Fprintf(&b, "lightator_batched_frames_total %d\n", snap.Batcher.BatchedFrames)
 	fmt.Fprintf(&b, "lightator_batch_max_size %d\n", snap.Batcher.MaxBatch)
-	for _, p := range []struct {
+	pipes := []struct {
 		name string
 		rep  pipeline.StatsReport
 	}{
 		{"capture", snap.Capture},
 		{"compress", snap.Compress},
-	} {
+	}
+	// Kernel pipelines append in sorted name order, again for diffable
+	// scrapes.
+	kernNames := make([]string, 0, len(snap.Process))
+	for name := range snap.Process {
+		kernNames = append(kernNames, name)
+	}
+	sort.Strings(kernNames)
+	for _, name := range kernNames {
+		pipes = append(pipes, struct {
+			name string
+			rep  pipeline.StatsReport
+		}{"process:" + name, snap.Process[name]})
+	}
+	for _, p := range pipes {
 		fmt.Fprintf(&b, "lightator_pipeline_frames_total{pipeline=%q} %d\n", p.name, p.rep.Frames)
 		fmt.Fprintf(&b, "lightator_pipeline_fps{pipeline=%q} %g\n", p.name, p.rep.FPS)
 	}

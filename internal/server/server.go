@@ -4,8 +4,10 @@
 //
 //	POST /v1/capture   one ADC-less sensor readout        (micro-batched)
 //	POST /v1/compress  capture + compressive acquisition  (micro-batched)
+//	POST /v1/process   capture + CA + compressed-domain kernel (micro-batched)
 //	POST /v1/matvec    one optical matrix-vector product
 //	POST /v1/simulate  architecture simulation of a named model
+//	GET  /v1/kernels   the compressed-domain kernel registry
 //	GET  /healthz      liveness (always 200 while the process runs)
 //	GET  /readyz       readiness (503 while draining)
 //	GET  /metrics      Prometheus text (or ?format=json snapshot)
@@ -58,6 +60,12 @@ type Backend struct {
 	// Compress is the capture+CA pipeline behind /v1/compress; nil when
 	// the accelerator has compressive acquisition disabled.
 	Compress *pipeline.Pipeline
+	// Process maps each registered compressed-domain kernel to its
+	// capture+CA+kernel pipeline (behind /v1/process); nil or empty when
+	// compressive acquisition is disabled.
+	Process map[string]*pipeline.Pipeline
+	// Kernels describes the registry for GET /v1/kernels, sorted by name.
+	Kernels []KernelInfo
 	// Core executes /v1/matvec.
 	Core *oc.Core
 	// Seed is the base noise seed a request without an explicit seed
@@ -124,6 +132,7 @@ type Server struct {
 
 	captureB  *batcher
 	compressB *batcher
+	processB  map[string]*batcher // one micro-batcher per kernel
 
 	inflight atomic.Int64
 	draining atomic.Bool
@@ -159,11 +168,17 @@ func New(b Backend, cfg Config) (*Server, error) {
 	if b.Compress != nil {
 		s.compressB = newBatcher(b.Compress, cfg.BatchSize, cfg.Queue, cfg.MaxBatches, cfg.BatchDelay, s.m)
 	}
+	s.processB = make(map[string]*batcher, len(b.Process))
+	for name, pipe := range b.Process {
+		s.processB[name] = newBatcher(pipe, cfg.BatchSize, cfg.Queue, cfg.MaxBatches, cfg.BatchDelay, s.m)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/capture", s.instrument("/v1/capture", s.handleCapture))
 	mux.HandleFunc("POST /v1/compress", s.instrument("/v1/compress", s.handleCompress))
+	mux.HandleFunc("POST /v1/process", s.instrument("/v1/process", s.handleProcess))
 	mux.HandleFunc("POST /v1/matvec", s.instrument("/v1/matvec", s.handleMatVec))
 	mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	mux.HandleFunc("GET /v1/kernels", s.handleKernels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -188,6 +203,13 @@ func (s *Server) Metrics() MetricsSnapshot {
 		st = s.backend.Compress.Stats()
 		snap.Compress = st.Report()
 	}
+	if len(s.backend.Process) > 0 {
+		snap.Process = make(map[string]pipeline.StatsReport, len(s.backend.Process))
+		for name, pipe := range s.backend.Process {
+			st = pipe.Stats()
+			snap.Process[name] = st.Report()
+		}
+	}
 	return snap
 }
 
@@ -204,6 +226,9 @@ func (s *Server) Drain(ctx context.Context) error {
 			s.captureB.close()
 			if s.compressB != nil {
 				s.compressB.close()
+			}
+			for _, b := range s.processB {
+				b.close()
 			}
 			close(s.stopped)
 		}()
@@ -430,6 +455,62 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) (int, er
 		}
 		return body, http.StatusOK, nil
 	})
+}
+
+// handleProcess serves capture + compressive acquisition + one
+// registered compressed-domain kernel. Each kernel has its own
+// micro-batcher, so concurrent requests for the same kernel coalesce
+// into shared pipeline batches; the per-frame seeding keeps every
+// response bit-identical to the direct facade ProcessCompressed call.
+// Caching follows the compress policy: deterministic fidelities only,
+// with the kernel name folded into the content hash.
+func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) (int, error) {
+	if len(s.processB) == 0 {
+		return http.StatusNotImplemented, fmt.Errorf("server: compressed-domain kernels disabled (CAPool = 0)")
+	}
+	var req ProcessRequest
+	if err := decodeBody(r, &req); err != nil {
+		return decodeStatus(err), err
+	}
+	b, ok := s.processB[req.Kernel]
+	if !ok {
+		return http.StatusBadRequest, fmt.Errorf("server: unknown kernel %q (GET /v1/kernels lists the registry)", req.Kernel)
+	}
+	rawPix, err := validateImageWire(req.Scene)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	// Same policy as compress: cacheable implies a noise-free fidelity,
+	// where the seed cannot influence the output — the key carries the
+	// kernel name plus the scene content.
+	cacheable := s.cache != nil && s.backend.Deterministic
+	var key cacheKey
+	if cacheable {
+		key = hashRequest("process", 0, []byte(req.Kernel), rawPix, dimBytes(req.Scene.H, req.Scene.W, req.Scene.C))
+	}
+	return s.respond(w, "/v1/process", cacheable, key, func() ([]byte, int, error) {
+		scene := imageFromRaw(req.Scene, rawPix)
+		res, status, err := s.submitFrame(r, b, s.effectiveSeed(req.Seed), scene)
+		if err != nil {
+			return nil, status, err
+		}
+		body, err := json.Marshal(ProcessResponse{Plane: EncodeImage(res.Processed)})
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		return body, http.StatusOK, nil
+	})
+}
+
+// handleKernels lists the compressed-domain kernel registry. The list is
+// fixed at construction, so no instrumentation or caching is needed.
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	body, err := json.Marshal(KernelsResponse{Kernels: s.backend.Kernels})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleMatVec programs the request's weight matrix and applies the

@@ -157,6 +157,34 @@ type MatVecResponse struct {
 	Output []float64 `json:"output"`
 }
 
+// ProcessRequest asks for capture + compressive acquisition + one
+// registered compressed-domain kernel (see /v1/kernels for the registry).
+// The response is bit-identical to the facade's ProcessCompressed under
+// the effective seed, no matter how the server micro-batches the request.
+type ProcessRequest struct {
+	Scene  ImageWire `json:"scene"`
+	Kernel string    `json:"kernel"`
+	Seed   *int64    `json:"seed,omitempty"`
+}
+
+// ProcessResponse carries the kernel's output plane. Samples may lie
+// outside [0,1] — e.g. signed edge responses; the codec is range-agnostic.
+type ProcessResponse struct {
+	Plane ImageWire `json:"plane"`
+}
+
+// KernelInfo describes one registered compressed-domain kernel.
+type KernelInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// KernelsResponse lists the kernel registry (GET /v1/kernels), sorted by
+// name.
+type KernelsResponse struct {
+	Kernels []KernelInfo `json:"kernels"`
+}
+
 // SimulateRequest names a built-in descriptor model for the architecture
 // simulator.
 type SimulateRequest struct {

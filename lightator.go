@@ -35,18 +35,37 @@
 // matrix rows across goroutines). See docs/PIPELINE.md for the worker
 // model and determinism guarantees.
 //
+// # Compressed-domain processing
+//
+// The kernel layer (internal/kernels) is the paper's "versatile image
+// processing" made concrete: image-processing operators — least-squares
+// and iterative reconstruction, edge detection, 2x downsampling,
+// denoising, block convolution — expressed as matrix operators composed
+// with the CA sensing matrix, executed on the compressed measurement
+// plane through the same optical MVM path (never on a reconstructed
+// frame):
+//
+//	acc.Kernels()                                  // registered kernel names
+//	out, _ := acc.ProcessCompressed(scene, "edge") // capture + CA + kernel
+//	outs, _ := acc.ProcessCompressedBatch(scenes, "reconstruct", 4)
+//
+// See docs/KERNELS.md for each operator's math and the determinism
+// contract.
+//
 // # Network serving
 //
 // The serving layer (internal/server) exposes the accelerator over
 // HTTP/JSON with dynamic micro-batching: concurrent requests coalesce
 // into pipeline batches without changing any response byte (each frame
-// carries its own seed into the batch).
+// carries its own seed into the batch). /v1/process serves every
+// registered compressed-domain kernel through the same micro-batcher.
 //
 //	srv, _ := acc.NewServer(lightator.ServeOptions{})
 //	go srv.ListenAndServe(":8080")        // or cmd/lightator-serve
 //
 // See docs/SERVER.md for endpoints, wire formats, batching policy and
-// operational behaviour (backpressure, caching, graceful drain).
+// operational behaviour (backpressure, caching, graceful drain), and
+// docs/API.md for the complete facade + HTTP reference.
 //
 // See docs/DESIGN.md for the system inventory and docs/PIPELINE.md for
 // the concurrent pipeline's worker model and determinism guarantees.
@@ -54,9 +73,11 @@ package lightator
 
 import (
 	"fmt"
+	"sync"
 
 	"lightator/internal/arch"
 	"lightator/internal/energy"
+	"lightator/internal/kernels"
 	"lightator/internal/mapping"
 	"lightator/internal/models"
 	"lightator/internal/oc"
@@ -93,8 +114,13 @@ type (
 
 // Fidelity levels.
 const (
-	Ideal         = oc.Ideal
-	Physical      = oc.Physical
+	// Ideal computes exact quantized arithmetic with no analog effects.
+	Ideal = oc.Ideal
+	// Physical adds WDM inter-channel crosstalk from the MR Lorentzian
+	// tails.
+	Physical = oc.Physical
+	// PhysicalNoisy additionally injects balanced-photodetector shot and
+	// thermal noise into every arm readout.
 	PhysicalNoisy = oc.PhysicalNoisy
 )
 
@@ -198,7 +224,13 @@ type Accelerator struct {
 	array  *sensor.Array
 	core   *oc.Core
 	ca     *oc.Acquisitor
+	eng    *kernels.Engine
 	params energy.Params
+
+	// pipeMu guards the lazily-built per-kernel pipelines behind
+	// ProcessCompressed (one per kernel name, reused across calls).
+	pipeMu    sync.Mutex
+	kernPipes map[string]*Pipeline
 }
 
 // New builds an accelerator.
@@ -220,13 +252,21 @@ func New(cfg Config) (*Accelerator, error) {
 	if err != nil {
 		return nil, err
 	}
-	acc := &Accelerator{cfg: cfg, array: arr, core: core, params: energy.Default()}
+	acc := &Accelerator{
+		cfg: cfg, array: arr, core: core, params: energy.Default(),
+		kernPipes: make(map[string]*Pipeline),
+	}
 	if cfg.CAPool != 0 {
 		ca, err := oc.NewAcquisitor(core, cfg.CAPool)
 		if err != nil {
 			return nil, err
 		}
 		acc.ca = ca
+		eng, err := kernels.NewEngine(core, cfg.CAPool)
+		if err != nil {
+			return nil, err
+		}
+		acc.eng = eng
 	}
 	return acc, nil
 }
@@ -275,6 +315,10 @@ type PipelineOptions struct {
 	// Weights, when non-nil, adds an optical MVM stage after capture /
 	// compression (see pipeline.Config.Weights for the expected width).
 	Weights [][]float64
+	// Kernel, when non-empty, adds a compressed-domain processing stage
+	// running the named registered kernel (see Kernels) on every frame's
+	// CA output plane. Requires compressive acquisition to be enabled.
+	Kernel string
 	// DisableCA drops the Compressive Acquisition stage even when the
 	// accelerator has one configured (capture-only streams).
 	DisableCA bool
@@ -293,12 +337,24 @@ func (a *Accelerator) NewPipeline(opts PipelineOptions) (*Pipeline, error) {
 	if opts.DisableCA {
 		capool = 0
 	}
+	var kern kernels.Kernel
+	if opts.Kernel != "" {
+		if a.eng == nil {
+			return nil, fmt.Errorf("lightator: kernel stage needs compressive acquisition (CAPool = 0)")
+		}
+		k, err := a.eng.Kernel(opts.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		kern = k
+	}
 	return pipeline.New(pipeline.Config{
 		Workers: opts.Workers,
 		Queue:   opts.Queue,
 		Seed:    seed,
 		CAPool:  capool,
 		Weights: opts.Weights,
+		Kernel:  kern,
 		Core:    a.core,
 		// Workers clone the accelerator's own array, so pipeline capture
 		// uses the same device models as the serial Capture path.
@@ -360,6 +416,95 @@ func (a *Accelerator) AcquireCompressedBatch(scenes []*Image, workers int) ([]*I
 	out := make([]*Image, len(results))
 	for i, r := range results {
 		out[i] = r.Compressed
+	}
+	return out, nil
+}
+
+// Kernels lists the registered compressed-domain processing kernels,
+// sorted by name; empty when compressive acquisition is disabled. See
+// docs/KERNELS.md for each operator's math.
+func (a *Accelerator) Kernels() []string {
+	if a.eng == nil {
+		return nil
+	}
+	return a.eng.Names()
+}
+
+// KernelDescription returns the one-line summary of a registered kernel.
+func (a *Accelerator) KernelDescription(name string) (string, error) {
+	if a.eng == nil {
+		return "", fmt.Errorf("lightator: compressed-domain kernels disabled (CAPool = 0)")
+	}
+	k, err := a.eng.Kernel(name)
+	if err != nil {
+		return "", err
+	}
+	return k.Description(), nil
+}
+
+// kernelPipeline returns the cached single-kernel pipeline behind
+// ProcessCompressed, building it on first use.
+func (a *Accelerator) kernelPipeline(kernel string) (*Pipeline, error) {
+	a.pipeMu.Lock()
+	defer a.pipeMu.Unlock()
+	if p, ok := a.kernPipes[kernel]; ok {
+		return p, nil
+	}
+	p, err := a.NewPipeline(PipelineOptions{Kernel: kernel})
+	if err != nil {
+		return nil, err
+	}
+	a.kernPipes[kernel] = p
+	return p, nil
+}
+
+// ProcessCompressed captures a scene, compresses it with the CA, and runs
+// the named compressed-domain kernel on the measurement plane — all three
+// stages through the optical core. The scene is processed exactly as
+// frame 0 of a seeded batch under Config.Seed, so the result is
+// bit-identical to the served /v1/process response for the same request
+// seed, in every fidelity. The output plane holds raw operator results,
+// which may lie outside [0,1] (e.g. signed edge responses).
+func (a *Accelerator) ProcessCompressed(scene *Image, kernel string) (*Image, error) {
+	if a.eng == nil {
+		return nil, fmt.Errorf("lightator: compressed-domain kernels disabled (CAPool = 0)")
+	}
+	p, err := a.kernelPipeline(kernel)
+	if err != nil {
+		return nil, err
+	}
+	results, _, err := p.RunSeeded([]pipeline.SeededScene{{Seed: a.cfg.Seed, Scene: scene}})
+	if err != nil {
+		return nil, err
+	}
+	if err := firstBatchErr(results); err != nil {
+		return nil, err
+	}
+	return results[0].Processed, nil
+}
+
+// ProcessCompressedBatch runs capture + CA + the named kernel over a
+// batch of scenes with bounded parallelism. Frame i's noise is seeded
+// from (Config.Seed, i), like the other batched paths, so the batch is
+// reproducible for any worker count.
+func (a *Accelerator) ProcessCompressedBatch(scenes []*Image, kernel string, workers int) ([]*Image, error) {
+	if a.eng == nil {
+		return nil, fmt.Errorf("lightator: compressed-domain kernels disabled (CAPool = 0)")
+	}
+	p, err := a.NewPipeline(PipelineOptions{Workers: workers, Kernel: kernel})
+	if err != nil {
+		return nil, err
+	}
+	results, _, err := p.Run(scenes)
+	if err != nil {
+		return nil, err
+	}
+	if err := firstBatchErr(results); err != nil {
+		return nil, err
+	}
+	out := make([]*Image, len(results))
+	for i, r := range results {
+		out[i] = r.Processed
 	}
 	return out, nil
 }

@@ -349,3 +349,91 @@ func TestAggregateReportsThroughFacade(t *testing.T) {
 		t.Errorf("degenerate batch report %+v", b)
 	}
 }
+
+func TestKernelsRegistryThroughFacade(t *testing.T) {
+	acc := smallAccelerator(t, Physical)
+	names := acc.Kernels()
+	if len(names) == 0 {
+		t.Fatal("no registered kernels on a CA-enabled accelerator")
+	}
+	for _, name := range names {
+		desc, err := acc.KernelDescription(name)
+		if err != nil || desc == "" {
+			t.Errorf("kernel %s: description %q, err %v", name, desc, err)
+		}
+	}
+	// CA disabled: the kernel surface reports the same disabled error as
+	// AcquireCompressed.
+	cfg := DefaultConfig()
+	cfg.SensorRows, cfg.SensorCols, cfg.CAPool = 16, 16, 0
+	noCA, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := noCA.Kernels(); got != nil {
+		t.Errorf("CA-disabled Kernels() = %v, want nil", got)
+	}
+	if _, err := noCA.ProcessCompressed(batchScenes(1, 16, 16)[0], "edge"); err == nil {
+		t.Error("CA-disabled ProcessCompressed succeeded")
+	}
+}
+
+// TestProcessCompressedBatchDeterministic pins the batched kernel path's
+// scheduling invariance in PhysicalNoisy fidelity, and that the batch's
+// frame 0 equals the single-scene ProcessCompressed call (both are
+// seeded from (Config.Seed, 0)).
+func TestProcessCompressedBatchDeterministic(t *testing.T) {
+	acc := smallAccelerator(t, PhysicalNoisy)
+	scenes := batchScenes(4, 16, 16)
+	a, err := acc.ProcessCompressedBatch(scenes, "edge", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := acc.ProcessCompressedBatch(scenes, "edge", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i].Pix {
+			if a[i].Pix[j] != b[i].Pix[j] {
+				t.Fatalf("noisy kernel batch not scheduling-invariant: frame %d pixel %d", i, j)
+			}
+		}
+	}
+	single, err := acc.ProcessCompressed(scenes[0], "edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range single.Pix {
+		if a[0].Pix[j] != single.Pix[j] {
+			t.Fatalf("batch frame 0 differs from ProcessCompressed at pixel %d", j)
+		}
+	}
+	if _, err := acc.ProcessCompressed(scenes[0], "nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+// TestProcessCompressedShapes checks each built-in kernel's output
+// geometry on the 16x16 sensor with 2x2 CA (an 8x8 compressed plane).
+func TestProcessCompressedShapes(t *testing.T) {
+	acc := smallAccelerator(t, Ideal)
+	scene := batchScenes(1, 16, 16)[0]
+	want := map[string][2]int{
+		"reconstruct":      {16, 16},
+		"reconstruct-iter": {16, 16},
+		"edge":             {8, 8},
+		"denoise":          {8, 8},
+		"sharpen":          {8, 8},
+		"downsample2x":     {4, 4},
+	}
+	for name, dims := range want {
+		out, err := acc.ProcessCompressed(scene, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.H != dims[0] || out.W != dims[1] {
+			t.Errorf("%s: output %dx%d, want %dx%d", name, out.H, out.W, dims[0], dims[1])
+		}
+	}
+}

@@ -6,11 +6,12 @@ import (
 	"lightator/internal/server"
 )
 
-// Server is the HTTP/JSON serving layer over an accelerator: /v1/capture,
-// /v1/compress, /v1/matvec and /v1/simulate backed by a dynamic
-// micro-batcher over the frame pipeline, with admission control, a
-// content-hash response cache for deterministic fidelities, /metrics and
-// /healthz, and graceful drain. See docs/SERVER.md.
+// Server is the HTTP/JSON serving layer over an accelerator:
+// /v1/capture, /v1/compress, /v1/process, /v1/matvec, /v1/simulate and
+// /v1/kernels backed by a dynamic micro-batcher over the frame pipeline,
+// with admission control, a content-hash response cache for
+// deterministic fidelities, /metrics and /healthz, and graceful drain.
+// See docs/SERVER.md and docs/API.md.
 type Server = server.Server
 
 // ServerMetrics is a snapshot of a running server's counters and pipeline
@@ -25,14 +26,26 @@ type (
 	ImageWire = server.ImageWire
 	// FrameWire is the transport form of a Frame.
 	FrameWire = server.FrameWire
-	// CaptureRequest/CaptureResponse are the /v1/capture wire pair.
-	CaptureRequest  = server.CaptureRequest
+	// CaptureRequest is the /v1/capture request body.
+	CaptureRequest = server.CaptureRequest
+	// CaptureResponse is the /v1/capture response body.
 	CaptureResponse = server.CaptureResponse
-	// CompressRequest/CompressResponse are the /v1/compress wire pair.
-	CompressRequest  = server.CompressRequest
+	// CompressRequest is the /v1/compress request body.
+	CompressRequest = server.CompressRequest
+	// CompressResponse is the /v1/compress response body.
 	CompressResponse = server.CompressResponse
-	// MatVecRequest/MatVecResponse are the /v1/matvec wire pair.
-	MatVecRequest  = server.MatVecRequest
+	// ProcessRequest is the /v1/process request body (scene + kernel name).
+	ProcessRequest = server.ProcessRequest
+	// ProcessResponse is the /v1/process response body (the kernel's
+	// output plane; samples may lie outside [0,1]).
+	ProcessResponse = server.ProcessResponse
+	// KernelInfo describes one registered compressed-domain kernel.
+	KernelInfo = server.KernelInfo
+	// KernelsResponse is the GET /v1/kernels response body.
+	KernelsResponse = server.KernelsResponse
+	// MatVecRequest is the /v1/matvec request body.
+	MatVecRequest = server.MatVecRequest
+	// MatVecResponse is the /v1/matvec response body.
 	MatVecResponse = server.MatVecResponse
 	// SimulateRequest is the /v1/simulate request ({"model": "lenet"}).
 	SimulateRequest = server.SimulateRequest
@@ -84,6 +97,7 @@ type ServeOptions struct {
 //	/v1/capture  == Capture(scene)                                (all fidelities)
 //	/v1/compress == AcquireCompressedBatch([]{scene}, 1)          (all fidelities)
 //	             == AcquireCompressed(scene)                      (Ideal, Physical)
+//	/v1/process  == ProcessCompressed(scene, kernel)              (all fidelities)
 //	/v1/matvec   == MatVecBatch(w, [][]float64{x}, 1)             (all fidelities)
 //	             == MatVec(w, x)                                  (Ideal, Physical)
 //	/v1/simulate == Simulate(model)
@@ -97,15 +111,33 @@ func (a *Accelerator) NewServer(opts ServeOptions) (*Server, error) {
 		return nil, err
 	}
 	var compress *Pipeline
+	process := make(map[string]*Pipeline)
+	kernels := []KernelInfo{}
 	if a.ca != nil {
 		compress, err = a.NewPipeline(PipelineOptions{Workers: opts.Workers})
 		if err != nil {
 			return nil, err
 		}
+		// One capture+CA+kernel pipeline per registered kernel, each with
+		// its own micro-batcher in the serving layer.
+		for _, name := range a.Kernels() {
+			p, err := a.NewPipeline(PipelineOptions{Workers: opts.Workers, Kernel: name})
+			if err != nil {
+				return nil, err
+			}
+			process[name] = p
+			desc, err := a.KernelDescription(name)
+			if err != nil {
+				return nil, err
+			}
+			kernels = append(kernels, KernelInfo{Name: name, Description: desc})
+		}
 	}
 	return server.New(server.Backend{
 		Capture:       capture,
 		Compress:      compress,
+		Process:       process,
+		Kernels:       kernels,
 		Core:          a.core,
 		Seed:          a.cfg.Seed,
 		Deterministic: a.cfg.Fidelity != PhysicalNoisy,
