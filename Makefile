@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race linkcheck bench bench-pipeline bench-kernels serve
+.PHONY: check vet build test test-race linkcheck bench bench-pipeline bench-kernels bench-infer benchdiff serve
 
 check: vet build test-race linkcheck
 
@@ -36,6 +36,17 @@ bench-pipeline:
 # Per-kernel compressed-domain throughput (docs/KERNELS.md).
 bench-kernels:
 	$(GO) run ./cmd/lightator-bench -batch 16 -kernels
+
+# Per-model compressed-domain inference throughput + optical-vs-reference
+# agreement (docs/INFER.md).
+bench-infer:
+	$(GO) run ./cmd/lightator-bench -batch 16 -infer
+
+# Bench-regression smoke gate: a fresh -json run must stay within 30% of
+# the latest committed BENCH_*.json on every matched record (CI runs
+# this; cross-environment runs are skipped, see cmd/benchdiff).
+benchdiff:
+	$(GO) run ./cmd/lightator-bench -batch 16 -workers 2 -json -kernels -infer | $(GO) run ./cmd/benchdiff -new -
 
 # Run the HTTP serving layer locally (docs/SERVER.md). Override flags:
 #   make serve SERVE_FLAGS='-addr :9090 -fidelity physical-noisy'

@@ -1,0 +1,248 @@
+// Command benchdiff is the CI bench-regression smoke gate: it compares a
+// fresh `lightator-bench -json` run against the latest committed
+// BENCH_*.json baseline and fails (exit 1) when a matched record's
+// throughput regressed by more than the threshold.
+//
+// Records match on (batch, workers) for the top-level pipeline number,
+// and by name for the per-kernel and per-model sweep records. Runs from
+// different environments are not comparable: when the CPU count differs
+// between baseline and fresh run — including the single-CPU container
+// caveat the bench records — the gate reports the mismatch and passes,
+// rather than failing on numbers that never measured the same machine.
+//
+// Usage:
+//
+//	lightator-bench -batch 16 -workers 2 -json -kernels -infer > /tmp/fresh.json
+//	benchdiff -new /tmp/fresh.json              # baseline auto-picked from BENCH_*.json
+//	benchdiff -old BENCH_PR4.json -new -        # explicit baseline, fresh run on stdin
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// record is the subset of the lightator-bench -json report the gate
+// reads. Unknown fields are ignored, so the gate survives report growth.
+type record struct {
+	Batch    int    `json:"batch"`
+	Workers  int    `json:"workers"`
+	NumCPU   int    `json:"num_cpu"`
+	Caveat   string `json:"caveat"`
+	Measured struct {
+		FPS float64 `json:"fps"`
+	} `json:"measured"`
+	Kernels []struct {
+		Kernel string  `json:"kernel"`
+		FPS    float64 `json:"fps"`
+	} `json:"kernels"`
+	Infer []struct {
+		Model string  `json:"model"`
+		FPS   float64 `json:"fps"`
+	} `json:"infer"`
+}
+
+// diffLine is one matched record's comparison.
+type diffLine struct {
+	name      string
+	oldFPS    float64
+	newFPS    float64
+	regressed bool
+}
+
+// compare matches the two records and flags every matched series whose
+// fresh FPS fell below (1 - threshold) of the baseline. Baseline series
+// absent from the fresh run come back in missing — the gate fails on
+// them, otherwise a regression could hide behind a record that simply
+// stopped being emitted (a legitimate removal means committing a new
+// baseline). Fresh series with no baseline counterpart are fine: they
+// gate from the next committed baseline on.
+func compare(oldRec, newRec record, threshold float64) (lines []diffLine, missing []string, comparable bool, reason string) {
+	if oldRec.NumCPU != newRec.NumCPU {
+		return nil, nil, false, fmt.Sprintf("cpu count changed (%d -> %d); throughput not comparable across environments", oldRec.NumCPU, newRec.NumCPU)
+	}
+	if oldRec.Batch != newRec.Batch || oldRec.Workers != newRec.Workers {
+		return nil, nil, false, fmt.Sprintf("bench shape changed (batch %d workers %d -> batch %d workers %d); no matched records",
+			oldRec.Batch, oldRec.Workers, newRec.Batch, newRec.Workers)
+	}
+	floor := 1 - threshold
+	add := func(name string, oldFPS, newFPS float64) {
+		lines = append(lines, diffLine{
+			name: name, oldFPS: oldFPS, newFPS: newFPS,
+			regressed: oldFPS > 0 && newFPS < oldFPS*floor,
+		})
+	}
+	add("pipeline", oldRec.Measured.FPS, newRec.Measured.FPS)
+	newKernels := make(map[string]float64, len(newRec.Kernels))
+	for _, k := range newRec.Kernels {
+		newKernels[k.Kernel] = k.FPS
+	}
+	for _, k := range oldRec.Kernels {
+		if fps, ok := newKernels[k.Kernel]; ok {
+			add("kernel:"+k.Kernel, k.FPS, fps)
+		} else {
+			missing = append(missing, "kernel:"+k.Kernel)
+		}
+	}
+	newModels := make(map[string]float64, len(newRec.Infer))
+	for _, m := range newRec.Infer {
+		newModels[m.Model] = m.FPS
+	}
+	for _, m := range oldRec.Infer {
+		if fps, ok := newModels[m.Model]; ok {
+			add("infer:"+m.Model, m.FPS, fps)
+		} else {
+			missing = append(missing, "infer:"+m.Model)
+		}
+	}
+	return lines, missing, true, ""
+}
+
+// latestBaseline picks the newest BENCH_*.json in dir under natural
+// ordering (the repo convention: BENCH_PR3.json, BENCH_PR4.json, ... —
+// digit runs compare numerically, so BENCH_PR10 sorts after BENCH_PR9).
+func latestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("benchdiff: no BENCH_*.json baseline in %s", dir)
+	}
+	sort.Slice(matches, func(i, j int) bool { return naturalLess(matches[i], matches[j]) })
+	return matches[len(matches)-1], nil
+}
+
+// naturalLess compares strings with embedded integers numerically
+// ("PR9" < "PR10").
+func naturalLess(a, b string) bool {
+	for a != "" && b != "" {
+		if isDigit(a[0]) && isDigit(b[0]) {
+			na, ra := takeNumber(a)
+			nb, rb := takeNumber(b)
+			if na != nb {
+				return na < nb
+			}
+			a, b = ra, rb
+			continue
+		}
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		a, b = a[1:], b[1:]
+	}
+	return len(a) < len(b)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// takeNumber splits a leading digit run into its value and the rest.
+func takeNumber(s string) (int64, string) {
+	i := 0
+	var n int64
+	for i < len(s) && isDigit(s[i]) {
+		n = n*10 + int64(s[i]-'0')
+		i++
+	}
+	return n, s[i:]
+}
+
+// readRecord loads a bench record from a path, "-" meaning stdin.
+func readRecord(path string, stdin io.Reader) (record, error) {
+	var r io.Reader = stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return record{}, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var rec record
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		return record{}, fmt.Errorf("benchdiff: parse %s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// run executes the gate; exit status is the returned error's presence.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	oldPath := fs.String("old", "", "baseline bench JSON (default: latest BENCH_*.json in -dir)")
+	dir := fs.String("dir", ".", "directory scanned for the default baseline")
+	newPath := fs.String("new", "-", "fresh bench JSON (\"-\" = stdin)")
+	threshold := fs.Float64("threshold", 0.30, "fail when a matched record loses more than this fraction of throughput")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *threshold <= 0 || *threshold >= 1 {
+		return fmt.Errorf("benchdiff: threshold %g outside (0, 1)", *threshold)
+	}
+	base := *oldPath
+	if base == "" {
+		var err error
+		base, err = latestBaseline(*dir)
+		if err != nil {
+			return err
+		}
+	}
+	if base == "-" && *newPath == "-" {
+		return fmt.Errorf("benchdiff: only one of -old and -new can read stdin")
+	}
+	oldRec, err := readRecord(base, stdin)
+	if err != nil {
+		return err
+	}
+	newRec, err := readRecord(*newPath, stdin)
+	if err != nil {
+		return err
+	}
+
+	lines, missing, comparable, reason := compare(oldRec, newRec, *threshold)
+	if !comparable {
+		fmt.Fprintf(stdout, "benchdiff: SKIP — %s\n", reason)
+		return nil
+	}
+	if oldRec.Caveat != "" {
+		fmt.Fprintf(stdout, "note: baseline caveat: %s\n", oldRec.Caveat)
+	}
+	regressions := 0
+	fmt.Fprintf(stdout, "baseline %s vs fresh run (threshold -%.0f%%)\n", base, *threshold*100)
+	for _, l := range lines {
+		verdict := "ok"
+		if l.regressed {
+			verdict = "REGRESSED"
+			regressions++
+		}
+		ratio := 0.0
+		if l.oldFPS > 0 {
+			ratio = l.newFPS / l.oldFPS
+		}
+		fmt.Fprintf(stdout, "  %-24s %10.1f -> %10.1f fps  (%.2fx)  %s\n", l.name, l.oldFPS, l.newFPS, ratio, verdict)
+	}
+	for _, name := range missing {
+		fmt.Fprintf(stdout, "  %-24s MISSING from the fresh run\n", name)
+	}
+	if regressions > 0 || len(missing) > 0 {
+		return fmt.Errorf("benchdiff: %d of %d matched records regressed more than %.0f%%, %d baseline records missing from the fresh run",
+			regressions, len(lines), *threshold*100, len(missing))
+	}
+	fmt.Fprintf(stdout, "benchdiff: PASS — %d matched records within budget\n", len(lines))
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			return // -h prints usage and exits 0, like flag.ExitOnError
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

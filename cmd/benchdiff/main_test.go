@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mkRecord builds a bench record fixture.
+func mkRecord(batch, workers, cpus int, pipelineFPS float64, kernels, models map[string]float64) record {
+	var r record
+	r.Batch, r.Workers, r.NumCPU = batch, workers, cpus
+	r.Measured.FPS = pipelineFPS
+	for name, fps := range kernels {
+		r.Kernels = append(r.Kernels, struct {
+			Kernel string  `json:"kernel"`
+			FPS    float64 `json:"fps"`
+		}{name, fps})
+	}
+	for name, fps := range models {
+		r.Infer = append(r.Infer, struct {
+			Model string  `json:"model"`
+			FPS   float64 `json:"fps"`
+		}{name, fps})
+	}
+	return r
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldRec := mkRecord(16, 2, 1, 300, map[string]float64{"edge": 100, "denoise": 80}, map[string]float64{"tiny-mlp": 200})
+	// edge lost 50% (> 30% budget), denoise improved, pipeline within
+	// budget, tiny-mlp exactly at the floor (0.70) must NOT trip.
+	newRec := mkRecord(16, 2, 1, 250, map[string]float64{"edge": 50, "denoise": 120}, map[string]float64{"tiny-mlp": 140})
+	lines, missing, comparable, _ := compare(oldRec, newRec, 0.30)
+	if !comparable {
+		t.Fatal("same-shape records reported incomparable")
+	}
+	if len(missing) != 0 {
+		t.Fatalf("nothing disappeared, but missing = %v", missing)
+	}
+	got := map[string]bool{}
+	for _, l := range lines {
+		got[l.name] = l.regressed
+	}
+	if len(lines) != 4 {
+		t.Fatalf("matched %d records, want 4: %+v", len(lines), lines)
+	}
+	if !got["kernel:edge"] {
+		t.Error("50% kernel regression not flagged")
+	}
+	if got["kernel:denoise"] || got["pipeline"] || got["infer:tiny-mlp"] {
+		t.Errorf("false positives: %+v", got)
+	}
+}
+
+func TestCompareSkipsAcrossEnvironments(t *testing.T) {
+	oldRec := mkRecord(16, 2, 1, 300, nil, nil)
+	// More CPUs on the fresh host: numbers are not comparable, the
+	// single-CPU caveat of the baseline must not gate the multi-core run.
+	newRec := mkRecord(16, 2, 8, 100, nil, nil)
+	if _, _, comparable, reason := compare(oldRec, newRec, 0.30); comparable || reason == "" {
+		t.Fatal("cross-environment records compared")
+	}
+	// Different bench shape: no matched records either.
+	newRec = mkRecord(32, 4, 1, 100, nil, nil)
+	if _, _, comparable, _ := compare(oldRec, newRec, 0.30); comparable {
+		t.Fatal("different bench shapes compared")
+	}
+	// New kernels with no baseline counterpart are simply unmatched —
+	// they gate from the next committed baseline on.
+	newRec = mkRecord(16, 2, 1, 300, map[string]float64{"brand-new": 5}, nil)
+	lines, missing, comparable, _ := compare(oldRec, newRec, 0.30)
+	if !comparable || len(lines) != 1 || len(missing) != 0 {
+		t.Fatalf("unmatched fresh kernel changed the comparison: %+v missing %v", lines, missing)
+	}
+}
+
+// TestCompareFlagsDisappearedBaselines: a baseline series absent from
+// the fresh run must be reported, so a regression cannot hide behind a
+// record that stopped being emitted.
+func TestCompareFlagsDisappearedBaselines(t *testing.T) {
+	oldRec := mkRecord(16, 2, 1, 300, map[string]float64{"edge": 100}, map[string]float64{"tiny-mlp": 200})
+	newRec := mkRecord(16, 2, 1, 300, nil, map[string]float64{"tiny-mlp": 190})
+	_, missing, comparable, _ := compare(oldRec, newRec, 0.30)
+	if !comparable {
+		t.Fatal("same-shape records reported incomparable")
+	}
+	if len(missing) != 1 || missing[0] != "kernel:edge" {
+		t.Fatalf("missing = %v, want [kernel:edge]", missing)
+	}
+}
+
+// writeJSON drops a fixture file.
+func writeFixture(t *testing.T, path string, rec record) {
+	t.Helper()
+	body, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatestBaselineNaturalOrder(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_PR3.json", "BENCH_PR9.json", "BENCH_PR10.json"} {
+		writeFixture(t, filepath.Join(dir, name), mkRecord(1, 1, 1, 1, nil, nil))
+	}
+	// Lexicographically PR10 < PR9; naturally PR10 is the newest.
+	got, err := latestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_PR10.json" {
+		t.Fatalf("picked %s, want BENCH_PR10.json (natural order)", got)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, filepath.Join(dir, "BENCH_PR3.json"),
+		mkRecord(16, 2, 1, 100, map[string]float64{"edge": 50}, nil))
+	// The newest baseline must win the auto-pick.
+	writeFixture(t, filepath.Join(dir, "BENCH_PR4.json"),
+		mkRecord(16, 2, 1, 300, map[string]float64{"edge": 100}, nil))
+	fresh := filepath.Join(dir, "fresh.json")
+
+	// Healthy run passes and reports the matched records.
+	writeFixture(t, fresh, mkRecord(16, 2, 1, 290, map[string]float64{"edge": 95}, nil))
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-dir", dir, "-new", fresh}, nil, &stdout, &stderr); err != nil {
+		t.Fatalf("healthy run failed: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "BENCH_PR4.json") {
+		t.Errorf("did not auto-pick the newest baseline:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "PASS") {
+		t.Errorf("healthy run did not report PASS:\n%s", stdout.String())
+	}
+
+	// Regressed run fails with the offending record named.
+	writeFixture(t, fresh, mkRecord(16, 2, 1, 100, map[string]float64{"edge": 95}, nil))
+	stdout.Reset()
+	err := run([]string{"-dir", dir, "-new", fresh}, nil, &stdout, &stderr)
+	if err == nil {
+		t.Fatalf("66%% pipeline regression passed:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSED") {
+		t.Errorf("regression not named:\n%s", stdout.String())
+	}
+
+	// Stdin path ("-new -").
+	body, _ := json.Marshal(mkRecord(16, 2, 1, 290, map[string]float64{"edge": 95}, nil))
+	stdout.Reset()
+	if err := run([]string{"-dir", dir, "-new", "-"}, bytes.NewReader(body), &stdout, &stderr); err != nil {
+		t.Fatalf("stdin run failed: %v", err)
+	}
+
+	// A baseline series that vanished from the fresh run fails the gate.
+	writeFixture(t, fresh, mkRecord(16, 2, 1, 290, nil, nil))
+	stdout.Reset()
+	if err := run([]string{"-dir", dir, "-new", fresh}, nil, &stdout, &stderr); err == nil {
+		t.Fatalf("disappeared kernel record passed:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "MISSING") {
+		t.Errorf("missing record not named:\n%s", stdout.String())
+	}
+
+	// Missing baseline directory errors out.
+	if err := run([]string{"-dir", t.TempDir(), "-new", fresh}, nil, &stdout, &stderr); err == nil {
+		t.Error("missing baseline did not fail")
+	}
+	// Bad threshold errors out.
+	if err := run([]string{"-dir", dir, "-new", fresh, "-threshold", "2"}, nil, &stdout, &stderr); err == nil {
+		t.Error("threshold 2 accepted")
+	}
+}
+
+func TestGoldenFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-h"}, nil, &stdout, &stderr); err != flag.ErrHelp {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	for _, name := range []string{"-old", "-new", "-dir", "-threshold"} {
+		if !strings.Contains(stderr.String(), name) {
+			t.Errorf("usage output lost flag %s", name)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"lightator"
 	"lightator/internal/experiments"
+	"lightator/internal/infer"
 	"lightator/internal/pipeline"
 )
 
@@ -48,6 +49,10 @@ type benchReport struct {
 	// one record per registered kernel, so BENCH_*.json tracks the
 	// /v1/process hot path across PRs.
 	Kernels []kernelBenchRecord `json:"kernels,omitempty"`
+	// Infer holds the per-model compressed-domain inference sweep
+	// (-infer): one record per registered model, so BENCH_*.json tracks
+	// the /v1/infer hot path and its optical fidelity across PRs.
+	Infer []inferBenchRecord `json:"infer,omitempty"`
 }
 
 // kernelBenchRecord is one compressed-domain kernel's throughput record:
@@ -58,6 +63,98 @@ type kernelBenchRecord struct {
 	Description string               `json:"description"`
 	FPS         float64              `json:"fps"`
 	Pipeline    pipeline.StatsReport `json:"pipeline"`
+}
+
+// inferBenchRecord is one inference model's throughput/accuracy record:
+// the full capture+CA+infer pipeline run plus the optical-vs-digital-
+// reference top-1 agreement — the label-free accuracy proxy that tracks
+// how much the analog path perturbs classifications.
+type inferBenchRecord struct {
+	Model       string  `json:"model"`
+	Description string  `json:"description"`
+	FPS         float64 `json:"fps"`
+	Frames      int     `json:"frames"`
+	// ReferenceAgreement is the fraction of frames whose optical top-1
+	// class matches the digital quantized reference's.
+	ReferenceAgreement float64              `json:"reference_agreement"`
+	Pipeline           pipeline.StatsReport `json:"pipeline"`
+}
+
+// inferScenes builds structured scenes for the inference sweep: a bright
+// disk jittered across a dim background. Uniform-random scenes average
+// out to a near-constant CA plane (every frame lands on the same logits,
+// making top-1 agreement degenerate); a moving structure keeps the
+// per-frame planes — and classifications — distinct.
+func inferScenes(n, rows, cols int, seed int64) []*lightator.Image {
+	rng := rand.New(rand.NewSource(seed))
+	scenes := make([]*lightator.Image, n)
+	for i := range scenes {
+		s := lightator.NewImage(rows, cols, 3)
+		for j := range s.Pix {
+			s.Pix[j] = 0.1
+		}
+		cy := float64(rng.Intn(rows))
+		cx := float64(rng.Intn(cols))
+		r := float64(rows) * (0.1 + 0.2*rng.Float64())
+		for y := 0; y < rows; y++ {
+			for x := 0; x < cols; x++ {
+				dy, dx := float64(y)-cy, float64(x)-cx
+				if dy*dy+dx*dx < r*r {
+					for c := 0; c < 3; c++ {
+						s.Pix[(y*cols+x)*3+c] = 0.9
+					}
+				}
+			}
+		}
+		scenes[i] = s
+	}
+	return scenes
+}
+
+// runInferSweep streams a structured scene batch through one
+// capture+CA+infer pipeline per registered model, collecting a
+// throughput record and the reference-agreement accuracy each.
+func runInferSweep(acc *lightator.Accelerator, batch, workers int, seed int64) ([]inferBenchRecord, error) {
+	cfg := acc.Config()
+	scenes := inferScenes(batch, cfg.SensorRows, cfg.SensorCols, seed)
+	var records []inferBenchRecord
+	for _, name := range acc.Models() {
+		desc, err := acc.ModelDescription(name)
+		if err != nil {
+			return nil, err
+		}
+		p, err := acc.NewPipeline(lightator.PipelineOptions{Workers: workers, Infer: name})
+		if err != nil {
+			return nil, err
+		}
+		results, stats, err := p.Run(scenes)
+		if err != nil {
+			return nil, err
+		}
+		agree := 0
+		for _, r := range results {
+			if r.Err != nil {
+				return nil, r.Err
+			}
+			ref, err := acc.InferReference(r.Compressed, name)
+			if err != nil {
+				return nil, err
+			}
+			if infer.Argmax(r.Logits) == infer.Argmax(ref) {
+				agree++
+			}
+		}
+		rep := stats.Report()
+		records = append(records, inferBenchRecord{
+			Model:              name,
+			Description:        desc,
+			FPS:                rep.FPS,
+			Frames:             len(results),
+			ReferenceAgreement: float64(agree) / float64(len(results)),
+			Pipeline:           rep,
+		})
+	}
+	return records, nil
 }
 
 // runKernelSweep streams the scene batch through one capture+CA+kernel
@@ -98,7 +195,7 @@ func runKernelSweep(acc *lightator.Accelerator, scenes []*lightator.Image, worke
 // head) at the given worker count, printing measured aggregate FPS with
 // per-stage latency histograms, plus the modeled batch report from the
 // architecture simulator for the same frame count.
-func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep bool) error {
+func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep, inferSweep bool) error {
 	cfg := lightator.DefaultConfig()
 	cfg.Seed = seed
 	acc, err := lightator.New(cfg)
@@ -161,6 +258,13 @@ func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep bool) 
 			return err
 		}
 	}
+	var inferRecords []inferBenchRecord
+	if inferSweep {
+		inferRecords, err = runInferSweep(acc, batch, workers, seed)
+		if err != nil {
+			return err
+		}
+	}
 
 	if asJSON {
 		out := benchReport{
@@ -173,6 +277,7 @@ func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep bool) 
 			ModeledFPS:      rep.FPS,
 			ModeledKFPSPerW: rep.KFPSPerW,
 			Kernels:         kernelRecords,
+			Infer:           inferRecords,
 		}
 		if out.NumCPU == 1 {
 			out.Caveat = "single-CPU host: worker parallelism cannot speed up this run; measured FPS understates multi-core throughput"
@@ -194,6 +299,15 @@ func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep bool) 
 				time.Duration(r.Pipeline.Kernel.P99NS).Round(time.Microsecond))
 		}
 	}
+	if inferRecords != nil {
+		fmt.Println("== compressed-domain inference sweep ==")
+		for _, r := range inferRecords {
+			fmt.Printf("%-18s %8.1f frames/sec  ref-agreement %5.1f%%  infer-stage p50<=%v p99<=%v\n",
+				r.Model, r.FPS, 100*r.ReferenceAgreement,
+				time.Duration(r.Pipeline.Infer.P50NS).Round(time.Microsecond),
+				time.Duration(r.Pipeline.Infer.P99NS).Round(time.Microsecond))
+		}
+	}
 	return nil
 }
 
@@ -205,10 +319,11 @@ func main() {
 	batch := flag.Int("batch", 0, "when > 0, run the concurrent pipeline over this many frames and report aggregate FPS instead of the paper experiments")
 	asJSON := flag.Bool("json", false, "with -batch: emit a machine-readable report (FPS, per-stage p50/p99, CPU counts) for the BENCH_*.json perf trajectory")
 	kernelSweep := flag.Bool("kernels", false, "with -batch: additionally sweep every registered compressed-domain kernel and report per-kernel throughput")
+	inferSweep := flag.Bool("infer", false, "with -batch: additionally sweep every registered inference model and report per-model throughput and optical-vs-reference agreement")
 	flag.Parse()
 
 	if *batch > 0 {
-		if err := runPipelineBench(*batch, *workers, *seed, *asJSON, *kernelSweep); err != nil {
+		if err := runPipelineBench(*batch, *workers, *seed, *asJSON, *kernelSweep, *inferSweep); err != nil {
 			fmt.Fprintf(os.Stderr, "lightator-bench: pipeline: %v\n", err)
 			os.Exit(1)
 		}

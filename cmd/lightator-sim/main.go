@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -18,26 +19,31 @@ import (
 	"lightator/internal/report"
 )
 
-func main() {
-	model := flag.String("model", "lenet", "model to simulate: "+strings.Join(lightator.Models(), ", "))
-	wBits := flag.Int("w", 4, "weight bits (MR tuning levels)")
-	aBits := flag.Int("a", 4, "activation bits (VCSEL drive levels)")
-	mxFirst := flag.Int("mx-first", 0, "Lightator-MX: keep the first weight layer at this precision (0 = uniform)")
-	csv := flag.Bool("csv", false, "emit the layer table as CSV")
-	flag.Parse()
+// run executes the command against args (excluding the program name),
+// writing output to stdout and usage/errors to stderr. Split from main
+// so the CLI surface is testable (flag set, golden flags, smoke run).
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lightator-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "lenet", "model to simulate: "+strings.Join(lightator.Models(), ", "))
+	wBits := fs.Int("w", 4, "weight bits (MR tuning levels)")
+	aBits := fs.Int("a", 4, "activation bits (VCSEL drive levels)")
+	mxFirst := fs.Int("mx-first", 0, "Lightator-MX: keep the first weight layer at this precision (0 = uniform)")
+	csv := fs.Bool("csv", false, "emit the layer table as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	acc, err := lightator.New(lightator.Config{
 		Precision: lightator.Precision{WBits: *wBits, ABits: *aBits, MXFirstWBits: *mxFirst},
 		Fidelity:  lightator.Physical,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lightator-sim:", err)
-		os.Exit(1)
+		return err
 	}
 	rep, err := acc.Simulate(*model)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lightator-sim:", err)
-		os.Exit(1)
+		return err
 	}
 
 	tb := report.Table{
@@ -58,14 +64,25 @@ func main() {
 		)
 	}
 	if *csv {
-		fmt.Print(tb.CSV())
+		fmt.Fprint(stdout, tb.CSV())
 	} else {
-		fmt.Println(tb.Render())
+		fmt.Fprintln(stdout, tb.Render())
 	}
-	fmt.Printf("frame latency : %ss\n", report.FormatSI(rep.FrameLatency, 3))
-	fmt.Printf("throughput    : %s FPS\n", report.FormatSI(rep.FPS, 3))
-	fmt.Printf("max power     : %s W\n", report.FormatSI(rep.MaxPower, 3))
-	fmt.Printf("avg power     : %s W\n", report.FormatSI(rep.AvgPower, 3))
-	fmt.Printf("efficiency    : %.4g KFPS/W\n", rep.KFPSPerW)
-	fmt.Printf("workload      : %d MACs, %d weights\n", rep.TotalMACs, rep.TotalWeights)
+	fmt.Fprintf(stdout, "frame latency : %ss\n", report.FormatSI(rep.FrameLatency, 3))
+	fmt.Fprintf(stdout, "throughput    : %s FPS\n", report.FormatSI(rep.FPS, 3))
+	fmt.Fprintf(stdout, "max power     : %s W\n", report.FormatSI(rep.MaxPower, 3))
+	fmt.Fprintf(stdout, "avg power     : %s W\n", report.FormatSI(rep.AvgPower, 3))
+	fmt.Fprintf(stdout, "efficiency    : %.4g KFPS/W\n", rep.KFPSPerW)
+	fmt.Fprintf(stdout, "workload      : %d MACs, %d weights\n", rep.TotalMACs, rep.TotalWeights)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			return // -h prints usage and exits 0, like flag.ExitOnError
+		}
+		fmt.Fprintln(os.Stderr, "lightator-sim:", err)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestGoldenFlags pins the CLI surface: every documented flag must stay
+// present under its exact name (scripts and CI depend on them).
+func TestGoldenFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-h"}, &stdout, &stderr)
+	if err != flag.ErrHelp {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	usage := stderr.String()
+	for _, name := range []string{"-model", "-w", "-a", "-mx-first", "-csv"} {
+		if !strings.Contains(usage, name) {
+			t.Errorf("usage output lost flag %s:\n%s", name, usage)
+		}
+	}
+}
+
+// TestSmokeRun drives the simulator end to end for a small model and
+// checks the headline numbers are rendered.
+func TestSmokeRun(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-model", "lenet"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr %q)", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"lenet on Lightator [4:4]", "throughput", "efficiency", "workload"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// CSV mode emits the same table machine-readably.
+	stdout.Reset()
+	if err := run([]string{"-model", "lenet", "-csv"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Layer,Kind,W,") {
+		t.Errorf("csv output missing header:\n%s", stdout.String())
+	}
+}
+
+// TestBadInputs pins the error paths: unknown model and invalid
+// precision fail instead of printing garbage.
+func TestBadInputs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-model", "nope"}, &stdout, &stderr); err == nil {
+		t.Error("unknown model did not fail")
+	}
+	if err := run([]string{"-w", "99"}, &stdout, &stderr); err == nil {
+		t.Error("invalid precision did not fail")
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lightator/internal/dataset"
@@ -20,24 +21,26 @@ import (
 	"lightator/internal/train"
 )
 
-func main() {
-	task := flag.String("task", "mnist", "task: mnist, cifar10, cifar100")
-	wBits := flag.Int("w", 4, "weight bits for QAT")
-	aBits := flag.Int("a", 4, "activation bits")
-	mxFirst := flag.Int("mx-first", 0, "Lightator-MX first-layer weight bits (0 = uniform)")
-	epochs := flag.Int("epochs", 5, "float training epochs")
-	qat := flag.Int("qat", 3, "QAT fine-tuning epochs")
-	trainN := flag.Int("train", 2000, "training samples")
-	testN := flag.Int("test", 500, "test samples")
-	width := flag.Int("width", 8, "VGG9-slim base width (CIFAR tasks)")
-	photonicN := flag.Int("photonic", 100, "photonic evaluation samples (0 = skip)")
-	seed := flag.Int64("seed", 1, "seed")
-	workers := flag.Int("workers", 0, "training workers (0 = NumCPU)")
-	flag.Parse()
-
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "lightator-train:", err)
-		os.Exit(1)
+// run executes the command against args (excluding the program name),
+// writing output to stdout and usage/errors to stderr. Split from main
+// so the CLI surface is testable (flag set, golden flags, smoke run).
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lightator-train", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	task := fs.String("task", "mnist", "task: mnist, cifar10, cifar100")
+	wBits := fs.Int("w", 4, "weight bits for QAT")
+	aBits := fs.Int("a", 4, "activation bits")
+	mxFirst := fs.Int("mx-first", 0, "Lightator-MX first-layer weight bits (0 = uniform)")
+	epochs := fs.Int("epochs", 5, "float training epochs")
+	qat := fs.Int("qat", 3, "QAT fine-tuning epochs")
+	trainN := fs.Int("train", 2000, "training samples")
+	testN := fs.Int("test", 500, "test samples")
+	width := fs.Int("width", 8, "VGG9-slim base width (CIFAR tasks)")
+	photonicN := fs.Int("photonic", 100, "photonic evaluation samples (0 = skip)")
+	seed := fs.Int64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "training workers (0 = NumCPU)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
 
 	var (
@@ -56,14 +59,14 @@ func main() {
 		full = dataset.NewObjects100(*trainN+*testN, *seed)
 		net, err = models.BuildVGG9Slim(3, 32, 32, 100, *width, *aBits)
 	default:
-		fail(fmt.Errorf("unknown task %q", *task))
+		return fmt.Errorf("unknown task %q", *task)
 	}
 	if err != nil {
-		fail(err)
+		return err
 	}
 	trainSet, testSet, err := full.Split(*trainN)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	net.InitHe(*seed + 13)
@@ -74,38 +77,49 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Seed = *seed
 	cfg.Verbose = true
-	fmt.Printf("training %s on %s: %d train / %d test, [%d:%d]",
+	fmt.Fprintf(stdout, "training %s on %s: %d train / %d test, [%d:%d]",
 		net.Layers[0].Name(), full.TaskName, trainSet.Len(), testSet.Len(), *wBits, *aBits)
 	if *mxFirst != 0 {
-		fmt.Printf(" (MX first layer [%d:%d])", *mxFirst, *aBits)
+		fmt.Fprintf(stdout, " (MX first layer [%d:%d])", *mxFirst, *aBits)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
 	if _, err := train.Train(net, trainSet, cfg); err != nil {
-		fail(err)
+		return err
 	}
 	if *mxFirst != 0 {
 		if err := nn.SetLayerWeightBits(net, 0, *mxFirst); err != nil {
-			fail(err)
+			return err
 		}
 	}
 	acc, err := train.Evaluate(net, testSet, 64)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("digital quantized accuracy: %.2f%%\n", acc*100)
+	fmt.Fprintf(stdout, "digital quantized accuracy: %.2f%%\n", acc*100)
 
 	if *photonicN > 0 {
 		pe, err := nn.NewPhotonicExec(net, *aBits, oc.Physical)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		pacc, err := train.EvaluatePhotonic(pe, testSet, 16, *photonicN)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Printf("photonic (crosstalk) accuracy on %d samples: %.2f%%\n", *photonicN, pacc*100)
-		fmt.Printf("network occupies %d optical-core arms; full-residency tuning power %.3g W\n",
+		fmt.Fprintf(stdout, "photonic (crosstalk) accuracy on %d samples: %.2f%%\n", *photonicN, pacc*100)
+		fmt.Fprintf(stdout, "network occupies %d optical-core arms; full-residency tuning power %.3g W\n",
 			pe.ArmCount(), pe.HeaterPower())
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			return // -h prints usage and exits 0, like flag.ExitOnError
+		}
+		fmt.Fprintln(os.Stderr, "lightator-train:", err)
+		os.Exit(1)
 	}
 }

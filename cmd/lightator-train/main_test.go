@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestGoldenFlags pins the CLI surface: every documented flag must stay
+// present under its exact name (scripts and CI depend on them).
+func TestGoldenFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-h"}, &stdout, &stderr)
+	if err != flag.ErrHelp {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	usage := stderr.String()
+	for _, name := range []string{
+		"-task", "-w", "-a", "-mx-first", "-epochs", "-qat",
+		"-train", "-test", "-width", "-photonic", "-seed", "-workers",
+	} {
+		if !strings.Contains(usage, name) {
+			t.Errorf("usage output lost flag %s:\n%s", name, usage)
+		}
+	}
+}
+
+// TestSmokeRun drives a miniature end-to-end training run (float + QAT +
+// photonic eval) and checks the report lines appear. Sizes are tiny so
+// the race-enabled CI job stays fast.
+func TestSmokeRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test skipped in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-task", "mnist", "-epochs", "1", "-qat", "1",
+		"-train", "24", "-test", "8", "-photonic", "4", "-workers", "2",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr %q)", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"training conv1 on synth-mnist",
+		"digital quantized accuracy",
+		"photonic (crosstalk) accuracy",
+		"optical-core arms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBadInputs pins the error paths.
+func TestBadInputs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-task", "nope"}, &stdout, &stderr); err == nil {
+		t.Error("unknown task did not fail")
+	}
+	if err := run([]string{"-task", "mnist", "-train", "0"}, &stdout, &stderr); err == nil {
+		t.Error("empty training split did not fail")
+	}
+}

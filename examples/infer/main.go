@@ -1,0 +1,132 @@
+// Compressed-domain CNN inference: the paper's headline DNN workload,
+// end to end. Scenes are captured by the ADC-less sensor, compressed by
+// the Compressive Acquisitor, and classified by networks whose conv and
+// dense layers execute on the optical MVM path directly over the
+// measurement plane — the electronic block only runs activations,
+// pooling and quantizers. The tour covers the built-in model registry,
+// the single-scene and batched facade paths, the pre-compressed-plane
+// path, and the digital reference that isolates the analog error.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"runtime"
+
+	"lightator"
+)
+
+// scene renders a bright disk jittered by i on a dim background: per-
+// frame structure that survives compressive averaging, so different
+// frames land on different logits.
+func scene(size, i int) *lightator.Image {
+	s := lightator.NewImage(size, size, 3)
+	cy := float64(size)/2 + float64(i%5-2)*float64(size)/8
+	cx := float64(size)/2 + float64((i*3)%5-2)*float64(size)/8
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			v := 0.1
+			if math.Hypot(float64(x)-cx, float64(y)-cy) < float64(size)/5 {
+				v = 0.9
+			}
+			s.Set(y, x, 0, v)
+			s.Set(y, x, 1, v)
+			s.Set(y, x, 2, v)
+		}
+	}
+	return s
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func main() {
+	const sensorSize = 64
+	cfg := lightator.DefaultConfig()
+	cfg.SensorRows, cfg.SensorCols = sensorSize, sensorSize
+	cfg.CAPool = 4 // 4x4 pooling: a 16x16 measurement plane per frame
+	acc, err := lightator.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The model registry: built-in demonstration models are compiled onto
+	// the MR banks at construction; RegisterModel adds trained networks.
+	fmt.Println("registered inference models:")
+	for _, name := range acc.Models() {
+		desc, err := acc.ModelDescription(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s %s\n", name, desc)
+	}
+
+	// Single-scene path: capture + CA + optical inference in one call.
+	sc := scene(sensorSize, 0)
+	logits, err := acc.Infer(sc, "tiny-cnn")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntiny-cnn on one scene: class %d, logits %.3f\n", argmax(logits), logits)
+
+	// Pre-compressed path: callers already holding CA measurements skip
+	// capture and compression.
+	plane, err := acc.AcquireCompressed(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct, err := acc.InferPlane(plane, "tiny-cnn")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pre-compressed plane:  class %d (plane %dx%d)\n", argmax(direct), plane.H, plane.W)
+
+	// The digital reference isolates the analog path: same quantized
+	// network, exact arithmetic, no crosstalk or noise.
+	ref, err := acc.InferReference(plane, "tiny-cnn")
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst := 0.0
+	for i := range ref {
+		worst = math.Max(worst, math.Abs(direct[i]-ref[i]))
+	}
+	fmt.Printf("optical vs digital reference: top-1 agrees=%v, worst logit gap %.4f\n",
+		argmax(direct) == argmax(ref), worst)
+
+	// Batched path: a burst of frames through the concurrent pipeline
+	// with inference as a post-stage. Per-frame seeding makes the batch
+	// bit-identical for any worker count, even in PhysicalNoisy fidelity.
+	scenes := make([]*lightator.Image, 16)
+	for i := range scenes {
+		scenes[i] = scene(sensorSize, i)
+	}
+	p, err := acc.NewPipeline(lightator.PipelineOptions{Workers: runtime.NumCPU(), Infer: "tiny-cnn"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, stats, err := p.Run(scenes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	classes := make([]int, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		classes[i] = argmax(r.Logits)
+	}
+	fmt.Printf("\nbatched inference over %d frames -> classes %v\n%s\n", len(scenes), classes, stats.Render())
+
+	// The same workload serves over HTTP: acc.NewServer exposes it at
+	// POST /v1/infer with per-model micro-batching (see examples/serving
+	// and docs/INFER.md for the curl shapes).
+}

@@ -1,0 +1,225 @@
+package lightator_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"lightator"
+	"lightator/internal/nn"
+	"lightator/internal/train"
+)
+
+// planeDataset adapts a set of compressed measurement planes to
+// train.Dataset: the training distribution served inference actually
+// sees (capture + CA output), not raw scenes.
+type planeDataset struct {
+	planes []*lightator.Image
+	labels []int
+}
+
+func (d *planeDataset) Len() int { return len(d.labels) }
+
+func (d *planeDataset) Sample(i int, dst []float64) int {
+	copy(dst, d.planes[i].Pix)
+	return d.labels[i]
+}
+
+func (d *planeDataset) InputShape() []int {
+	return []int{1, d.planes[0].H, d.planes[0].W}
+}
+
+// brightHalfScene renders a two-class scene: class 0 lights the top
+// half, class 1 the bottom half, with per-pixel jitter.
+func brightHalfScene(rng *rand.Rand, rows, cols, class int) *lightator.Image {
+	s := lightator.NewImage(rows, cols, 3)
+	for y := 0; y < rows; y++ {
+		base := 0.15
+		if (class == 0 && y < rows/2) || (class == 1 && y >= rows/2) {
+			base = 0.8
+		}
+		for x := 0; x < cols; x++ {
+			for c := 0; c < 3; c++ {
+				v := base + rng.NormFloat64()*0.05
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				s.Pix[(y*cols+x)*3+c] = v
+			}
+		}
+	}
+	return s
+}
+
+// trainTinyInferModel trains the 2-class head on CA planes produced by a
+// deterministic accelerator and returns the trained network plus a held-
+// out accuracy.
+func trainTinyInferModel(t *testing.T, rows, cols, pool int) (*nn.Sequential, float64) {
+	t.Helper()
+	cfg := lightator.DefaultConfig()
+	cfg.SensorRows, cfg.SensorCols, cfg.CAPool = rows, cols, pool
+	cfg.Fidelity = lightator.Ideal
+	acc, err := lightator.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	rng := rand.New(rand.NewSource(41))
+	scenes := make([]*lightator.Image, n)
+	labels := make([]int, n)
+	for i := range scenes {
+		labels[i] = i % 2
+		scenes[i] = brightHalfScene(rng, rows, cols, labels[i])
+	}
+	planes, err := acc.AcquireCompressedBatch(scenes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainDS := &planeDataset{planes: planes[:48], labels: labels[:48]}
+	testDS := &planeDataset{planes: planes[48:], labels: labels[48:]}
+
+	h, w := rows/pool, cols/pool
+	net := nn.NewSequential(
+		nn.NewFlatten("flatten"),
+		nn.NewDense("fc1", h*w, 8),
+		nn.NewReLU("relu1"),
+		nn.NewActQuant("aq1", 4),
+		nn.NewDense("fc2", 8, 2),
+	)
+	net.InitHe(7)
+	tcfg := train.DefaultConfig()
+	tcfg.Epochs, tcfg.QATEpochs = 3, 1
+	tcfg.BatchSize = 8
+	tcfg.Workers = 2
+	if _, err := train.Train(net, trainDS, tcfg); err != nil {
+		t.Fatal(err)
+	}
+	accuracy, err := train.Evaluate(net, testDS, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, accuracy
+}
+
+// TestTrainedModelServedByteIdentical is the models/train integration
+// test: a network trained with package train on CA planes is registered
+// on the facade and served at /v1/infer; concurrent clients in every
+// fidelity must receive bytes identical to the direct facade Infer call,
+// and the trained model must actually have learned the task.
+func TestTrainedModelServedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training integration test skipped in -short mode")
+	}
+	const rows, cols, pool = 16, 16, 4
+	net, accuracy := trainTinyInferModel(t, rows, cols, pool)
+	if accuracy < 0.75 {
+		t.Fatalf("trained tiny model only reaches %.0f%% held-out accuracy; training is broken", 100*accuracy)
+	}
+
+	for _, fid := range []lightator.Fidelity{lightator.Ideal, lightator.Physical, lightator.PhysicalNoisy} {
+		t.Run(fid.String(), func(t *testing.T) {
+			cfg := lightator.DefaultConfig()
+			cfg.SensorRows, cfg.SensorCols, cfg.CAPool = rows, cols, pool
+			cfg.Fidelity = fid
+			acc, err := lightator.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// CloneShared: each fidelity's compile snapshots the same
+			// trained weights without sharing scratch state.
+			if err := acc.RegisterModel("trained-tiny", "trained 2-class bright-half head", net.CloneShared()); err != nil {
+				t.Fatal(err)
+			}
+			srv, err := acc.NewServer(lightator.ServeOptions{
+				Workers: 2, BatchSize: 3, BatchDelay: 3 * time.Millisecond, CacheEntries: -1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			const clients = 8
+			rng := rand.New(rand.NewSource(1117))
+			scenes := make([]*lightator.Image, clients)
+			want := make([][]byte, clients)
+			hits := 0
+			for i := range scenes {
+				class := i % 2
+				scenes[i] = brightHalfScene(rng, rows, cols, class)
+				logits, err := acc.Infer(scenes[i], "trained-tiny")
+				if err != nil {
+					t.Fatal(err)
+				}
+				top := 0
+				if logits[1] > logits[0] {
+					top = 1
+				}
+				if top == class {
+					hits++
+				}
+				body, err := json.Marshal(lightator.InferResponse{Model: "trained-tiny", Logits: logits, Class: top})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = append(body, '\n')
+			}
+			// The trained model should classify the easy synthetic task
+			// well even through the analog path.
+			if hits < 6 {
+				t.Errorf("optical inference only got %d/%d scenes right in %v", hits, clients, fid)
+			}
+
+			got := make([][]byte, clients)
+			var wg sync.WaitGroup
+			for i := range scenes {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					wire := lightator.EncodeImage(scenes[i])
+					body, err := json.Marshal(lightator.InferRequest{
+						Model: "trained-tiny",
+						Scene: &wire,
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer resp.Body.Close()
+					var buf bytes.Buffer
+					if _, err := buf.ReadFrom(resp.Body); err != nil {
+						t.Error(err)
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("client %d: status %d (%s)", i, resp.StatusCode, buf.String())
+						return
+					}
+					got[i] = buf.Bytes()
+				}(i)
+			}
+			wg.Wait()
+			for i := range scenes {
+				if got[i] == nil {
+					t.Fatalf("client %d: no response", i)
+				}
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("fidelity %v client %d: served /v1/infer differs from direct Infer", fid, i)
+				}
+			}
+		})
+	}
+}

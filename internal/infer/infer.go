@@ -1,0 +1,425 @@
+// Package infer is Lightator's compressed-domain CNN inference engine:
+// the layer that executes trained networks (package nn / models) through
+// the optical core's MVM path directly over compressively-acquired
+// measurement planes — the paper's headline DNN workload, served with the
+// same determinism contract as the kernels package.
+//
+// A Model is a compiled network: every Conv2D and Dense layer becomes a
+// matrix programmed once onto the MR banks with the full-scale weight
+// normalisation the kernels package established (the matrix is scaled so
+// its largest magnitude sits at ±1 and the factor is restored digitally,
+// keeping small weights out of the quantization floor), while activation
+// functions, pooling, flattening and activation quantizers stay in the
+// electronic domain — exactly how the paper partitions the workload
+// between the optical core and the electronic block.
+//
+// Execution model, per layer L of seed s:
+//
+//   - Conv2D: the input plane is unrolled into k² x InC patches (im2col)
+//     and the whole patch batch streams through the programmed matrix via
+//     oc.ProgrammedMatrix.ApplyBatchSeeded under DeriveSeed(s, L) — patch
+//     j draws its noise from the j-th child stream, so the result is
+//     bit-identical for any worker count.
+//
+//   - Dense: each batch row is one activation vector through the same
+//     seeded batch path.
+//
+//   - Everything else runs the layer's own digital Forward in inference
+//     mode.
+//
+// Determinism contract: Apply(plane, seed, workers) is bit-identical for
+// any worker count and any interleaving, in every fidelity — the same
+// contract as kernels.Kernel.Apply, and the property the serving layer's
+// /v1/infer byte-identity rests on. Reference computes the digital
+// reference: the same quantized network (bank weight grid, ABits
+// activation grid) in exact arithmetic with no analog effects, so the
+// optical-vs-reference gap isolates crosstalk and noise — the same split
+// kernels.Kernel.Reference draws.
+//
+// Relationship to nn.PhotonicExec: that executor is the training-eval
+// path (per-layer cores for Lightator-MX, shared-noise Apply, accuracy
+// experiments); this package is the serving path — seeded determinism,
+// full-scale weight normalisation, a quantized digital reference, and a
+// registry. The im2col/scale machinery intentionally mirrors it; a fix
+// to the layer mapping likely applies to both.
+//
+// See docs/INFER.md for the layer mapping, the accuracy-vs-compression
+// behaviour and the serving integration.
+package infer
+
+import (
+	"fmt"
+
+	"lightator/internal/nn"
+	"lightator/internal/oc"
+	"lightator/internal/sensor"
+)
+
+// stageKind partitions a compiled network between the optical core and
+// the electronic block.
+type stageKind int
+
+const (
+	stageDigital stageKind = iota // electronic: activations, pooling, quantizers
+	stageConv                     // optical MVM over im2col patches
+	stageDense                    // optical MVM over batch rows
+)
+
+// stage is one compiled layer.
+type stage struct {
+	kind  stageKind
+	layer nn.Layer // digital stages only
+
+	// Optical-stage fields: the programmed matrix, the full-scale weight
+	// factor sw restored digitally, the calibrated input activation scale
+	// sx that normalises inputs into the DMVA's [0,1] drive range, the
+	// electronic bias add, and the conv geometry (stageConv only).
+	pm   *oc.ProgrammedMatrix
+	sw   float64
+	sx   float64
+	bias []float64
+	conv *nn.Conv2D
+
+	// refW is the bank-grid-quantized normalised weight matrix — exactly
+	// the levels the MRs are tuned to (core.SnapWeight), as exact
+	// floats. Reference runs the quantized MVM digitally with it.
+	refW [][]float64
+	// core supplies the activation grid Reference mirrors
+	// (QuantizeActivation).
+	core *oc.Core
+}
+
+// Model is a compiled network resident on one optical core. It is
+// immutable after Compile and safe for concurrent Apply calls; the
+// programmed MR banks are shared, scratch state is per call.
+type Model struct {
+	name    string
+	desc    string
+	inH     int
+	inW     int
+	classes int
+	stages  []stage
+}
+
+// Compile programs a trained network onto the core for single-channel
+// inH x inW input planes (the CA measurement plane). Every Conv2D and
+// Dense layer must have non-zero weights; every ActQuant must be
+// calibrated (Scale > 0) so activations can be normalised into the
+// optical drive range. The network must end in a [N, classes] logits
+// tensor and contain at least one conv/dense layer (otherwise nothing
+// would execute optically). The network's weights are captured at
+// compile time — training the network afterwards desynchronises the
+// programmed matrices from Reference, so compile after training.
+func Compile(core *oc.Core, name, desc string, net *nn.Sequential, inH, inW int) (*Model, error) {
+	if core == nil {
+		return nil, fmt.Errorf("infer: %s: compile needs an optical core", name)
+	}
+	if name == "" {
+		return nil, fmt.Errorf("infer: model name must be non-empty")
+	}
+	if inH < 1 || inW < 1 {
+		return nil, fmt.Errorf("infer: %s: invalid input plane %dx%d", name, inH, inW)
+	}
+	m := &Model{name: name, desc: desc, inH: inH, inW: inW}
+	sx := 1.0 // the compressed plane arrives in the sensor's [0,1] range
+	optical := 0
+	for _, l := range net.Layers {
+		switch layer := l.(type) {
+		case *nn.Conv2D:
+			st, err := buildMVMStage(core, layer.Name(), layer.W.Data, layer.B.Data, sx)
+			if err != nil {
+				return nil, fmt.Errorf("infer: %s: %w", name, err)
+			}
+			st.kind = stageConv
+			st.conv = layer
+			m.stages = append(m.stages, st)
+			optical++
+		case *nn.Dense:
+			st, err := buildMVMStage(core, layer.Name(), layer.W.Data, layer.B.Data, sx)
+			if err != nil {
+				return nil, fmt.Errorf("infer: %s: %w", name, err)
+			}
+			st.kind = stageDense
+			m.stages = append(m.stages, st)
+			optical++
+		case *nn.ActQuant:
+			if layer.Scale <= 0 {
+				return nil, fmt.Errorf("infer: %s: activation quantizer %s is not calibrated (Scale <= 0); run a calibration forward pass first", name, layer.Name())
+			}
+			sx = layer.Scale
+			m.stages = append(m.stages, stage{kind: stageDigital, layer: l})
+		default:
+			m.stages = append(m.stages, stage{kind: stageDigital, layer: l})
+		}
+	}
+	if optical == 0 {
+		return nil, fmt.Errorf("infer: %s: network has no conv/dense layers to execute optically", name)
+	}
+	// Dry digital run pins the output contract (logits) and catches
+	// geometry mismatches at compile time instead of first request.
+	probe, err := net.Forward(nn.NewTensor(1, 1, inH, inW), false)
+	if err != nil {
+		return nil, fmt.Errorf("infer: %s: network rejects a 1x%dx%d plane: %w", name, inH, inW, err)
+	}
+	if len(probe.Shape) != 2 || probe.Shape[0] != 1 {
+		return nil, fmt.Errorf("infer: %s: network output shape %v, want [1, classes] logits", name, probe.Shape)
+	}
+	m.classes = probe.Shape[1]
+	return m, nil
+}
+
+// buildMVMStage applies the full-scale normalisation split: the matrix is
+// programmed at w/sw (largest magnitude at ±1, the grid oc.Program
+// quantizes best) and sw is restored digitally together with the input
+// activation scale sx. wData layout: [rows][cols] flattened, rows =
+// len(bias).
+func buildMVMStage(core *oc.Core, layerName string, wData, bias []float64, sx float64) (stage, error) {
+	sw := 0.0
+	for _, v := range wData {
+		if v < -sw || v > sw {
+			if v < 0 {
+				sw = -v
+			} else {
+				sw = v
+			}
+		}
+	}
+	if sw == 0 {
+		return stage{}, fmt.Errorf("%s: all-zero weights cannot be programmed", layerName)
+	}
+	rows := len(bias)
+	if rows == 0 || len(wData)%rows != 0 {
+		return stage{}, fmt.Errorf("%s: weight count %d not divisible by %d output rows", layerName, len(wData), rows)
+	}
+	cols := len(wData) / rows
+	w := make([][]float64, rows)
+	refW := make([][]float64, rows)
+	for r := 0; r < rows; r++ {
+		w[r] = make([]float64, cols)
+		refW[r] = make([]float64, cols)
+		for c := 0; c < cols; c++ {
+			v := wData[r*cols+c] / sw
+			w[r][c] = v
+			refW[r][c] = core.SnapWeight(v)
+		}
+	}
+	pm, err := core.Program(w)
+	if err != nil {
+		return stage{}, fmt.Errorf("%s: %w", layerName, err)
+	}
+	return stage{
+		pm: pm, sw: sw, sx: sx, bias: append([]float64(nil), bias...),
+		refW: refW, core: core,
+	}, nil
+}
+
+// Name is the registry key (and the /v1/infer "model" field).
+func (m *Model) Name() string { return m.name }
+
+// Description is a one-line human-readable summary.
+func (m *Model) Description() string { return m.desc }
+
+// InputDims returns the expected compressed-plane dimensions.
+func (m *Model) InputDims() (h, w int) { return m.inH, m.inW }
+
+// Classes returns the logit width.
+func (m *Model) Classes() int { return m.classes }
+
+// checkPlane rejects inputs the compiled geometry would misread.
+func (m *Model) checkPlane(plane *sensor.Image) error {
+	if plane == nil || plane.C != 1 {
+		c := 0
+		if plane != nil {
+			c = plane.C
+		}
+		return fmt.Errorf("infer: %s: input must be a single-channel compressed plane, have %d channels", m.name, c)
+	}
+	if plane.H != m.inH || plane.W != m.inW {
+		return fmt.Errorf("infer: %s: input plane %dx%d, model compiled for %dx%d", m.name, plane.H, plane.W, m.inH, m.inW)
+	}
+	return nil
+}
+
+// Apply runs the compiled network over a compressed measurement plane
+// through the optical core and returns the logits. Layer i draws its
+// noise from oc.DeriveSeed(seed, i) and shards its MVM batch across up to
+// `workers` goroutines; the result is bit-identical for any worker count
+// and any interleaving (package determinism contract).
+func (m *Model) Apply(plane *sensor.Image, seed int64, workers int) ([]float64, error) {
+	return m.walk(plane, false, seed, workers)
+}
+
+// walk is the single stage loop behind Apply (ref false, optical) and
+// Reference (ref true, exact quantized digital) — one owner, so the two
+// paths can never desynchronise on stage order or dispatch.
+func (m *Model) walk(plane *sensor.Image, ref bool, seed int64, workers int) ([]float64, error) {
+	if err := m.checkPlane(plane); err != nil {
+		return nil, err
+	}
+	x := nn.NewTensor(1, 1, m.inH, m.inW)
+	copy(x.Data, plane.Pix)
+	var err error
+	for i := range m.stages {
+		st := &m.stages[i]
+		layerSeed := oc.DeriveSeed(seed, i)
+		switch st.kind {
+		case stageDigital:
+			x, err = st.layer.Forward(x, false)
+			if err != nil {
+				err = fmt.Errorf("infer: %s: %s: %w", m.name, st.layer.Name(), err)
+			}
+		case stageConv:
+			x, err = st.applyConv(x, ref, layerSeed, workers)
+		case stageDense:
+			x, err = st.applyDense(x, ref, layerSeed, workers)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return append([]float64(nil), x.Data...), nil
+}
+
+// applyConv unrolls the input into im2col patches and streams the whole
+// patch batch through the programmed matrix (paper Fig. 5 mapping: each
+// 9-tap kernel slice occupies one arm, partial sums combine in the
+// summation tree). Patch j of the window-row-major walk draws its noise
+// from DeriveSeed(layerSeed, j). ref selects the exact digital quantized
+// path instead of the optical one.
+func (st *stage) applyConv(x *nn.Tensor, ref bool, layerSeed int64, workers int) (*nn.Tensor, error) {
+	c := st.conv
+	if len(x.Shape) != 4 {
+		return nil, fmt.Errorf("infer: conv %s wants NCHW input, got rank %d", c.Name(), len(x.Shape))
+	}
+	n, inC, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if inC != c.InC {
+		return nil, fmt.Errorf("infer: conv %s input channels %d, want %d", c.Name(), inC, c.InC)
+	}
+	oh, ow := c.OutHW(h, w)
+	if oh < 1 || ow < 1 {
+		return nil, fmt.Errorf("infer: conv %s: empty output for input %dx%d", c.Name(), h, w)
+	}
+	patchLen := c.InC * c.K * c.K
+	patches := make([][]float64, n*oh*ow)
+	buf := make([]float64, len(patches)*patchLen)
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				j := (b*oh+oy)*ow + ox
+				patch := buf[j*patchLen : (j+1)*patchLen]
+				i := 0
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride + ky - c.Pad
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox*c.Stride + kx - c.Pad
+							if iy < 0 || iy >= h || ix < 0 || ix >= w {
+								patch[i] = 0
+							} else {
+								patch[i] = x.At4(b, ic, iy, ix) / st.sx
+							}
+							i++
+						}
+					}
+				}
+				patches[j] = patch
+			}
+		}
+	}
+	ys, err := st.runMVMBatch(patches, ref, layerSeed, workers)
+	if err != nil {
+		return nil, fmt.Errorf("infer: conv %s: %w", c.Name(), err)
+	}
+	out := nn.NewTensor(n, c.OutC, oh, ow)
+	restore := st.sw * st.sx
+	for j, y := range ys {
+		b, oy, ox := j/(oh*ow), (j/ow)%oh, j%ow
+		for oc := 0; oc < c.OutC; oc++ {
+			out.Set4(b, oc, oy, ox, y[oc]*restore+st.bias[oc])
+		}
+	}
+	return out, nil
+}
+
+// applyDense streams each batch row through the programmed matrix; row b
+// draws its noise from DeriveSeed(layerSeed, b). ref selects the exact
+// digital quantized path instead of the optical one.
+func (st *stage) applyDense(x *nn.Tensor, ref bool, layerSeed int64, workers int) (*nn.Tensor, error) {
+	if len(x.Shape) != 2 {
+		return nil, fmt.Errorf("infer: dense stage wants [N,D] input (flatten first), got rank %d", len(x.Shape))
+	}
+	n, d := x.Shape[0], x.Shape[1]
+	if d != st.pm.Cols() {
+		return nil, fmt.Errorf("infer: dense stage input width %d, want %d", d, st.pm.Cols())
+	}
+	vecs := make([][]float64, n)
+	buf := make([]float64, n*d)
+	for b := 0; b < n; b++ {
+		vec := buf[b*d : (b+1)*d]
+		for i := 0; i < d; i++ {
+			vec[i] = x.At2(b, i) / st.sx
+		}
+		vecs[b] = vec
+	}
+	ys, err := st.runMVMBatch(vecs, ref, layerSeed, workers)
+	if err != nil {
+		return nil, fmt.Errorf("infer: dense stage: %w", err)
+	}
+	out := nn.NewTensor(n, st.pm.Rows())
+	restore := st.sw * st.sx
+	for b, y := range ys {
+		for o, v := range y {
+			out.Set2(b, o, v*restore+st.bias[o])
+		}
+	}
+	return out, nil
+}
+
+// Reference computes the digital reference of the compiled model: the
+// same stage walk as Apply with the same weight and activation grids,
+// but exact arithmetic and no analog effects (no crosstalk, no noise).
+// The optical-vs-reference gap therefore isolates the analog model; in
+// Ideal fidelity the two agree to float round-off. Safe for concurrent
+// use, like Apply.
+func (m *Model) Reference(plane *sensor.Image) ([]float64, error) {
+	return m.walk(plane, true, 0, 1)
+}
+
+// runMVMBatch executes a batch of normalised activation vectors either
+// through the optical core (seeded, sharded) or through the exact
+// digital quantized reference: grid weights times grid activations,
+// plain arithmetic.
+func (st *stage) runMVMBatch(vecs [][]float64, ref bool, layerSeed int64, workers int) ([][]float64, error) {
+	if !ref {
+		return st.pm.ApplyBatchSeeded(vecs, workers, layerSeed)
+	}
+	ys := make([][]float64, len(vecs))
+	xq := make([]float64, 0)
+	for j, vec := range vecs {
+		xq = xq[:0]
+		for _, v := range vec {
+			xq = append(xq, st.core.QuantizeActivation(v))
+		}
+		y := make([]float64, len(st.refW))
+		for r, row := range st.refW {
+			sum := 0.0
+			for c, w := range row {
+				sum += w * xq[c]
+			}
+			y[r] = sum
+		}
+		ys[j] = y
+	}
+	return ys, nil
+}
+
+// Argmax returns the top-1 class of a logit vector (-1 for empty input).
+func Argmax(logits []float64) int {
+	best := -1
+	for i, v := range logits {
+		if best < 0 || v > logits[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -14,6 +14,12 @@ import (
 // optional BPD noise, depending on the core fidelity). Activation
 // functions, pooling and biases stay in the electronic domain, exactly as
 // the paper partitions them.
+//
+// This is the training-eval executor (Table 1 accuracy, Lightator-MX
+// per-layer cores, shared-noise Apply). The served inference path lives
+// in internal/infer, which mirrors this layer mapping with seeded
+// determinism and full-scale weight normalisation — a fix to the conv
+// patch walk or scale handling likely applies to both.
 type PhotonicExec struct {
 	ABits    int
 	Fidelity oc.Fidelity

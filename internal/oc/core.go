@@ -111,6 +111,14 @@ func deriveArmNoiseSigma() float64 {
 // (ablation benches report it).
 func (c *Core) ArmNoiseSigma() float64 { return c.noiseSigma }
 
+// SnapWeight maps a normalised weight in [-1,1] onto the signed bank
+// level grid — the exact coefficient the tuned MR realises in Ideal
+// fidelity (LevelToWeight of WeightToLevel). Digital reference paths
+// (internal/infer) use it so the weight grid has a single owner.
+func (c *Core) SnapWeight(v float64) float64 {
+	return c.bank.LevelToWeight(c.bank.WeightToLevel(v))
+}
+
 // QuantizeActivation maps x in [0,1] to its ABits code's value. Values are
 // clipped, matching the saturating CRC/driver chain.
 func (c *Core) QuantizeActivation(x float64) float64 {

@@ -1,0 +1,141 @@
+package pipeline
+
+import (
+	"testing"
+
+	"lightator/internal/infer"
+	"lightator/internal/oc"
+	"lightator/internal/sensor"
+)
+
+// testInferModel builds a compiled tiny model over the compressed plane
+// of a rows x cols sensor at the given CA pool.
+func testInferModel(t *testing.T, core *oc.Core, pool, rows, cols int) *infer.Model {
+	t.Helper()
+	eng, err := infer.NewEngine(core, pool, rows/pool, cols/pool, 0xfeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := eng.Model("tiny-cnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestInferStageMatchesDirectComposition pins the inference stage's exact
+// seed derivation: frame i's logits equal the hand-composed Capture ->
+// CompressSeeded(DeriveSeed(frameSeed, 1)) -> Apply(DeriveSeed(frameSeed,
+// 4)) chain, bit for bit, in PhysicalNoisy fidelity. A change to the
+// stage seed tags breaks the facade/server determinism contract, and
+// this test, together.
+func TestInferStageMatchesDirectComposition(t *testing.T) {
+	const baseSeed = 1234
+	core, err := oc.NewCore(4, 4, oc.PhysicalNoisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := testInferModel(t, core, 2, 16, 16)
+	p, err := New(Config{
+		Rows: 16, Cols: 16, Workers: 3, Seed: baseSeed,
+		CAPool: 2, Infer: model, Core: core,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenes := testScenes(5, 16, 16)
+	results, stats, err := p.Run(scenes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Infer.Count != len(scenes) {
+		t.Errorf("infer stage observed %d frames, want %d", stats.Infer.Count, len(scenes))
+	}
+
+	arr, err := sensor.NewArray(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := oc.NewAcquisitor(core, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("frame %d: %v", i, res.Err)
+		}
+		frameSeed := oc.DeriveSeed(baseSeed, i)
+		frame, err := arr.Capture(scenes[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, err := ca.CompressSeeded(frame, oc.DeriveSeed(frameSeed, seedCompress))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := model.Apply(small, oc.DeriveSeed(frameSeed, seedInfer), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Logits) != len(want) {
+			t.Fatalf("frame %d: %d logits, want %d", i, len(res.Logits), len(want))
+		}
+		for j := range want {
+			if res.Logits[j] != want[j] {
+				t.Fatalf("frame %d: logit %d differs: %g (pipeline) vs %g (direct)",
+					i, j, res.Logits[j], want[j])
+			}
+		}
+	}
+}
+
+// TestInferStageWorkerInvariance runs the same seeded batch at 1 and 4
+// workers in PhysicalNoisy fidelity; logits must be bit-identical.
+func TestInferStageWorkerInvariance(t *testing.T) {
+	core, err := oc.NewCore(4, 4, oc.PhysicalNoisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := testInferModel(t, core, 2, 16, 16)
+	scenes := testScenes(6, 16, 16)
+	var want []Result
+	for _, workers := range []int{1, 4} {
+		p, err := New(Config{
+			Rows: 16, Cols: 16, Workers: workers, Seed: 777,
+			CAPool: 2, Infer: model, Core: core,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, _, err := p.Run(scenes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = results
+			continue
+		}
+		for i := range results {
+			if results[i].Err != nil {
+				t.Fatalf("frame %d: %v", i, results[i].Err)
+			}
+			for j := range want[i].Logits {
+				if results[i].Logits[j] != want[i].Logits[j] {
+					t.Fatalf("frame %d logit %d differs across worker counts", i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestInferStageRequiresCA pins the configuration guard.
+func TestInferStageRequiresCA(t *testing.T) {
+	core, err := oc.NewCore(4, 4, oc.Physical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := testInferModel(t, core, 2, 16, 16)
+	if _, err := New(Config{Rows: 16, Cols: 16, Infer: model, Core: core}); err == nil {
+		t.Fatal("pipeline accepted an inference stage without compressive acquisition")
+	}
+}

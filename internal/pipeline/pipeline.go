@@ -42,7 +42,19 @@ const (
 	seedCompress = 1
 	seedMatVec   = 2
 	seedKernel   = 3
+	seedInfer    = 4
 )
+
+// InferModel is the inference post-stage contract, implemented by
+// infer.Model: a compiled network that consumes the CA measurement plane
+// and returns class logits, bit-identically for any worker count (window
+// j of layer L draws its noise from per-layer DeriveSeed child streams).
+// Declared here, not imported, so the pipeline depends on the contract
+// rather than the engine.
+type InferModel interface {
+	Name() string
+	Apply(plane *sensor.Image, seed int64, workers int) ([]float64, error)
+}
 
 // Config assembles a pipeline.
 type Config struct {
@@ -68,6 +80,11 @@ type Config struct {
 	// internal/kernels and docs/KERNELS.md. Kernel and Weights may be
 	// combined — both consume the compressed plane independently.
 	Kernel kernels.Kernel
+	// Infer, when non-nil, adds a compressed-domain CNN inference stage
+	// applied to the CA output plane (requires CAPool > 0); see
+	// internal/infer and docs/INFER.md. Infer composes freely with Kernel
+	// and Weights — all three consume the compressed plane independently.
+	Infer InferModel
 	// Core executes the CA and MVM stages; required when either is
 	// enabled.
 	Core *oc.Core
@@ -90,14 +107,17 @@ type Result struct {
 	// Config.Kernel is nil). Values may lie outside [0,1] — e.g. signed
 	// edge responses.
 	Processed *sensor.Image
+	// Logits is the compressed-domain inference output (nil when
+	// Config.Infer is nil).
+	Logits []float64
 	// Output is the MVM stage result (nil when Weights == nil).
 	Output []float64
 	// Err is the first stage error; later stages are skipped. A frame
 	// error does not abort the run — other frames keep flowing.
 	Err error
-	// CaptureTime, CompressTime, KernelTime and MatVecTime are per-stage
-	// latencies.
-	CaptureTime, CompressTime, KernelTime, MatVecTime time.Duration
+	// CaptureTime, CompressTime, KernelTime, InferTime and MatVecTime are
+	// per-stage latencies.
+	CaptureTime, CompressTime, KernelTime, InferTime, MatVecTime time.Duration
 }
 
 // Pipeline is a configured worker pool. It is safe to call Run and
@@ -141,13 +161,16 @@ func New(cfg Config) (*Pipeline, error) {
 		proto = arr
 	}
 	p := &Pipeline{cfg: cfg, proto: proto}
-	if cfg.CAPool != 0 || cfg.Weights != nil || cfg.Kernel != nil {
+	if cfg.CAPool != 0 || cfg.Weights != nil || cfg.Kernel != nil || cfg.Infer != nil {
 		if cfg.Core == nil {
-			return nil, fmt.Errorf("pipeline: CA/MVM/kernel stages enabled but no optical core configured")
+			return nil, fmt.Errorf("pipeline: CA/MVM/kernel/infer stages enabled but no optical core configured")
 		}
 	}
 	if cfg.Kernel != nil && cfg.CAPool == 0 {
 		return nil, fmt.Errorf("pipeline: kernel stage %q needs the compressive acquisition stage (CAPool > 0)", cfg.Kernel.Name())
+	}
+	if cfg.Infer != nil && cfg.CAPool == 0 {
+		return nil, fmt.Errorf("pipeline: inference stage %q needs the compressive acquisition stage (CAPool > 0)", cfg.Infer.Name())
 	}
 	mvmCols := cfg.Rows * cfg.Cols
 	if cfg.CAPool != 0 {
@@ -227,6 +250,22 @@ func (p *Pipeline) processFrame(arr *sensor.Array, idx int, frameSeed int64, sce
 				return res
 			}
 			res.Processed = proc
+		}
+
+		if p.cfg.Infer != nil {
+			t0 = time.Now()
+			// Workers is 1 for the same reason as the kernel stage:
+			// frame-level parallelism already saturates the pool, and the
+			// infer contract makes the worker count unobservable anyway.
+			logits, err := p.cfg.Infer.Apply(small, oc.DeriveSeed(frameSeed, seedInfer), 1)
+			res.InferTime = time.Since(t0)
+			st.Infer.Observe(res.InferTime)
+			if err != nil {
+				res.Err = fmt.Errorf("pipeline: frame %d infer %s: %w", idx, p.cfg.Infer.Name(), err)
+				st.Errors++
+				return res
+			}
+			res.Logits = logits
 		}
 	} else if p.pm != nil {
 		activations = make([]float64, frame.Rows*frame.Cols)

@@ -128,11 +128,12 @@ type Stats struct {
 	FPS float64
 	// Workers is the worker count the run used.
 	Workers int
-	// Capture, Compress, Kernel and MatVec are per-stage latency
+	// Capture, Compress, Kernel, Infer and MatVec are per-stage latency
 	// histograms; stages that were not enabled have Count == 0.
 	Capture  LatencyHist
 	Compress LatencyHist
 	Kernel   LatencyHist
+	Infer    LatencyHist
 	MatVec   LatencyHist
 }
 
@@ -171,6 +172,7 @@ type StatsReport struct {
 	Capture  StageReport `json:"capture"`
 	Compress StageReport `json:"compress"`
 	Kernel   StageReport `json:"kernel"`
+	Infer    StageReport `json:"infer"`
 	MatVec   StageReport `json:"matvec"`
 }
 
@@ -185,6 +187,7 @@ func (s *Stats) Report() StatsReport {
 		Capture:  s.Capture.Report(),
 		Compress: s.Compress.Report(),
 		Kernel:   s.Kernel.Report(),
+		Infer:    s.Infer.Report(),
 		MatVec:   s.MatVec.Report(),
 	}
 }
@@ -196,6 +199,7 @@ func (s *Stats) merge(o *Stats) {
 	s.Capture.Merge(o.Capture)
 	s.Compress.Merge(o.Compress)
 	s.Kernel.Merge(o.Kernel)
+	s.Infer.Merge(o.Infer)
 	s.MatVec.Merge(o.MatVec)
 }
 
@@ -210,7 +214,7 @@ func (s *Stats) Render() string {
 	for _, st := range []struct {
 		name string
 		h    *LatencyHist
-	}{{"capture", &s.Capture}, {"compress", &s.Compress}, {"kernel", &s.Kernel}, {"matvec", &s.MatVec}} {
+	}{{"capture", &s.Capture}, {"compress", &s.Compress}, {"kernel", &s.Kernel}, {"infer", &s.Infer}, {"matvec", &s.MatVec}} {
 		if st.h.Count > 0 {
 			fmt.Fprintf(&b, "\n  %-8s %s", st.name, st.h.String())
 		}

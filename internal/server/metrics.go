@@ -139,6 +139,9 @@ type MetricsSnapshot struct {
 	// Process holds the cumulative pipeline stats behind /v1/process,
 	// keyed by kernel name (absent when kernels are disabled).
 	Process map[string]pipeline.StatsReport `json:"process_pipelines,omitempty"`
+	// Infer holds the cumulative pipeline stats behind /v1/infer scene
+	// requests, keyed by model name (absent when inference is disabled).
+	Infer map[string]pipeline.StatsReport `json:"infer_pipelines,omitempty"`
 }
 
 // snapshot captures the counters; pipeline stats and gauges are filled in
@@ -215,8 +218,8 @@ func renderProm(snap MetricsSnapshot) string {
 		{"capture", snap.Capture},
 		{"compress", snap.Compress},
 	}
-	// Kernel pipelines append in sorted name order, again for diffable
-	// scrapes.
+	// Kernel and model pipelines append in sorted name order, again for
+	// diffable scrapes.
 	kernNames := make([]string, 0, len(snap.Process))
 	for name := range snap.Process {
 		kernNames = append(kernNames, name)
@@ -227,6 +230,17 @@ func renderProm(snap MetricsSnapshot) string {
 			name string
 			rep  pipeline.StatsReport
 		}{"process:" + name, snap.Process[name]})
+	}
+	modelNames := make([]string, 0, len(snap.Infer))
+	for name := range snap.Infer {
+		modelNames = append(modelNames, name)
+	}
+	sort.Strings(modelNames)
+	for _, name := range modelNames {
+		pipes = append(pipes, struct {
+			name string
+			rep  pipeline.StatsReport
+		}{"infer:" + name, snap.Infer[name]})
 	}
 	for _, p := range pipes {
 		fmt.Fprintf(&b, "lightator_pipeline_frames_total{pipeline=%q} %d\n", p.name, p.rep.Frames)

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"lightator/internal/arch"
+	"lightator/internal/infer"
 	"lightator/internal/oc"
 	"lightator/internal/pipeline"
 	"lightator/internal/sensor"
@@ -66,6 +67,16 @@ type Backend struct {
 	Process map[string]*pipeline.Pipeline
 	// Kernels describes the registry for GET /v1/kernels, sorted by name.
 	Kernels []KernelInfo
+	// Infer maps each registered inference model to its capture+CA+infer
+	// pipeline (behind /v1/infer scene requests); nil or empty when
+	// compressive acquisition is disabled.
+	Infer map[string]*pipeline.Pipeline
+	// Models describes the registry for GET /v1/models, sorted by name.
+	Models []ModelInfo
+	// InferPlane runs a registered model directly over a pre-compressed
+	// measurement plane (the /v1/infer plane path, which bypasses the
+	// micro-batcher — there is no pipeline trip to coalesce).
+	InferPlane func(model string, plane *sensor.Image, seed int64) ([]float64, error)
 	// Core executes /v1/matvec.
 	Core *oc.Core
 	// Seed is the base noise seed a request without an explicit seed
@@ -133,6 +144,7 @@ type Server struct {
 	captureB  *batcher
 	compressB *batcher
 	processB  map[string]*batcher // one micro-batcher per kernel
+	inferB    map[string]*batcher // one micro-batcher per model
 
 	inflight atomic.Int64
 	draining atomic.Bool
@@ -172,13 +184,19 @@ func New(b Backend, cfg Config) (*Server, error) {
 	for name, pipe := range b.Process {
 		s.processB[name] = newBatcher(pipe, cfg.BatchSize, cfg.Queue, cfg.MaxBatches, cfg.BatchDelay, s.m)
 	}
+	s.inferB = make(map[string]*batcher, len(b.Infer))
+	for name, pipe := range b.Infer {
+		s.inferB[name] = newBatcher(pipe, cfg.BatchSize, cfg.Queue, cfg.MaxBatches, cfg.BatchDelay, s.m)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/capture", s.instrument("/v1/capture", s.handleCapture))
 	mux.HandleFunc("POST /v1/compress", s.instrument("/v1/compress", s.handleCompress))
 	mux.HandleFunc("POST /v1/process", s.instrument("/v1/process", s.handleProcess))
+	mux.HandleFunc("POST /v1/infer", s.instrument("/v1/infer", s.handleInfer))
 	mux.HandleFunc("POST /v1/matvec", s.instrument("/v1/matvec", s.handleMatVec))
 	mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
 	mux.HandleFunc("GET /v1/kernels", s.handleKernels)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -210,6 +228,13 @@ func (s *Server) Metrics() MetricsSnapshot {
 			snap.Process[name] = st.Report()
 		}
 	}
+	if len(s.backend.Infer) > 0 {
+		snap.Infer = make(map[string]pipeline.StatsReport, len(s.backend.Infer))
+		for name, pipe := range s.backend.Infer {
+			st = pipe.Stats()
+			snap.Infer[name] = st.Report()
+		}
+	}
 	return snap
 }
 
@@ -228,6 +253,9 @@ func (s *Server) Drain(ctx context.Context) error {
 				s.compressB.close()
 			}
 			for _, b := range s.processB {
+				b.close()
+			}
+			for _, b := range s.inferB {
 				b.close()
 			}
 			close(s.stopped)
@@ -500,6 +528,88 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) (int, err
 		}
 		return body, http.StatusOK, nil
 	})
+}
+
+// handleInfer serves compressed-domain CNN inference by a registered
+// model. Scene requests run the full capture + CA + inference pipeline
+// through the model's own micro-batcher, so concurrent requests for the
+// same model coalesce into shared pipeline batches; the per-frame
+// seeding keeps every response bit-identical to the direct facade Infer
+// call. Plane requests feed a pre-compressed measurement plane straight
+// to the model (no pipeline trip, no batching), matching InferPlane.
+// Caching follows the compress policy: deterministic fidelities only,
+// with the model name and input kind folded into the content hash.
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) (int, error) {
+	if len(s.inferB) == 0 {
+		return http.StatusNotImplemented, fmt.Errorf("server: compressed-domain inference disabled (CAPool = 0)")
+	}
+	var req InferRequest
+	if err := decodeBody(r, &req); err != nil {
+		return decodeStatus(err), err
+	}
+	b, ok := s.inferB[req.Model]
+	if !ok {
+		return http.StatusBadRequest, fmt.Errorf("server: unknown model %q (GET /v1/models lists the registry)", req.Model)
+	}
+	if (req.Scene == nil) == (req.Plane == nil) {
+		return http.StatusBadRequest, fmt.Errorf("server: infer needs exactly one of scene (full pipeline) or plane (pre-compressed)")
+	}
+	input := req.Scene
+	kind := "infer-scene"
+	if req.Plane != nil {
+		input = req.Plane
+		kind = "infer-plane"
+	}
+	rawPix, err := validateImageWire(*input)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	// Same policy as compress: cacheable implies a noise-free fidelity,
+	// where the seed cannot influence the output — the key carries the
+	// model name, the input kind, and the input content.
+	cacheable := s.cache != nil && s.backend.Deterministic
+	var key cacheKey
+	if cacheable {
+		key = hashRequest(kind, 0, []byte(req.Model), rawPix, dimBytes(input.H, input.W, input.C))
+	}
+	return s.respond(w, "/v1/infer", cacheable, key, func() ([]byte, int, error) {
+		var logits []float64
+		if req.Scene != nil {
+			scene := imageFromRaw(*req.Scene, rawPix)
+			res, status, err := s.submitFrame(r, b, s.effectiveSeed(req.Seed), scene)
+			if err != nil {
+				return nil, status, err
+			}
+			logits = res.Logits
+		} else {
+			if s.draining.Load() {
+				return nil, http.StatusServiceUnavailable, errDraining
+			}
+			plane := imageFromRaw(*req.Plane, rawPix)
+			var err error
+			logits, err = s.backend.InferPlane(req.Model, plane, s.effectiveSeed(req.Seed))
+			if err != nil {
+				return nil, http.StatusBadRequest, err
+			}
+		}
+		body, err := json.Marshal(InferResponse{Model: req.Model, Logits: logits, Class: infer.Argmax(logits)})
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		return body, http.StatusOK, nil
+	})
+}
+
+// handleModels lists the compressed-domain inference model registry. The
+// list is fixed at construction, so no instrumentation or caching is
+// needed.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	body, err := json.Marshal(ModelsResponse{Models: s.backend.Models})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleKernels lists the compressed-domain kernel registry. The list is

@@ -173,6 +173,45 @@ type ProcessResponse struct {
 	Plane ImageWire `json:"plane"`
 }
 
+// InferRequest asks for compressed-domain CNN inference by a registered
+// model (see /v1/models for the registry). Exactly one of Scene and
+// Plane must be set: a Scene runs the full capture + CA + inference
+// pipeline (micro-batched); a Plane is a pre-compressed CA measurement
+// plane fed straight to the model (single channel, the dims /v1/models
+// reports). Scene responses are bit-identical to the facade's Infer
+// under the effective seed, no matter how the server micro-batches the
+// request; Plane responses match InferPlane.
+type InferRequest struct {
+	Scene *ImageWire `json:"scene,omitempty"`
+	Plane *ImageWire `json:"plane,omitempty"`
+	Model string     `json:"model"`
+	Seed  *int64     `json:"seed,omitempty"`
+}
+
+// InferResponse carries the logits and the top-1 class.
+type InferResponse struct {
+	Model  string    `json:"model"`
+	Logits []float64 `json:"logits"`
+	Class  int       `json:"class"`
+}
+
+// ModelInfo describes one registered compressed-domain inference model.
+type ModelInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// InputH and InputW are the CA measurement-plane dims every request
+	// plane must match (scenes are compressed down to them).
+	InputH  int `json:"input_h"`
+	InputW  int `json:"input_w"`
+	Classes int `json:"classes"`
+}
+
+// ModelsResponse lists the model registry (GET /v1/models), sorted by
+// name.
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
 // KernelInfo describes one registered compressed-domain kernel.
 type KernelInfo struct {
 	Name        string `json:"name"`

@@ -52,6 +52,22 @@
 // See docs/KERNELS.md for each operator's math and the determinism
 // contract.
 //
+// # Compressed-domain CNN inference
+//
+// The inference layer (internal/infer) is the paper's headline DNN
+// workload: trained networks whose conv/dense layers execute as seeded
+// optical MVMs directly over the CA measurement plane, with the
+// electronic block handling activations, pooling and quantizers.
+// Built-in demonstration models register at construction; RegisterModel
+// compiles networks trained with internal/train:
+//
+//	acc.Models()                                  // registered model names
+//	logits, _ := acc.Infer(scene, "tiny-cnn")     // capture + CA + inference
+//	logits, _ = acc.InferPlane(plane, "tiny-cnn") // pre-compressed input
+//
+// See docs/INFER.md for the layer mapping, the determinism contract and
+// the accuracy-vs-compression behaviour.
+//
 // # Network serving
 //
 // The serving layer (internal/server) exposes the accelerator over
@@ -73,13 +89,16 @@ package lightator
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"lightator/internal/arch"
 	"lightator/internal/energy"
+	"lightator/internal/infer"
 	"lightator/internal/kernels"
 	"lightator/internal/mapping"
 	"lightator/internal/models"
+	"lightator/internal/nn"
 	"lightator/internal/oc"
 	"lightator/internal/photonics"
 	"lightator/internal/pipeline"
@@ -225,12 +244,15 @@ type Accelerator struct {
 	core   *oc.Core
 	ca     *oc.Acquisitor
 	eng    *kernels.Engine
+	inf    *infer.Engine
 	params energy.Params
 
-	// pipeMu guards the lazily-built per-kernel pipelines behind
-	// ProcessCompressed (one per kernel name, reused across calls).
-	pipeMu    sync.Mutex
-	kernPipes map[string]*Pipeline
+	// pipeMu guards the lazily-built per-kernel and per-model pipelines
+	// behind ProcessCompressed / Infer (one per name, reused across
+	// calls).
+	pipeMu     sync.Mutex
+	kernPipes  map[string]*Pipeline
+	inferPipes map[string]*Pipeline
 }
 
 // New builds an accelerator.
@@ -254,9 +276,12 @@ func New(cfg Config) (*Accelerator, error) {
 	}
 	acc := &Accelerator{
 		cfg: cfg, array: arr, core: core, params: energy.Default(),
-		kernPipes: make(map[string]*Pipeline),
+		kernPipes: make(map[string]*Pipeline), inferPipes: make(map[string]*Pipeline),
 	}
 	if cfg.CAPool != 0 {
+		if cfg.SensorRows%cfg.CAPool != 0 || cfg.SensorCols%cfg.CAPool != 0 {
+			return nil, fmt.Errorf("lightator: sensor %dx%d not divisible by CA pool %d", cfg.SensorRows, cfg.SensorCols, cfg.CAPool)
+		}
 		ca, err := oc.NewAcquisitor(core, cfg.CAPool)
 		if err != nil {
 			return nil, err
@@ -267,6 +292,12 @@ func New(cfg Config) (*Accelerator, error) {
 			return nil, err
 		}
 		acc.eng = eng
+		inf, err := infer.NewEngine(core, cfg.CAPool,
+			cfg.SensorRows/cfg.CAPool, cfg.SensorCols/cfg.CAPool, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		acc.inf = inf
 	}
 	return acc, nil
 }
@@ -319,6 +350,10 @@ type PipelineOptions struct {
 	// running the named registered kernel (see Kernels) on every frame's
 	// CA output plane. Requires compressive acquisition to be enabled.
 	Kernel string
+	// Infer, when non-empty, adds a compressed-domain CNN inference stage
+	// running the named registered model (see Models) on every frame's CA
+	// output plane. Requires compressive acquisition to be enabled.
+	Infer string
 	// DisableCA drops the Compressive Acquisition stage even when the
 	// accelerator has one configured (capture-only streams).
 	DisableCA bool
@@ -348,6 +383,17 @@ func (a *Accelerator) NewPipeline(opts PipelineOptions) (*Pipeline, error) {
 		}
 		kern = k
 	}
+	var inferModel pipeline.InferModel
+	if opts.Infer != "" {
+		if a.inf == nil {
+			return nil, fmt.Errorf("lightator: inference stage needs compressive acquisition (CAPool = 0)")
+		}
+		m, err := a.inf.Model(opts.Infer)
+		if err != nil {
+			return nil, err
+		}
+		inferModel = m
+	}
 	return pipeline.New(pipeline.Config{
 		Workers: opts.Workers,
 		Queue:   opts.Queue,
@@ -355,6 +401,7 @@ func (a *Accelerator) NewPipeline(opts PipelineOptions) (*Pipeline, error) {
 		CAPool:  capool,
 		Weights: opts.Weights,
 		Kernel:  kern,
+		Infer:   inferModel,
 		Core:    a.core,
 		// Workers clone the accelerator's own array, so pipeline capture
 		// uses the same device models as the serial Capture path.
@@ -507,6 +554,150 @@ func (a *Accelerator) ProcessCompressedBatch(scenes []*Image, kernel string, wor
 		out[i] = r.Processed
 	}
 	return out, nil
+}
+
+// Models lists the registered compressed-domain inference models, sorted
+// by name; empty when compressive acquisition is disabled. The built-in
+// demonstration models (deterministically initialised from Config.Seed)
+// are registered at construction; RegisterModel adds trained networks.
+// See docs/INFER.md.
+func (a *Accelerator) Models() []string {
+	if a.inf == nil {
+		return nil
+	}
+	return a.inf.Names()
+}
+
+// ModelDescription returns the one-line summary of a registered
+// inference model.
+func (a *Accelerator) ModelDescription(name string) (string, error) {
+	m, err := a.inferModel(name)
+	if err != nil {
+		return "", err
+	}
+	return m.Description(), nil
+}
+
+// RegisterModel compiles a trained network onto the optical core and
+// registers it for inference under the given name (served at /v1/infer
+// once a server is built). The network must consume the accelerator's CA
+// measurement plane (single channel, SensorRows/CAPool x
+// SensorCols/CAPool), end in logits, and have calibrated activation
+// quantizers — training with package train satisfies all three. Register
+// before NewServer; the network's weights are captured at compile time.
+func (a *Accelerator) RegisterModel(name, description string, net *nn.Sequential) error {
+	if a.inf == nil {
+		return fmt.Errorf("lightator: compressed-domain inference disabled (CAPool = 0)")
+	}
+	h, w := a.inf.InputDims()
+	m, err := infer.Compile(a.core, name, description, net, h, w)
+	if err != nil {
+		return err
+	}
+	return a.inf.Register(m)
+}
+
+// inferModel resolves a registered model, with the CA-disabled guard.
+func (a *Accelerator) inferModel(name string) (*infer.Model, error) {
+	if a.inf == nil {
+		return nil, fmt.Errorf("lightator: compressed-domain inference disabled (CAPool = 0)")
+	}
+	return a.inf.Model(name)
+}
+
+// inferPipeline returns the cached single-model pipeline behind Infer,
+// building it on first use.
+func (a *Accelerator) inferPipeline(model string) (*Pipeline, error) {
+	a.pipeMu.Lock()
+	defer a.pipeMu.Unlock()
+	if p, ok := a.inferPipes[model]; ok {
+		return p, nil
+	}
+	p, err := a.NewPipeline(PipelineOptions{Infer: model})
+	if err != nil {
+		return nil, err
+	}
+	a.inferPipes[model] = p
+	return p, nil
+}
+
+// Infer captures a scene, compresses it with the CA, and runs the named
+// registered model on the measurement plane — all three stages through
+// the optical core — returning the class logits. The scene is processed
+// exactly as frame 0 of a seeded batch under Config.Seed, so the result
+// is bit-identical to the served /v1/infer response for the same request
+// seed, in every fidelity.
+func (a *Accelerator) Infer(scene *Image, model string) ([]float64, error) {
+	if a.inf == nil {
+		return nil, fmt.Errorf("lightator: compressed-domain inference disabled (CAPool = 0)")
+	}
+	p, err := a.inferPipeline(model)
+	if err != nil {
+		return nil, err
+	}
+	results, _, err := p.RunSeeded([]pipeline.SeededScene{{Seed: a.cfg.Seed, Scene: scene}})
+	if err != nil {
+		return nil, err
+	}
+	if err := firstBatchErr(results); err != nil {
+		return nil, err
+	}
+	return results[0].Logits, nil
+}
+
+// InferBatch runs capture + CA + the named model over a batch of scenes
+// with bounded parallelism. Frame i's noise is seeded from (Config.Seed,
+// i), like the other batched paths, so the batch is reproducible for any
+// worker count.
+func (a *Accelerator) InferBatch(scenes []*Image, model string, workers int) ([][]float64, error) {
+	if a.inf == nil {
+		return nil, fmt.Errorf("lightator: compressed-domain inference disabled (CAPool = 0)")
+	}
+	p, err := a.NewPipeline(PipelineOptions{Workers: workers, Infer: model})
+	if err != nil {
+		return nil, err
+	}
+	results, _, err := p.Run(scenes)
+	if err != nil {
+		return nil, err
+	}
+	if err := firstBatchErr(results); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(results))
+	for i, r := range results {
+		out[i] = r.Logits
+	}
+	return out, nil
+}
+
+// InferPlane runs the named model directly over a pre-compressed CA
+// measurement plane (single channel, SensorRows/CAPool x
+// SensorCols/CAPool, values in [0,1]), skipping capture and compression
+// — the path for callers that already hold compressed measurements. The
+// model executes under Config.Seed with the MVM batches sharded across
+// the CPUs; the worker count is unobservable in the result (infer
+// determinism contract), so it stays bit-identical to the served
+// /v1/infer plane request for the same effective seed.
+func (a *Accelerator) InferPlane(plane *Image, model string) ([]float64, error) {
+	m, err := a.inferModel(model)
+	if err != nil {
+		return nil, err
+	}
+	return m.Apply(plane, a.cfg.Seed, runtime.NumCPU())
+}
+
+// InferReference computes the digital reference of a registered model
+// over a pre-compressed plane: the same quantized network in exact
+// arithmetic with no analog effects. The optical-vs-reference gap
+// isolates crosstalk and noise — the fidelity metric lightator-bench
+// -infer reports as top-1 agreement.
+func (a *Accelerator) InferReference(plane *Image, model string) ([]float64, error) {
+	m, err := a.inferModel(model)
+	if err != nil {
+		return nil, err
+	}
+	return m.Reference(plane)
 }
 
 // MatVecBatch programs the weight matrix once and streams a batch of

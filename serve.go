@@ -1,6 +1,7 @@
 package lightator
 
 import (
+	"runtime"
 	"time"
 
 	"lightator/internal/server"
@@ -39,6 +40,15 @@ type (
 	// ProcessResponse is the /v1/process response body (the kernel's
 	// output plane; samples may lie outside [0,1]).
 	ProcessResponse = server.ProcessResponse
+	// InferRequest is the /v1/infer request body (scene or pre-compressed
+	// plane, + model name).
+	InferRequest = server.InferRequest
+	// InferResponse is the /v1/infer response body (logits + top-1 class).
+	InferResponse = server.InferResponse
+	// ModelInfo describes one registered compressed-domain inference model.
+	ModelInfo = server.ModelInfo
+	// ModelsResponse is the GET /v1/models response body.
+	ModelsResponse = server.ModelsResponse
 	// KernelInfo describes one registered compressed-domain kernel.
 	KernelInfo = server.KernelInfo
 	// KernelsResponse is the GET /v1/kernels response body.
@@ -98,6 +108,8 @@ type ServeOptions struct {
 //	/v1/compress == AcquireCompressedBatch([]{scene}, 1)          (all fidelities)
 //	             == AcquireCompressed(scene)                      (Ideal, Physical)
 //	/v1/process  == ProcessCompressed(scene, kernel)              (all fidelities)
+//	/v1/infer    == Infer(scene, model)                           (all fidelities)
+//	             == InferPlane(plane, model)    (plane requests)  (all fidelities)
 //	/v1/matvec   == MatVecBatch(w, [][]float64{x}, 1)             (all fidelities)
 //	             == MatVec(w, x)                                  (Ideal, Physical)
 //	/v1/simulate == Simulate(model)
@@ -113,6 +125,8 @@ func (a *Accelerator) NewServer(opts ServeOptions) (*Server, error) {
 	var compress *Pipeline
 	process := make(map[string]*Pipeline)
 	kernels := []KernelInfo{}
+	inferPipes := make(map[string]*Pipeline)
+	modelInfos := []ModelInfo{}
 	if a.ca != nil {
 		compress, err = a.NewPipeline(PipelineOptions{Workers: opts.Workers})
 		if err != nil {
@@ -132,12 +146,47 @@ func (a *Accelerator) NewServer(opts ServeOptions) (*Server, error) {
 			}
 			kernels = append(kernels, KernelInfo{Name: name, Description: desc})
 		}
+		// Likewise one capture+CA+infer pipeline per registered model.
+		// Models registered after NewServer are not served — register
+		// trained networks first.
+		for _, name := range a.Models() {
+			p, err := a.NewPipeline(PipelineOptions{Workers: opts.Workers, Infer: name})
+			if err != nil {
+				return nil, err
+			}
+			inferPipes[name] = p
+			m, err := a.inf.Model(name)
+			if err != nil {
+				return nil, err
+			}
+			h, w := m.InputDims()
+			modelInfos = append(modelInfos, ModelInfo{
+				Name: name, Description: m.Description(),
+				InputH: h, InputW: w, Classes: m.Classes(),
+			})
+		}
 	}
 	return server.New(server.Backend{
-		Capture:       capture,
-		Compress:      compress,
-		Process:       process,
-		Kernels:       kernels,
+		Capture:  capture,
+		Compress: compress,
+		Process:  process,
+		Kernels:  kernels,
+		Infer:    inferPipes,
+		Models:   modelInfos,
+		// Plane requests bypass the pipeline, so the worker bound is
+		// applied here; the infer determinism contract keeps the worker
+		// count unobservable in the response bytes.
+		InferPlane: func(model string, plane *Image, seed int64) ([]float64, error) {
+			m, err := a.inferModel(model)
+			if err != nil {
+				return nil, err
+			}
+			workers := opts.Workers
+			if workers <= 0 {
+				workers = runtime.NumCPU()
+			}
+			return m.Apply(plane, seed, workers)
+		},
 		Core:          a.core,
 		Seed:          a.cfg.Seed,
 		Deterministic: a.cfg.Fidelity != PhysicalNoisy,
