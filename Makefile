@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race linkcheck bench bench-pipeline bench-kernels bench-infer benchdiff serve
+.PHONY: check vet build test test-race linkcheck bench bench-pipeline bench-kernels bench-infer bench-profile benchdiff serve
 
 check: vet build test-race linkcheck
 
@@ -42,11 +42,23 @@ bench-kernels:
 bench-infer:
 	$(GO) run ./cmd/lightator-bench -batch 16 -infer
 
+# CPU + allocation profiles of the pipeline bench, so the next perf PR
+# starts from a pprof, not a guess (docs/PERF.md explains how to read
+# them): go tool pprof cpu.pprof / go tool pprof -sample_index=alloc_objects mem.pprof
+bench-profile:
+	$(GO) run ./cmd/lightator-bench -batch 16 -workers 2 -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof + mem.pprof (go tool pprof <file>)"
+
 # Bench-regression smoke gate: a fresh -json run must stay within 30% of
-# the latest committed BENCH_*.json on every matched record (CI runs
-# this; cross-environment runs are skipped, see cmd/benchdiff).
+# the latest committed BENCH_*.json on every matched record, and may not
+# allocate more per MVM than the baseline (CI runs this; cross-CPU runs
+# skip the FPS part, see cmd/benchdiff). The two commands run
+# sequentially through a temp file — piping them would compile the gate
+# while the bench measures, skewing single-CPU numbers.
 benchdiff:
-	$(GO) run ./cmd/lightator-bench -batch 16 -workers 2 -json -kernels -infer | $(GO) run ./cmd/benchdiff -new -
+	@tmp=$$(mktemp) && \
+	$(GO) run ./cmd/lightator-bench -batch 16 -workers 2 -json -kernels -infer > $$tmp && \
+	$(GO) run ./cmd/benchdiff -new $$tmp; rc=$$?; rm -f $$tmp; exit $$rc
 
 # Run the HTTP serving layer locally (docs/SERVER.md). Override flags:
 #   make serve SERVE_FLAGS='-addr :9090 -fidelity physical-noisy'

@@ -9,6 +9,8 @@ import (
 	"lightator"
 	"lightator/internal/dataset"
 	"lightator/internal/experiments"
+	"lightator/internal/infer"
+	"lightator/internal/kernels"
 	"lightator/internal/mapping"
 	"lightator/internal/models"
 	"lightator/internal/nn"
@@ -415,5 +417,178 @@ func BenchmarkPipeline(b *testing.B) {
 				b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "frames/sec")
 			})
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-free MVM hot path (PR 5). Run with -benchmem: the *Into
+// benchmarks are the committed record of the 0 allocs/op steady-state
+// contract that cmd/benchdiff gates (docs/PERF.md).
+
+// benchProgrammed programs a deterministic 64x243 matrix (27 arms/row).
+func benchProgrammed(b *testing.B, fid oc.Fidelity) *oc.ProgrammedMatrix {
+	b.Helper()
+	core, err := oc.NewCore(4, 4, fid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	w := make([][]float64, 64)
+	for r := range w {
+		w[r] = make([]float64, 243)
+		for i := range w[r] {
+			w[r][i] = rng.Float64()*2 - 1
+		}
+	}
+	pm, err := core.Program(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pm
+}
+
+// BenchmarkApplySeededInto measures the steady-state destination-passing
+// MVM — the path every kernel window, im2col patch and CA window funnels
+// through. Expect 0 allocs/op in both fidelities.
+func BenchmarkApplySeededInto(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		fid  oc.Fidelity
+	}{{"ideal", oc.Ideal}, {"physical-noisy", oc.PhysicalNoisy}} {
+		b.Run(tc.name, func(b *testing.B) {
+			pm := benchProgrammed(b, tc.fid)
+			rng := rand.New(rand.NewSource(3))
+			x := make([]float64, pm.Cols())
+			for i := range x {
+				x[i] = rng.Float64()
+			}
+			y := make([]float64, pm.Rows())
+			if err := pm.ApplySeededInto(y, x, 1); err != nil { // warm the pools
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pm.ApplySeededInto(y, x, oc.DeriveSeed(3, i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkApplierSeededInto measures the reusable-scratch variant tight
+// loops use (one Applier per goroutine, no pool round-trips).
+func BenchmarkApplierSeededInto(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		fid  oc.Fidelity
+	}{{"ideal", oc.Ideal}, {"physical-noisy", oc.PhysicalNoisy}} {
+		b.Run(tc.name, func(b *testing.B) {
+			pm := benchProgrammed(b, tc.fid)
+			ap := pm.NewApplier()
+			rng := rand.New(rand.NewSource(3))
+			x := make([]float64, pm.Cols())
+			for i := range x {
+				x[i] = rng.Float64()
+			}
+			y := make([]float64, pm.Rows())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ap.ApplySeededInto(y, x, oc.DeriveSeed(3, i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompressSeeded measures one seeded CA pass over a full 256x256
+// frame — the per-frame pipeline stage (4096 windows of 16 taps).
+func BenchmarkCompressSeeded(b *testing.B) {
+	core, err := oc.NewCore(4, 4, oc.Ideal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ca, err := oc.NewAcquisitor(core, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	f := &sensor.Frame{Rows: 256, Cols: 256, Codes: make([]uint8, 256*256)}
+	for i := range f.Codes {
+		f.Codes[i] = uint8(rng.Intn(16))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ca.CompressSeeded(f, oc.DeriveSeed(5, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelApply measures the streamed compressed-domain window
+// walk over a 64x64 CA plane (the /v1/process hot path).
+func BenchmarkKernelApply(b *testing.B) {
+	core, err := oc.NewCore(4, 4, oc.Ideal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := kernels.NewEngine(core, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	plane := sensor.NewImage(64, 64, 1)
+	for i := range plane.Pix {
+		plane.Pix[i] = rng.Float64()
+	}
+	for _, name := range []string{"edge", "denoise", "reconstruct"} {
+		k, err := e.Kernel(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := k.Apply(plane, oc.DeriveSeed(7, i), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInferApply measures one compressed-domain inference pass over
+// a 64x64 CA plane (the /v1/infer hot path, streamed im2col).
+func BenchmarkInferApply(b *testing.B) {
+	core, err := oc.NewCore(4, 4, oc.Ideal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := infer.NewEngine(core, 4, 64, 64, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	plane := sensor.NewImage(64, 64, 1)
+	for i := range plane.Pix {
+		plane.Pix[i] = rng.Float64()
+	}
+	for _, name := range e.Names() {
+		m, err := e.Model(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Apply(plane, oc.DeriveSeed(9, i), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -10,6 +10,11 @@
 // caveat the bench records — the gate reports the mismatch and passes,
 // rather than failing on numbers that never measured the same machine.
 //
+// The gate additionally pins the steady-state MVM allocation count
+// (allocs_per_op): the fresh run may not allocate more per
+// oc.ApplySeededInto call than the committed baseline. Allocation counts
+// are deterministic, so this check applies even across environments.
+//
 // Usage:
 //
 //	lightator-bench -batch 16 -workers 2 -json -kernels -infer > /tmp/fresh.json
@@ -30,11 +35,14 @@ import (
 // record is the subset of the lightator-bench -json report the gate
 // reads. Unknown fields are ignored, so the gate survives report growth.
 type record struct {
-	Batch    int    `json:"batch"`
-	Workers  int    `json:"workers"`
-	NumCPU   int    `json:"num_cpu"`
-	Caveat   string `json:"caveat"`
-	Measured struct {
+	Batch   int    `json:"batch"`
+	Workers int    `json:"workers"`
+	NumCPU  int    `json:"num_cpu"`
+	Caveat  string `json:"caveat"`
+	// AllocsPerOp is the steady-state MVM allocation count; nil when the
+	// baseline predates the allocation gate.
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+	Measured    struct {
 		FPS float64 `json:"fps"`
 	} `json:"measured"`
 	Kernels []struct {
@@ -101,6 +109,26 @@ func compare(oldRec, newRec record, threshold float64) (lines []diffLine, missin
 		}
 	}
 	return lines, missing, true, ""
+}
+
+// checkAllocs gates the steady-state MVM allocation record: the fresh
+// count may not exceed the baseline's. Unlike throughput, allocation
+// counts are deterministic and environment-independent, so this gate
+// applies even when the FPS comparison is skipped. checked is false when
+// the baseline predates the gate (no allocs_per_op field).
+func checkAllocs(oldRec, newRec record) (line string, regressed, checked bool) {
+	if oldRec.AllocsPerOp == nil {
+		return "allocs/op: no baseline record (gate arms from the next committed baseline)", false, false
+	}
+	if newRec.AllocsPerOp == nil {
+		return "allocs/op: MISSING from the fresh run", true, true
+	}
+	verdict := "ok"
+	regressed = *newRec.AllocsPerOp > *oldRec.AllocsPerOp
+	if regressed {
+		verdict = "REGRESSED"
+	}
+	return fmt.Sprintf("allocs/op: %.2f -> %.2f  %s", *oldRec.AllocsPerOp, *newRec.AllocsPerOp, verdict), regressed, true
 }
 
 // latestBaseline picks the newest BENCH_*.json in dir under natural
@@ -205,8 +233,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	lines, missing, comparable, reason := compare(oldRec, newRec, *threshold)
+	allocLine, allocRegressed, allocChecked := checkAllocs(oldRec, newRec)
 	if !comparable {
-		fmt.Fprintf(stdout, "benchdiff: SKIP — %s\n", reason)
+		// Throughput cannot be compared across environments, but the
+		// allocation count is deterministic — gate it regardless.
+		fmt.Fprintf(stdout, "benchdiff: FPS SKIP — %s\n", reason)
+		fmt.Fprintf(stdout, "  %s\n", allocLine)
+		if allocRegressed {
+			return fmt.Errorf("benchdiff: steady-state MVM allocations regressed above the committed baseline")
+		}
 		return nil
 	}
 	if oldRec.Caveat != "" {
@@ -226,14 +261,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "  %-24s %10.1f -> %10.1f fps  (%.2fx)  %s\n", l.name, l.oldFPS, l.newFPS, ratio, verdict)
 	}
+	fmt.Fprintf(stdout, "  %s\n", allocLine)
+	if allocRegressed {
+		regressions++
+	}
 	for _, name := range missing {
 		fmt.Fprintf(stdout, "  %-24s MISSING from the fresh run\n", name)
 	}
 	if regressions > 0 || len(missing) > 0 {
-		return fmt.Errorf("benchdiff: %d of %d matched records regressed more than %.0f%%, %d baseline records missing from the fresh run",
-			regressions, len(lines), *threshold*100, len(missing))
+		return fmt.Errorf("benchdiff: %d matched records regressed (FPS budget -%.0f%%, alloc budget 0), %d baseline records missing from the fresh run",
+			regressions, *threshold*100, len(missing))
 	}
-	fmt.Fprintf(stdout, "benchdiff: PASS — %d matched records within budget\n", len(lines))
+	checkedNote := ""
+	if allocChecked {
+		checkedNote = " + alloc gate"
+	}
+	fmt.Fprintf(stdout, "benchdiff: PASS — %d matched records within budget%s\n", len(lines), checkedNote)
 	return nil
 }
 

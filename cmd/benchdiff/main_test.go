@@ -94,6 +94,73 @@ func TestCompareFlagsDisappearedBaselines(t *testing.T) {
 	}
 }
 
+// withAllocs attaches an allocs_per_op measurement to a fixture.
+func withAllocs(r record, allocs float64) record {
+	r.AllocsPerOp = &allocs
+	return r
+}
+
+func TestCheckAllocs(t *testing.T) {
+	base := mkRecord(16, 2, 1, 300, nil, nil)
+	// No baseline record: unchecked, never a regression.
+	if _, regressed, checked := checkAllocs(base, withAllocs(base, 3)); regressed || checked {
+		t.Errorf("pre-gate baseline gated: regressed=%v checked=%v", regressed, checked)
+	}
+	// Equal or lower stays green; any increase above baseline trips.
+	if _, regressed, _ := checkAllocs(withAllocs(base, 0), withAllocs(base, 0)); regressed {
+		t.Error("0 -> 0 flagged")
+	}
+	if _, regressed, _ := checkAllocs(withAllocs(base, 2), withAllocs(base, 1)); regressed {
+		t.Error("improvement flagged")
+	}
+	if _, regressed, _ := checkAllocs(withAllocs(base, 0), withAllocs(base, 0.5)); !regressed {
+		t.Error("0 -> 0.5 not flagged")
+	}
+	// A fresh run that stopped measuring allocations fails the gate.
+	if _, regressed, checked := checkAllocs(withAllocs(base, 0), base); !regressed || !checked {
+		t.Error("vanished allocs_per_op not flagged")
+	}
+}
+
+// TestRunAllocGateAcrossEnvironments: the FPS comparison is skipped on a
+// CPU-count mismatch, but the allocation gate still applies.
+func TestRunAllocGateAcrossEnvironments(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, filepath.Join(dir, "BENCH_PR5.json"), withAllocs(mkRecord(16, 2, 1, 300, nil, nil), 0))
+	fresh := filepath.Join(dir, "fresh.json")
+	writeFixture(t, fresh, withAllocs(mkRecord(16, 2, 8, 100, nil, nil), 2))
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-dir", dir, "-new", fresh}, nil, &stdout, &stderr); err == nil {
+		t.Fatalf("cross-environment alloc regression passed:\n%s", stdout.String())
+	}
+	// Same mismatch with clean allocations still passes.
+	writeFixture(t, fresh, withAllocs(mkRecord(16, 2, 8, 100, nil, nil), 0))
+	stdout.Reset()
+	if err := run([]string{"-dir", dir, "-new", fresh}, nil, &stdout, &stderr); err != nil {
+		t.Fatalf("clean cross-environment run failed: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "FPS SKIP") {
+		t.Errorf("cross-environment FPS not skipped:\n%s", stdout.String())
+	}
+}
+
+// TestRunAllocGateSameEnvironment: an allocation regression fails even
+// when every FPS record is within budget.
+func TestRunAllocGateSameEnvironment(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, filepath.Join(dir, "BENCH_PR5.json"), withAllocs(mkRecord(16, 2, 1, 300, nil, nil), 0))
+	fresh := filepath.Join(dir, "fresh.json")
+	writeFixture(t, fresh, withAllocs(mkRecord(16, 2, 1, 310, nil, nil), 4))
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-dir", dir, "-new", fresh}, nil, &stdout, &stderr)
+	if err == nil {
+		t.Fatalf("alloc regression with healthy FPS passed:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "allocs/op") || !strings.Contains(stdout.String(), "REGRESSED") {
+		t.Errorf("alloc regression not named:\n%s", stdout.String())
+	}
+}
+
 // writeJSON drops a fixture file.
 func writeFixture(t *testing.T, path string, rec record) {
 	t.Helper()

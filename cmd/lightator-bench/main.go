@@ -19,11 +19,14 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"testing"
 	"time"
 
 	"lightator"
 	"lightator/internal/experiments"
 	"lightator/internal/infer"
+	"lightator/internal/oc"
 	"lightator/internal/pipeline"
 )
 
@@ -39,6 +42,12 @@ type benchReport struct {
 	// Caveat is set on single-CPU hosts, where parallel speedup cannot
 	// be observed no matter the worker count.
 	Caveat string `json:"caveat,omitempty"`
+	// AllocsPerOp is the measured steady-state heap allocations of one
+	// oc.ApplySeededInto call in PhysicalNoisy fidelity (the worst-case
+	// hot path: quantization scratch + per-row noise streams). The
+	// benchdiff gate fails CI when this regresses above the committed
+	// baseline — the allocation-free MVM contract (docs/PERF.md).
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	// Measured is the concurrent pipeline run (FPS, per-stage p50/p99).
 	Measured pipeline.StatsReport `json:"measured"`
 	// ModeledFPS and ModeledKFPSPerW come from the architecture
@@ -190,6 +199,45 @@ func runKernelSweep(acc *lightator.Accelerator, scenes []*lightator.Image, worke
 	return records, nil
 }
 
+// measureMVMAllocs reports the steady-state heap allocations of one
+// seeded MVM into a caller-owned destination — the number the benchdiff
+// allocation gate pins at zero. PhysicalNoisy is the worst case: it
+// exercises the quantization scratch and the pooled per-row noise
+// streams.
+func measureMVMAllocs(seed int64) (float64, error) {
+	core, err := oc.NewCore(4, 4, oc.PhysicalNoisy)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := make([][]float64, 32)
+	for r := range w {
+		w[r] = make([]float64, 64)
+		for c := range w[r] {
+			w[r][c] = rng.Float64()*2 - 1
+		}
+	}
+	pm, err := core.Program(w)
+	if err != nil {
+		return 0, err
+	}
+	x := make([]float64, pm.Cols())
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	y := make([]float64, pm.Rows())
+	if err := pm.ApplySeededInto(y, x, seed); err != nil { // warm the pools
+		return 0, err
+	}
+	i := 0
+	return testing.AllocsPerRun(200, func() {
+		i++
+		if err := pm.ApplySeededInto(y, x, oc.DeriveSeed(seed, i)); err != nil {
+			panic(err)
+		}
+	}), nil
+}
+
 // runPipelineBench streams `batch` synthetic 256x256 scenes through the
 // concurrent pipeline (capture + compressive acquisition + a small MVM
 // head) at the given worker count, printing measured aggregate FPS with
@@ -267,12 +315,17 @@ func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep, infer
 	}
 
 	if asJSON {
+		allocs, err := measureMVMAllocs(seed)
+		if err != nil {
+			return err
+		}
 		out := benchReport{
 			Batch:           batch,
 			Workers:         workers,
 			Seed:            seed,
 			GOMAXPROCS:      runtime.GOMAXPROCS(0),
 			NumCPU:          runtime.NumCPU(),
+			AllocsPerOp:     &allocs,
 			Measured:        stats.Report(),
 			ModeledFPS:      rep.FPS,
 			ModeledKFPSPerW: rep.KFPSPerW,
@@ -311,7 +364,14 @@ func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep, infer
 	return nil
 }
 
+// main delegates to realMain so profile-flushing defers run even on
+// failure exits — os.Exit directly from the body would leave a truncated
+// cpu.pprof behind.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, table1, ablations, all")
 	profile := flag.String("profile", "quick", "training budget for accuracy columns: smoke, quick, full")
 	seed := flag.Int64("seed", 7, "experiment seed")
@@ -320,14 +380,44 @@ func main() {
 	asJSON := flag.Bool("json", false, "with -batch: emit a machine-readable report (FPS, per-stage p50/p99, CPU counts) for the BENCH_*.json perf trajectory")
 	kernelSweep := flag.Bool("kernels", false, "with -batch: additionally sweep every registered compressed-domain kernel and report per-kernel throughput")
 	inferSweep := flag.Bool("infer", false, "with -batch: additionally sweep every registered inference model and report per-model throughput and optical-vs-reference agreement")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (go tool pprof; docs/PERF.md)")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile of the run to this file (go tool pprof; docs/PERF.md)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lightator-bench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lightator-bench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lightator-bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush the final allocation state before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "lightator-bench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *batch > 0 {
 		if err := runPipelineBench(*batch, *workers, *seed, *asJSON, *kernelSweep, *inferSweep); err != nil {
 			fmt.Fprintf(os.Stderr, "lightator-bench: pipeline: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	var prof experiments.Profile
@@ -340,15 +430,20 @@ func main() {
 		prof = experiments.Full
 	default:
 		fmt.Fprintf(os.Stderr, "lightator-bench: unknown profile %q\n", *profile)
-		os.Exit(1)
+		return 1
 	}
 	opt := experiments.Options{Profile: prof, Seed: *seed, Workers: *workers}
 
+	failed := false
 	run := func(name string, f func() (string, error)) {
+		if failed {
+			return
+		}
 		out, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lightator-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			failed = true
+			return
 		}
 		fmt.Println(out)
 		fmt.Println()
@@ -405,6 +500,10 @@ func main() {
 	}
 	if !want("fig8") && !want("fig9") && !want("fig10") && !want("table1") && !want("ablations") {
 		fmt.Fprintf(os.Stderr, "lightator-bench: unknown experiment %q\n", *exp)
-		os.Exit(1)
+		return 1
 	}
+	if failed {
+		return 1
+	}
+	return 0
 }

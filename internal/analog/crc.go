@@ -58,6 +58,9 @@ func (c *CRC) Thermometer(vpd float64) [NumComparators]bool {
 
 // Code returns the 4-bit digital reading (0..15): the number of asserted
 // comparators. 0 = dark pixel (no discharge), 15 = saturated bright pixel.
+// The linear thermometer count is deliberate: it compiles to branchless
+// compare-and-add, which beats a binary search's data-dependent branches
+// on the 65536-pixel full-frame readout.
 func (c *CRC) Code(vpd float64) int {
 	n := 0
 	for _, ref := range c.VRefs {

@@ -16,13 +16,15 @@
 // Execution model, per layer L of seed s:
 //
 //   - Conv2D: the input plane is unrolled into k² x InC patches (im2col)
-//     and the whole patch batch streams through the programmed matrix via
-//     oc.ProgrammedMatrix.ApplyBatchSeeded under DeriveSeed(s, L) — patch
-//     j draws its noise from the j-th child stream, so the result is
-//     bit-identical for any worker count.
+//     streamed one at a time through the programmed matrix via
+//     oc.ProgrammedMatrix.ApplySeededInto under DeriveSeed(s, L) — patch
+//     j draws its noise from the j-th child stream (the exact seeds a
+//     materialized ApplyBatchSeeded walk would assign), so the result is
+//     bit-identical for any worker count while the full n·oh·ow patch
+//     table is never built (docs/PERF.md).
 //
 //   - Dense: each batch row is one activation vector through the same
-//     seeded batch path.
+//     seeded streaming path.
 //
 //   - Everything else runs the layer's own digital Forward in inference
 //     mode.
@@ -264,7 +266,14 @@ func (m *Model) walk(plane *sensor.Image, ref bool, seed int64, workers int) ([]
 		layerSeed := oc.DeriveSeed(seed, i)
 		switch st.kind {
 		case stageDigital:
-			x, err = st.layer.Forward(x, false)
+			// The walk owns every intermediate tensor, so elementwise
+			// layers may transform in place instead of cloning a full
+			// activation map per layer per frame.
+			if ip, ok := st.layer.(nn.InplaceLayer); ok {
+				err = ip.ForwardInplace(x)
+			} else {
+				x, err = st.layer.Forward(x, false)
+			}
 			if err != nil {
 				err = fmt.Errorf("infer: %s: %s: %w", m.name, st.layer.Name(), err)
 			}
@@ -280,12 +289,16 @@ func (m *Model) walk(plane *sensor.Image, ref bool, seed int64, workers int) ([]
 	return append([]float64(nil), x.Data...), nil
 }
 
-// applyConv unrolls the input into im2col patches and streams the whole
-// patch batch through the programmed matrix (paper Fig. 5 mapping: each
-// 9-tap kernel slice occupies one arm, partial sums combine in the
-// summation tree). Patch j of the window-row-major walk draws its noise
-// from DeriveSeed(layerSeed, j). ref selects the exact digital quantized
-// path instead of the optical one.
+// applyConv streams im2col patches through the programmed matrix (paper
+// Fig. 5 mapping: each 9-tap kernel slice occupies one arm, partial sums
+// combine in the summation tree). Patch j of the window-row-major walk
+// draws its noise from DeriveSeed(layerSeed, j) — the exact seeds the
+// former materialize-then-ApplyBatchSeeded walk assigned — but the patch
+// table is never built: each shard unrolls one patch at a time into a
+// pooled strip buffer and runs it through a pooled Applier, so per-patch
+// work allocates nothing — one layer pass allocates only the output
+// tensor and per-shard bookkeeping. ref selects the exact digital
+// quantized path instead of the optical one.
 func (st *stage) applyConv(x *nn.Tensor, ref bool, layerSeed int64, workers int) (*nn.Tensor, error) {
 	c := st.conv
 	if len(x.Shape) != 4 {
@@ -300,50 +313,70 @@ func (st *stage) applyConv(x *nn.Tensor, ref bool, layerSeed int64, workers int)
 		return nil, fmt.Errorf("infer: conv %s: empty output for input %dx%d", c.Name(), h, w)
 	}
 	patchLen := c.InC * c.K * c.K
-	patches := make([][]float64, n*oh*ow)
-	buf := make([]float64, len(patches)*patchLen)
-	for b := 0; b < n; b++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				j := (b*oh+oy)*ow + ox
-				patch := buf[j*patchLen : (j+1)*patchLen]
-				i := 0
-				for ic := 0; ic < c.InC; ic++ {
-					for ky := 0; ky < c.K; ky++ {
-						iy := oy*c.Stride + ky - c.Pad
-						for kx := 0; kx < c.K; kx++ {
-							ix := ox*c.Stride + kx - c.Pad
-							if iy < 0 || iy >= h || ix < 0 || ix >= w {
-								patch[i] = 0
-							} else {
-								patch[i] = x.At4(b, ic, iy, ix) / st.sx
-							}
-							i++
-						}
-					}
-				}
-				patches[j] = patch
-			}
-		}
-	}
-	ys, err := st.runMVMBatch(patches, ref, layerSeed, workers)
-	if err != nil {
-		return nil, fmt.Errorf("infer: conv %s: %w", c.Name(), err)
-	}
 	out := nn.NewTensor(n, c.OutC, oh, ow)
 	restore := st.sw * st.sx
-	for j, y := range ys {
-		b, oy, ox := j/(oh*ow), (j/ow)%oh, j%ow
-		for oc := 0; oc < c.OutC; oc++ {
-			out.Set4(b, oc, oy, ox, y[oc]*restore+st.bias[oc])
+	// x/1 == x bit-for-bit, so the first-layer common case (the plane
+	// arrives in the sensor's [0,1] range, sx == 1) skips the division.
+	divSx := st.sx != 1
+	err := oc.ShardRange(n*oh*ow, workers, func(lo, hi int) error {
+		var ap *oc.Applier
+		if !ref {
+			ap = st.pm.NewApplier()
+			defer ap.Release()
 		}
+		patch := oc.GetScratch(patchLen)
+		y := oc.GetScratch(st.pm.Rows())
+		defer oc.PutScratch(patch)
+		defer oc.PutScratch(y)
+		for j := lo; j < hi; j++ {
+			b, oy, ox := j/(oh*ow), (j/ow)%oh, j%ow
+			i := 0
+			for ic := 0; ic < c.InC; ic++ {
+				chanBase := (b*inC + ic) * h
+				for ky := 0; ky < c.K; ky++ {
+					iy := oy*c.Stride + ky - c.Pad
+					if iy < 0 || iy >= h {
+						for kx := 0; kx < c.K; kx++ {
+							(*patch)[i] = 0
+							i++
+						}
+						continue
+					}
+					rowBase := (chanBase + iy) * w
+					for kx := 0; kx < c.K; kx++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if ix < 0 || ix >= w {
+							(*patch)[i] = 0
+						} else if v := x.Data[rowBase+ix]; divSx {
+							(*patch)[i] = v / st.sx
+						} else {
+							(*patch)[i] = v
+						}
+						i++
+					}
+				}
+			}
+			if err := st.mvmInto(ap, *y, *patch, ref, oc.DeriveSeed(layerSeed, j)); err != nil {
+				return err
+			}
+			outBase := (b*c.OutC*oh+oy)*ow + ox
+			for k, v := range (*y)[:c.OutC] {
+				out.Data[outBase+k*oh*ow] = v*restore + st.bias[k]
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("infer: conv %s: %w", c.Name(), err)
 	}
 	return out, nil
 }
 
 // applyDense streams each batch row through the programmed matrix; row b
-// draws its noise from DeriveSeed(layerSeed, b). ref selects the exact
-// digital quantized path instead of the optical one.
+// draws its noise from DeriveSeed(layerSeed, b). Each shard normalises
+// one row at a time into a pooled buffer — same shape as applyConv's
+// strip walk. ref selects the exact digital quantized path instead of
+// the optical one.
 func (st *stage) applyDense(x *nn.Tensor, ref bool, layerSeed int64, workers int) (*nn.Tensor, error) {
 	if len(x.Shape) != 2 {
 		return nil, fmt.Errorf("infer: dense stage wants [N,D] input (flatten first), got rank %d", len(x.Shape))
@@ -352,25 +385,41 @@ func (st *stage) applyDense(x *nn.Tensor, ref bool, layerSeed int64, workers int
 	if d != st.pm.Cols() {
 		return nil, fmt.Errorf("infer: dense stage input width %d, want %d", d, st.pm.Cols())
 	}
-	vecs := make([][]float64, n)
-	buf := make([]float64, n*d)
-	for b := 0; b < n; b++ {
-		vec := buf[b*d : (b+1)*d]
-		for i := 0; i < d; i++ {
-			vec[i] = x.At2(b, i) / st.sx
+	rows := st.pm.Rows()
+	out := nn.NewTensor(n, rows)
+	restore := st.sw * st.sx
+	divSx := st.sx != 1 // x/1 == x bit-for-bit, skip the division
+	err := oc.ShardRange(n, workers, func(lo, hi int) error {
+		var ap *oc.Applier
+		if !ref {
+			ap = st.pm.NewApplier()
+			defer ap.Release()
 		}
-		vecs[b] = vec
-	}
-	ys, err := st.runMVMBatch(vecs, ref, layerSeed, workers)
+		vec := oc.GetScratch(d)
+		y := oc.GetScratch(rows)
+		defer oc.PutScratch(vec)
+		defer oc.PutScratch(y)
+		for b := lo; b < hi; b++ {
+			src := x.Data[b*d : (b+1)*d]
+			if divSx {
+				for i, v := range src {
+					(*vec)[i] = v / st.sx
+				}
+			} else {
+				copy(*vec, src)
+			}
+			if err := st.mvmInto(ap, *y, *vec, ref, oc.DeriveSeed(layerSeed, b)); err != nil {
+				return err
+			}
+			dst := out.Data[b*rows : (b+1)*rows]
+			for o, v := range *y {
+				dst[o] = v*restore + st.bias[o]
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("infer: dense stage: %w", err)
-	}
-	out := nn.NewTensor(n, st.pm.Rows())
-	restore := st.sw * st.sx
-	for b, y := range ys {
-		for o, v := range y {
-			out.Set2(b, o, v*restore+st.bias[o])
-		}
 	}
 	return out, nil
 }
@@ -385,32 +434,31 @@ func (m *Model) Reference(plane *sensor.Image) ([]float64, error) {
 	return m.walk(plane, true, 0, 1)
 }
 
-// runMVMBatch executes a batch of normalised activation vectors either
-// through the optical core (seeded, sharded) or through the exact
-// digital quantized reference: grid weights times grid activations,
-// plain arithmetic.
-func (st *stage) runMVMBatch(vecs [][]float64, ref bool, layerSeed int64, workers int) ([][]float64, error) {
+// mvmInto executes one normalised activation vector either through the
+// optical core (seeded, via the shard's reusable Applier) or through the
+// exact digital quantized reference (grid weights times grid
+// activations, plain arithmetic; ap may be nil), writing the result into
+// dst (len == pm.Rows() == len(refW)).
+func (st *stage) mvmInto(ap *oc.Applier, dst, vec []float64, ref bool, seed int64) error {
 	if !ref {
-		return st.pm.ApplyBatchSeeded(vecs, workers, layerSeed)
+		return ap.ApplySeededInto(dst, vec, seed)
 	}
-	ys := make([][]float64, len(vecs))
-	xq := make([]float64, 0)
-	for j, vec := range vecs {
-		xq = xq[:0]
-		for _, v := range vec {
-			xq = append(xq, st.core.QuantizeActivation(v))
-		}
-		y := make([]float64, len(st.refW))
-		for r, row := range st.refW {
-			sum := 0.0
-			for c, w := range row {
-				sum += w * xq[c]
-			}
-			y[r] = sum
-		}
-		ys[j] = y
+	// Preallocated to the vector length up front — the former batch walk
+	// grew its quantization buffer with append from zero capacity.
+	xq := oc.GetScratch(len(vec))
+	defer oc.PutScratch(xq)
+	for i, v := range vec {
+		(*xq)[i] = st.core.QuantizeActivation(v)
 	}
-	return ys, nil
+	q := *xq
+	for r, row := range st.refW {
+		sum := 0.0
+		for c, w := range row {
+			sum += w * q[c]
+		}
+		dst[r] = sum
+	}
+	return nil
 }
 
 // Argmax returns the top-1 class of a logit vector (-1 for empty input).

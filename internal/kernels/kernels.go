@@ -196,9 +196,15 @@ func (o *LinOp) place(out *sensor.Image, wy, wx int, y []float64, s float64) {
 	}
 }
 
-// Apply implements Kernel: every window streams through the programmed
-// matrix via oc.ApplyBatchSeeded, so windows shard across workers with
-// per-window noise streams.
+// Apply implements Kernel: the window walk streams each window through
+// the programmed matrix via oc.ApplySeededInto with the window's own
+// child seed — windows shard across workers with per-window noise
+// streams, exactly as the former materialize-then-ApplyBatchSeeded walk
+// did (window j still draws from oc.DeriveSeed(seed, j)), but without
+// building the full window table: each shard checks one pooled window,
+// destination buffer and Applier out for its whole range, so per-window
+// work allocates nothing — one Apply call allocates only the output
+// plane and per-shard bookkeeping.
 func (o *LinOp) Apply(plane *sensor.Image, seed int64, workers int) (*sensor.Image, error) {
 	if err := checkPlane(o.name, plane); err != nil {
 		return nil, err
@@ -207,22 +213,26 @@ func (o *LinOp) Apply(plane *sensor.Image, seed int64, workers int) (*sensor.Ima
 	if err != nil {
 		return nil, err
 	}
-	windows := make([][]float64, wh*ww)
-	buf := make([]float64, wh*ww*o.k*o.k)
-	for wy := 0; wy < wh; wy++ {
-		for wx := 0; wx < ww; wx++ {
-			j := wy*ww + wx
-			windows[j] = buf[j*o.k*o.k : (j+1)*o.k*o.k]
-			o.window(plane, wy*o.stride-o.pad, wx*o.stride-o.pad, windows[j])
-		}
-	}
-	ys, err := o.pm.ApplyBatchSeeded(windows, workers, seed)
-	if err != nil {
-		return nil, fmt.Errorf("kernels: %s: %w", o.name, err)
-	}
 	out := sensor.NewImage(wh*o.block, ww*o.block, 1)
-	for j, y := range ys {
-		o.place(out, j/ww, j%ww, y, o.scale)
+	err = oc.ShardRange(wh*ww, workers, func(lo, hi int) error {
+		ap := o.pm.NewApplier()
+		defer ap.Release()
+		win := oc.GetScratch(o.k * o.k)
+		y := oc.GetScratch(o.pm.Rows())
+		defer oc.PutScratch(win)
+		defer oc.PutScratch(y)
+		for j := lo; j < hi; j++ {
+			wy, wx := j/ww, j%ww
+			o.window(plane, wy*o.stride-o.pad, wx*o.stride-o.pad, *win)
+			if err := ap.ApplySeededInto(*y, *win, oc.DeriveSeed(seed, j)); err != nil {
+				return fmt.Errorf("kernels: %s: window %d: %w", o.name, j, err)
+			}
+			o.place(out, wy, wx, *y, o.scale)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -139,15 +139,43 @@ func (o *IterOp) OutDims(h, w int) (int, int, error) {
 	return h * o.n, w * o.n, nil
 }
 
+// iterScratch is one shard's worth of pooled Landweber state: the n²
+// iterate x, the rescaled drive xs, the 1-element forward readout and
+// residual, and the n² adjoint readout. All buffers come from the shared
+// oc scratch arena, so the steady-state loop allocates nothing.
+type iterScratch struct {
+	x, xs, fwd, res, adj *[]float64
+}
+
+func (o *IterOp) getScratch() iterScratch {
+	n2 := o.n * o.n
+	return iterScratch{
+		x:   oc.GetScratch(n2),
+		xs:  oc.GetScratch(n2),
+		fwd: oc.GetScratch(1),
+		res: oc.GetScratch(1),
+		adj: oc.GetScratch(n2),
+	}
+}
+
+func (s iterScratch) release() {
+	oc.PutScratch(s.x)
+	oc.PutScratch(s.xs)
+	oc.PutScratch(s.fwd)
+	oc.PutScratch(s.res)
+	oc.PutScratch(s.adj)
+}
+
 // iterate runs the Landweber loop for one compressed sample y, filling
-// the n² iterate x. apply executes one programmed-matrix pass (optical or
-// exact, per caller); pass p of the sample uses seed DeriveSeed(seed, p),
-// so forward and adjoint passes of every iteration own disjoint streams.
-func (o *IterOp) iterate(y float64, x []float64, seed int64, apply func(pm *oc.ProgrammedMatrix, in []float64, seed int64) ([]float64, error)) error {
+// the n² iterate sc.x. apply executes one programmed-matrix pass into a
+// caller-owned destination (optical or exact, per caller); pass p of the
+// sample uses seed DeriveSeed(seed, p), so forward and adjoint passes of
+// every iteration own disjoint streams.
+func (o *IterOp) iterate(y float64, sc iterScratch, seed int64, apply func(pm *oc.ProgrammedMatrix, dst, in []float64, seed int64) error) error {
+	x, xs := *sc.x, *sc.xs
 	for i := range x {
 		x[i] = 0
 	}
-	xs := make([]float64, len(x))
 	// The iterate approaches x̂ = w y/‖w‖² from below, so entries are
 	// bounded by wmax/‖w‖², which can exceed the [0,1] activation range;
 	// stream x · ‖w‖²/wmax (≤ y ≤ 1) and undo the factor on the readout.
@@ -159,30 +187,36 @@ func (o *IterOp) iterate(y float64, x []float64, seed int64, apply func(pm *oc.P
 		for i, v := range x {
 			xs[i] = v * up
 		}
-		f, err := apply(o.fwd, xs, oc.DeriveSeed(seed, 2*t))
-		if err != nil {
+		if err := apply(o.fwd, *sc.fwd, xs, oc.DeriveSeed(seed, 2*t)); err != nil {
 			return err
 		}
-		r := y - f[0]*o.wmax/up
+		r := y - (*sc.fwd)[0]*o.wmax/up
 		// Exact arithmetic keeps r >= 0; quantization can push it a hair
 		// below zero, and negative intensities cannot be emitted.
 		if r < 0 {
 			r = 0
 		}
-		a, err := apply(o.adj, []float64{r}, oc.DeriveSeed(seed, 2*t+1))
-		if err != nil {
+		(*sc.res)[0] = r
+		if err := apply(o.adj, *sc.adj, *sc.res, oc.DeriveSeed(seed, 2*t+1)); err != nil {
 			return err
 		}
 		for i := range x {
-			x[i] += o.tau * a[i] * o.wmax
+			x[i] += o.tau * (*sc.adj)[i] * o.wmax
 		}
 	}
 	return nil
 }
 
+// passFn executes one programmed-matrix pass into dst.
+type passFn func(pm *oc.ProgrammedMatrix, dst, in []float64, seed int64) error
+
 // run shards the plane's samples across workers, each sample seeded with
-// DeriveSeed(seed, j) — the same per-window scheme as LinOp.Apply.
-func (o *IterOp) run(plane *sensor.Image, seed int64, workers int, apply func(pm *oc.ProgrammedMatrix, in []float64, seed int64) ([]float64, error)) (*sensor.Image, error) {
+// DeriveSeed(seed, j) — the same per-window scheme as LinOp.Apply. Each
+// shard draws its Landweber state from the shared scratch arena once and
+// builds its per-goroutine pass executor through newApply (optical
+// shards check pooled Appliers out for the shard and release them via
+// the returned cleanup; the exact reference is stateless).
+func (o *IterOp) run(plane *sensor.Image, seed int64, workers int, newApply func() (passFn, func())) (*sensor.Image, error) {
 	if err := checkPlane(o.name, plane); err != nil {
 		return nil, err
 	}
@@ -191,11 +225,15 @@ func (o *IterOp) run(plane *sensor.Image, seed int64, workers int, apply func(pm
 	}
 	out := sensor.NewImage(plane.H*o.n, plane.W*o.n, 1)
 	err := oc.ShardRange(plane.H*plane.W, workers, func(lo, hi int) error {
-		x := make([]float64, o.n*o.n)
+		apply, release := newApply()
+		defer release()
+		sc := o.getScratch()
+		defer sc.release()
 		for j := lo; j < hi; j++ {
-			if err := o.iterate(plane.Pix[j], x, oc.DeriveSeed(seed, j), apply); err != nil {
+			if err := o.iterate(plane.Pix[j], sc, oc.DeriveSeed(seed, j), apply); err != nil {
 				return fmt.Errorf("kernels: %s: sample %d: %w", o.name, j, err)
 			}
+			x := *sc.x
 			wy, wx := j/plane.W, j%plane.W
 			for by := 0; by < o.n; by++ {
 				for bx := 0; bx < o.n; bx++ {
@@ -213,8 +251,18 @@ func (o *IterOp) run(plane *sensor.Image, seed int64, workers int, apply func(pm
 
 // Apply implements Kernel: every pass runs through the optical core.
 func (o *IterOp) Apply(plane *sensor.Image, seed int64, workers int) (*sensor.Image, error) {
-	return o.run(plane, seed, workers, func(pm *oc.ProgrammedMatrix, in []float64, seed int64) ([]float64, error) {
-		return pm.ApplySeeded(in, seed)
+	return o.run(plane, seed, workers, func() (passFn, func()) {
+		fwd, adj := o.fwd.NewApplier(), o.adj.NewApplier()
+		apply := func(pm *oc.ProgrammedMatrix, dst, in []float64, seed int64) error {
+			if pm == o.fwd {
+				return fwd.ApplySeededInto(dst, in, seed)
+			}
+			return adj.ApplySeededInto(dst, in, seed)
+		}
+		return apply, func() {
+			fwd.Release()
+			adj.Release()
+		}
 	})
 }
 
@@ -223,19 +271,21 @@ func (o *IterOp) Apply(plane *sensor.Image, seed int64, workers int) (*sensor.Im
 // the programmed matrices' full-scale normalisation (w/wmax) exactly, so
 // iterate's digital rescaling applies unchanged.
 func (o *IterOp) Reference(plane *sensor.Image) (*sensor.Image, error) {
-	exact := func(pm *oc.ProgrammedMatrix, in []float64, _ int64) ([]float64, error) {
+	exact := func(pm *oc.ProgrammedMatrix, dst, in []float64, _ int64) error {
 		if pm == o.fwd {
 			sum := 0.0
 			for i, v := range o.w {
 				sum += v / o.wmax * in[i]
 			}
-			return []float64{sum}, nil
+			dst[0] = sum
+			return nil
 		}
-		out := make([]float64, len(o.w))
 		for i, v := range o.w {
-			out[i] = v / o.wmax * in[0]
+			dst[i] = v / o.wmax * in[0]
 		}
-		return out, nil
+		return nil
 	}
-	return o.run(plane, 0, 1, exact)
+	return o.run(plane, 0, 1, func() (passFn, func()) {
+		return exact, func() {}
+	})
 }

@@ -40,6 +40,17 @@ func (r *ReLU) Forward(x *Tensor, train bool) (*Tensor, error) {
 	return y, nil
 }
 
+// ForwardInplace implements InplaceLayer: the inference-mode rectification
+// applied directly to x.
+func (r *ReLU) ForwardInplace(x *Tensor) error {
+	for i, v := range x.Data {
+		if v <= 0 {
+			x.Data[i] = 0
+		}
+	}
+	return nil
+}
+
 // Backward implements Layer.
 func (r *ReLU) Backward(dy *Tensor) (*Tensor, error) {
 	if r.mask == nil {

@@ -1,0 +1,40 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestForwardInplaceMatchesForward pins the InplaceLayer contract: the
+// in-place inference transform must be bit-identical to Forward(x,
+// false), for both implementing layers, including the uncalibrated
+// ActQuant pass-through.
+func TestForwardInplaceMatchesForward(t *testing.T) {
+	calibrated := NewActQuant("aq", 4)
+	calibrated.Scale = 0.8
+	calibrated.Frozen = true
+	layers := []InplaceLayer{
+		NewReLU("relu"),
+		calibrated,
+		NewActQuant("aq-uncalibrated", 4), // Scale == 0: pass-through
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, l := range layers {
+		x := NewTensor(2, 3, 4, 4)
+		for i := range x.Data {
+			x.Data[i] = rng.Float64()*2.4 - 1 // exercises clip, negatives, > scale
+		}
+		want, err := l.Forward(x, false)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name(), err)
+		}
+		if err := l.ForwardInplace(x); err != nil {
+			t.Fatalf("%s inplace: %v", l.Name(), err)
+		}
+		for i := range x.Data {
+			if x.Data[i] != want.Data[i] {
+				t.Fatalf("%s: element %d: inplace %g != forward %g", l.Name(), i, x.Data[i], want.Data[i])
+			}
+		}
+	}
+}

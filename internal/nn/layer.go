@@ -19,6 +19,18 @@ type Layer interface {
 	CloneShared() Layer
 }
 
+// InplaceLayer is implemented by elementwise layers whose inference-mode
+// Forward can mutate its input instead of cloning it. ForwardInplace must
+// be bit-identical to Forward(x, false) and leave no training caches.
+// Serving paths that own their tensors (internal/infer) use it to keep
+// big activation maps from being copied once per layer per frame
+// (docs/PERF.md); training always goes through Forward, which preserves
+// clone semantics for autodiff.
+type InplaceLayer interface {
+	Layer
+	ForwardInplace(x *Tensor) error
+}
+
 // Sequential chains layers.
 type Sequential struct {
 	Layers []Layer

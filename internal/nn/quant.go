@@ -166,6 +166,20 @@ func (a *ActQuant) Forward(x *Tensor, train bool) (*Tensor, error) {
 	return y, nil
 }
 
+// ForwardInplace implements InplaceLayer: the inference-mode quantization
+// applied directly to x (uncalibrated quantizers pass through, exactly
+// like Forward).
+func (a *ActQuant) ForwardInplace(x *Tensor) error {
+	scale := a.Scale
+	if scale <= 0 {
+		return nil
+	}
+	for i, v := range x.Data {
+		x.Data[i] = QuantizeUnsigned(v, scale, a.Bits)
+	}
+	return nil
+}
+
 // Backward implements Layer.
 func (a *ActQuant) Backward(dy *Tensor) (*Tensor, error) {
 	if a.mask == nil {

@@ -3,6 +3,8 @@ package oc
 import (
 	"fmt"
 
+	"lightator/internal/analog"
+	"lightator/internal/photonics"
 	"lightator/internal/sensor"
 )
 
@@ -105,8 +107,8 @@ func NewAcquisitor(core *Core, poolN int) (*Acquisitor, error) {
 // source (see ProgrammedMatrix.Apply); concurrent frame streams should
 // use CompressSeeded instead.
 func (a *Acquisitor) Compress(f *sensor.Frame) (*sensor.Image, error) {
-	return a.compress(f, func(window []float64, _ int) ([]float64, error) {
-		return a.pm.Apply(window)
+	return a.compress(f, func(dst, window []float64, _ int) error {
+		return a.pm.applyInto(dst, window)
 	})
 }
 
@@ -114,36 +116,103 @@ func (a *Acquisitor) Compress(f *sensor.Frame) (*sensor.Image, error) {
 // output plane draws from a stream seeded with DeriveSeed(seed, j), so
 // the compressed frame is bit-identical for a given (frame, seed) no
 // matter how many frames are being compressed concurrently.
+//
+// This is the per-frame hot path (every pipeline frame funnels through
+// it), so the walk is specialised: one scratch window per frame, CRC
+// intensities read through a precomputed code table (the exact
+// float64(code)/NumComparators division Frame.Intensity performs), and —
+// when the activation grid coincides with the CRC grid, i.e.
+// 2^ABits - 1 == NumComparators — the quantization pass is skipped
+// outright: code/15 round-trips the 4-bit grid exactly
+// (Round(code/15·15)/15 == code/15 bit-for-bit), so quantization is the
+// identity. The golden tests pin all of this against the generic path.
 func (a *Acquisitor) CompressSeeded(f *sensor.Frame, seed int64) (*sensor.Image, error) {
-	return a.compress(f, func(window []float64, j int) ([]float64, error) {
-		return a.pm.ApplySeeded(window, DeriveSeed(seed, j))
-	})
-}
-
-// compress walks the pooling windows, delegating each weighted sum to
-// apply (which receives the window index for seeding).
-func (a *Acquisitor) compress(f *sensor.Frame, apply func([]float64, int) ([]float64, error)) (*sensor.Image, error) {
 	n := a.PoolN
 	if f.Rows%n != 0 || f.Cols%n != 0 {
 		return nil, fmt.Errorf("oc: frame %dx%d not divisible by pool %d", f.Rows, f.Cols, n)
 	}
 	outH, outW := f.Rows/n, f.Cols/n
 	out := sensor.NewImage(outH, outW, 1)
-	window := make([]float64, n*n)
+	window := GetScratch(n * n)
+	xq := GetScratch(n * n)
+	y := GetScratch(1)
+	defer PutScratch(window)
+	defer PutScratch(xq)
+	defer PutScratch(y)
+	// Intensity table: lut[c] is exactly Frame.Intensity's division for
+	// code c. Codes above the CRC range (impossible from ReadFrame, but
+	// reachable from hand-built frames) fall back to the live division.
+	var lut [analog.NumComparators + 1]float64
+	for c := range lut {
+		lut[c] = float64(c) / float64(analog.NumComparators)
+	}
+	skipQuant := (1<<uint(a.core.ABits))-1 == analog.NumComparators
+	var ns *photonics.NoiseSource
+	if a.core.Fidelity == PhysicalNoisy {
+		ns = getNoise()
+		defer putNoise(ns)
+	}
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			i := 0
+			overRange := false
+			for dy := 0; dy < n; dy++ {
+				row := f.Codes[(oy*n+dy)*f.Cols+ox*n:]
+				for dx := 0; dx < n; dx++ {
+					c := row[dx]
+					if int(c) < len(lut) {
+						(*window)[i] = lut[c]
+					} else {
+						// Out-of-range codes land off the CRC grid, so the
+						// identity-quantization shortcut does not hold for
+						// this window.
+						(*window)[i] = float64(c) / float64(analog.NumComparators)
+						overRange = true
+					}
+					i++
+				}
+			}
+			q := *window
+			if !skipQuant || overRange {
+				if err := a.pm.quantizeInto(*xq, *window); err != nil {
+					return nil, err
+				}
+				q = *xq
+			}
+			a.pm.applySeededRangeNS(q, *y, 0, 1, DeriveSeed(seed, oy*outW+ox), ns)
+			out.Set(oy, ox, 0, (*y)[0])
+		}
+	}
+	return out, nil
+}
+
+// compress walks the pooling windows, delegating each weighted sum to
+// apply (which receives a one-element destination and the window index
+// for seeding).
+func (a *Acquisitor) compress(f *sensor.Frame, apply func(dst, window []float64, j int) error) (*sensor.Image, error) {
+	n := a.PoolN
+	if f.Rows%n != 0 || f.Cols%n != 0 {
+		return nil, fmt.Errorf("oc: frame %dx%d not divisible by pool %d", f.Rows, f.Cols, n)
+	}
+	outH, outW := f.Rows/n, f.Cols/n
+	out := sensor.NewImage(outH, outW, 1)
+	window := GetScratch(n * n)
+	y := GetScratch(1)
+	defer PutScratch(window)
+	defer PutScratch(y)
 	for oy := 0; oy < outH; oy++ {
 		for ox := 0; ox < outW; ox++ {
 			i := 0
 			for dy := 0; dy < n; dy++ {
 				for dx := 0; dx < n; dx++ {
-					window[i] = f.Intensity(oy*n+dy, ox*n+dx)
+					(*window)[i] = f.Intensity(oy*n+dy, ox*n+dx)
 					i++
 				}
 			}
-			y, err := apply(window, oy*outW+ox)
-			if err != nil {
+			if err := apply(*y, *window, oy*outW+ox); err != nil {
 				return nil, err
 			}
-			out.Set(oy, ox, 0, y[0])
+			out.Set(oy, ox, 0, (*y)[0])
 		}
 	}
 	return out, nil

@@ -8,6 +8,14 @@
 // arrive as WDM light intensities from the DMVA, each arm's balanced
 // photodetector produces one signed partial MAC, and the summation tree
 // combines partial sums for kernels larger than one arm.
+//
+// The MVM hot path is allocation-free in steady state: programmed
+// coefficients live in one contiguous row-major array (applyRow is a
+// linear scan), quantization scratch comes from a shared sync.Pool
+// (GetScratch/PutScratch), per-row noise sources are pooled and re-seeded
+// in place, and the *Into variants (ApplySeededInto, ApplyBatchSeededInto)
+// write into caller-owned destinations. See docs/PERF.md for the hot-path
+// inventory and the determinism-preserving optimization rules.
 package oc
 
 import (
@@ -66,6 +74,11 @@ type Core struct {
 	// noiseSigma is the output-referred RMS noise of one arm readout in
 	// normalised MAC units, derived from the BPD device models.
 	noiseSigma float64
+	// actGrid[k] is the ABits activation code k's value, k/(2^ABits-1) —
+	// the exact division QuantizeActivation's definition performs,
+	// precomputed so the hot quantization loop is one multiply, one
+	// round and one table load per element.
+	actGrid []float64
 }
 
 // NewCore builds a core for the given [W:A] precision configuration.
@@ -83,6 +96,11 @@ func NewCore(wBits, aBits int, fid Fidelity) (*Core, error) {
 		Fidelity: fid,
 		bank:     bm,
 		noise:    photonics.NewNoiseSource(0x11647a70),
+	}
+	levels := (int(1) << uint(aBits)) - 1
+	c.actGrid = make([]float64, levels+1)
+	for k := range c.actGrid {
+		c.actGrid[k] = float64(k) / float64(levels)
 	}
 	c.noiseSigma = deriveArmNoiseSigma()
 	return c, nil
@@ -119,36 +137,49 @@ func (c *Core) SnapWeight(v float64) float64 {
 	return c.bank.LevelToWeight(c.bank.WeightToLevel(v))
 }
 
-// QuantizeActivation maps x in [0,1] to its ABits code's value. Values are
-// clipped, matching the saturating CRC/driver chain.
+// QuantizeActivation maps x in [0,1] to its ABits code's value,
+// Round(x·n)/n for n = 2^ABits-1. Values are clipped, matching the
+// saturating CRC/driver chain; NaN propagates, as the direct expression
+// would. The division is served from the precomputed grid table
+// (Round(x·n) is integer-valued for finite clipped x, and actGrid holds
+// exactly k/n), so the result is bit-identical to the direct
+// expression.
 func (c *Core) QuantizeActivation(x float64) float64 {
 	if x < 0 {
 		x = 0
-	}
-	if x > 1 {
+	} else if x > 1 {
 		x = 1
+	} else if x != x {
+		return x
 	}
-	n := float64((uint(1) << uint(c.ABits)) - 1)
-	return math.Round(x*n) / n
-}
-
-// segment is one arm's worth of a weight row: up to 9 quantized levels
-// plus the effective transfer coefficients for the configured fidelity.
-type segment struct {
-	start  int
-	levels []int
-	coeffs []float64
+	return c.actGrid[int(math.Round(x*float64(len(c.actGrid)-1)))]
 }
 
 // ProgrammedMatrix is a weight matrix mapped onto the optical core: each
 // row is split into 9-tap segments, each segment programmed onto one arm.
 // Programming is the expensive step (MR tuning); Apply streams activation
 // vectors through at modulation rate.
+//
+// The programmed state is a CSR-style flat layout: one contiguous
+// row-major coefficient array plus the shared per-row segment boundary
+// index (every row tiles its columns into the same arm-sized spans), so
+// applyRow is a single linear scan with one noise draw per boundary —
+// cache-friendly and allocation-free. It replaced a slice-of-slices
+// segment table that cost two pointer hops per arm.
 type ProgrammedMatrix struct {
 	core *Core
 	rows int
 	cols int
-	segs [][]segment
+	// coeffs holds the effective transfer coefficients for the configured
+	// fidelity, rows*cols row-major: row r spans coeffs[r*cols:(r+1)*cols].
+	coeffs []float64
+	// levels holds the quantized MR levels in the same layout (HeaterPower
+	// reads them).
+	levels []int
+	// armBounds are the column offsets of the segment boundaries shared by
+	// every row: 0, 9, 18, ..., cols. Segment s of row r covers columns
+	// [armBounds[s], armBounds[s+1]).
+	armBounds []int
 }
 
 // Program quantizes and maps a weight matrix with entries in [-1, 1].
@@ -158,34 +189,47 @@ func (c *Core) Program(w [][]float64) (*ProgrammedMatrix, error) {
 		return nil, fmt.Errorf("oc: empty weight matrix")
 	}
 	cols := len(w[0])
-	pm := &ProgrammedMatrix{core: c, rows: len(w), cols: cols, segs: make([][]segment, len(w))}
+	pm := &ProgrammedMatrix{
+		core:   c,
+		rows:   len(w),
+		cols:   cols,
+		coeffs: make([]float64, len(w)*cols),
+		levels: make([]int, len(w)*cols),
+	}
+	pm.armBounds = append(pm.armBounds, 0)
+	for start := mapping.MRsPerArm; start < cols; start += mapping.MRsPerArm {
+		pm.armBounds = append(pm.armBounds, start)
+	}
+	pm.armBounds = append(pm.armBounds, cols)
+	segLevels := make([]int, 0, mapping.MRsPerArm)
 	for r, row := range w {
 		if len(row) != cols {
 			return nil, fmt.Errorf("oc: ragged weight matrix at row %d", r)
 		}
-		for start := 0; start < cols; start += mapping.MRsPerArm {
-			end := start + mapping.MRsPerArm
-			if end > cols {
-				end = cols
-			}
-			seg := segment{start: start, levels: make([]int, end-start)}
-			for i, v := range row[start:end] {
+		base := r * cols
+		for s := 0; s+1 < len(pm.armBounds); s++ {
+			lo, hi := pm.armBounds[s], pm.armBounds[s+1]
+			segLevels = segLevels[:0]
+			for i, v := range row[lo:hi] {
 				if v < -1 || v > 1 {
-					return nil, fmt.Errorf("oc: weight %g at (%d,%d) outside [-1,1]", v, r, start+i)
+					return nil, fmt.Errorf("oc: weight %g at (%d,%d) outside [-1,1]", v, r, lo+i)
 				}
-				seg.levels[i] = c.bank.WeightToLevel(v)
+				segLevels = append(segLevels, c.bank.WeightToLevel(v))
 			}
-			var err error
+			var (
+				cf  []float64
+				err error
+			)
 			if c.Fidelity == Ideal {
-				seg.coeffs, err = c.bank.IdealCoefficients(seg.levels)
+				cf, err = c.bank.IdealCoefficients(segLevels)
 			} else {
-				seg.coeffs, err = c.bank.Coefficients(seg.levels)
+				cf, err = c.bank.Coefficients(segLevels)
 			}
 			if err != nil {
 				return nil, err
 			}
-			seg.coeffs = seg.coeffs[:len(seg.levels)]
-			pm.segs[r] = append(pm.segs[r], seg)
+			copy(pm.coeffs[base+lo:base+hi], cf)
+			copy(pm.levels[base+lo:base+hi], segLevels)
 		}
 	}
 	return pm, nil
@@ -200,34 +244,61 @@ func (pm *ProgrammedMatrix) Cols() int { return pm.cols }
 // ArmCount returns the number of arms the matrix occupies — the unit the
 // scheduler tiles over.
 func (pm *ProgrammedMatrix) ArmCount() int {
-	n := 0
-	for _, row := range pm.segs {
-		n += len(row)
-	}
-	return n
+	return pm.rows * (len(pm.armBounds) - 1)
 }
 
-// quantize returns the ABits-quantized copy of an activation vector.
-func (pm *ProgrammedMatrix) quantize(x []float64) ([]float64, error) {
+// quantizeInto writes the ABits-quantized copy of an activation vector
+// into dst (len == pm.cols). The quantization grid is the same as
+// Core.QuantizeActivation, inlined with the precomputed grid table so
+// the hot loop is clip, multiply, round, load — no division. NaN inputs
+// propagate (they escape both clips), exactly as Round(NaN·n)/n would —
+// a table lookup on int(NaN) would panic instead.
+func (pm *ProgrammedMatrix) quantizeInto(dst, x []float64) error {
 	if len(x) != pm.cols {
-		return nil, fmt.Errorf("oc: input length %d, want %d", len(x), pm.cols)
+		return fmt.Errorf("oc: input length %d, want %d", len(x), pm.cols)
 	}
-	xq := make([]float64, len(x))
+	grid := pm.core.actGrid
+	n := float64(len(grid) - 1)
 	for i, v := range x {
-		xq[i] = pm.core.QuantizeActivation(v)
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		} else if v != v {
+			dst[i] = v
+			continue
+		}
+		dst[i] = grid[int(math.Round(v*n))]
 	}
-	return xq, nil
+	return nil
 }
 
-// applyRow computes one output row from quantized activations. ns, when
-// non-nil, supplies per-arm BPD noise; each arm draws exactly one sample
-// in segment order, so a given noise source yields a reproducible row.
+// applyRow computes one output row from quantized activations: a linear
+// scan over the row's contiguous coefficient span. ns, when non-nil,
+// supplies per-arm BPD noise; each arm draws exactly one sample in segment
+// order, so a given noise source yields a reproducible row.
 func (pm *ProgrammedMatrix) applyRow(xq []float64, r int, ns *photonics.NoiseSource) float64 {
-	sum := 0.0
-	for _, s := range pm.segs[r] {
+	base := r * pm.cols
+	if len(pm.armBounds) == 2 {
+		// Single-arm rows (<= 9 taps — every CA bank and most kernel
+		// operators): skip the segment walk entirely.
 		partial := 0.0
-		for i, cf := range s.coeffs {
-			partial += cf * xq[s.start+i]
+		for i, cf := range pm.coeffs[base : base+pm.cols] {
+			partial += cf * xq[i]
+		}
+		if ns != nil {
+			partial += ns.Gaussian(0, pm.core.noiseSigma)
+		}
+		return partial
+	}
+	sum := 0.0
+	for s := 0; s+1 < len(pm.armBounds); s++ {
+		lo, hi := pm.armBounds[s], pm.armBounds[s+1]
+		partial := 0.0
+		coeffs := pm.coeffs[base+lo : base+hi]
+		seg := xq[lo:hi:hi]
+		for i, cf := range coeffs {
+			partial += cf * seg[i]
 		}
 		if ns != nil {
 			partial += ns.Gaussian(0, pm.core.noiseSigma)
@@ -235,6 +306,27 @@ func (pm *ProgrammedMatrix) applyRow(xq []float64, r int, ns *photonics.NoiseSou
 		sum += partial
 	}
 	return sum
+}
+
+// applyInto computes y = W*x into dst through the shared-noise path (see
+// Apply for the caveats).
+func (pm *ProgrammedMatrix) applyInto(dst, x []float64) error {
+	if len(dst) != pm.rows {
+		return fmt.Errorf("oc: destination length %d, want %d rows", len(dst), pm.rows)
+	}
+	xq := GetScratch(pm.cols)
+	defer PutScratch(xq)
+	if err := pm.quantizeInto(*xq, x); err != nil {
+		return err
+	}
+	var ns *photonics.NoiseSource
+	if pm.core.Fidelity == PhysicalNoisy {
+		ns = pm.core.noise
+	}
+	for r := 0; r < pm.rows; r++ {
+		dst[r] = pm.applyRow(*xq, r, ns)
+	}
+	return nil
 }
 
 // Apply computes y = W*x through the optical path. Activations are
@@ -247,17 +339,9 @@ func (pm *ProgrammedMatrix) applyRow(xq []float64, r int, ns *photonics.NoiseSou
 // across interleavings; concurrent callers should use ApplySeeded or
 // ApplyParallel, which derive an independent stream per output row.
 func (pm *ProgrammedMatrix) Apply(x []float64) ([]float64, error) {
-	xq, err := pm.quantize(x)
-	if err != nil {
-		return nil, err
-	}
-	var ns *photonics.NoiseSource
-	if pm.core.Fidelity == PhysicalNoisy {
-		ns = pm.core.noise
-	}
 	y := make([]float64, pm.rows)
-	for r := range pm.segs {
-		y[r] = pm.applyRow(xq, r, ns)
+	if err := pm.applyInto(y, x); err != nil {
+		return nil, err
 	}
 	return y, nil
 }
@@ -276,31 +360,121 @@ func DeriveSeed(seed int64, i int) int64 {
 	return int64(z)
 }
 
+// ApplySeededInto computes y = W*x into dst (len == Rows), like
+// ApplySeeded but with a caller-owned destination: the steady-state hot
+// path allocates nothing — quantization scratch comes from the shared
+// pool and, in PhysicalNoisy fidelity, the per-row noise sources are
+// pooled and re-seeded in place (bit-identical streams to freshly
+// constructed sources). Safe for concurrent use on a shared
+// ProgrammedMatrix as long as destinations are disjoint.
+func (pm *ProgrammedMatrix) ApplySeededInto(dst, x []float64, seed int64) error {
+	if len(dst) != pm.rows {
+		return fmt.Errorf("oc: destination length %d, want %d rows", len(dst), pm.rows)
+	}
+	xq := GetScratch(pm.cols)
+	defer PutScratch(xq)
+	if err := pm.quantizeInto(*xq, x); err != nil {
+		return err
+	}
+	pm.applySeededRange(*xq, dst, 0, pm.rows, seed)
+	return nil
+}
+
 // ApplySeeded computes y = W*x like Apply, but in PhysicalNoisy fidelity
 // the noise of output row r is drawn from an independent stream seeded
 // with DeriveSeed(seed, r). Two calls with the same inputs and seed are
 // bit-identical, regardless of what ran in between — the reproducibility
 // contract the batched pipeline is built on. Safe for concurrent use.
+// Allocation-sensitive callers should use ApplySeededInto.
 func (pm *ProgrammedMatrix) ApplySeeded(x []float64, seed int64) ([]float64, error) {
-	xq, err := pm.quantize(x)
-	if err != nil {
+	y := make([]float64, pm.rows)
+	if err := pm.ApplySeededInto(y, x, seed); err != nil {
 		return nil, err
 	}
-	y := make([]float64, pm.rows)
-	pm.applySeededRange(xq, y, 0, pm.rows, seed)
 	return y, nil
 }
 
-// applySeededRange fills y[lo:hi] with seeded rows.
+// applySeededRange fills y[lo:hi] with seeded rows, drawing the noise
+// source (PhysicalNoisy only) from the shared pool for the duration of
+// the range.
 func (pm *ProgrammedMatrix) applySeededRange(xq, y []float64, lo, hi int, seed int64) {
-	noisy := pm.core.Fidelity == PhysicalNoisy
-	for r := lo; r < hi; r++ {
-		var ns *photonics.NoiseSource
-		if noisy {
-			ns = photonics.NewNoiseSource(DeriveSeed(seed, r))
+	if pm.core.Fidelity != PhysicalNoisy {
+		pm.applySeededRangeNS(xq, y, lo, hi, seed, nil)
+		return
+	}
+	ns := getNoise()
+	pm.applySeededRangeNS(xq, y, lo, hi, seed, ns)
+	putNoise(ns)
+}
+
+// applySeededRangeNS is applySeededRange against a caller-owned noise
+// source (ignored outside PhysicalNoisy fidelity, required inside it).
+// Row r's stream is DeriveSeed(seed, r), the source re-seeded in place —
+// bit-identical to a freshly constructed per-row source.
+func (pm *ProgrammedMatrix) applySeededRangeNS(xq, y []float64, lo, hi int, seed int64, ns *photonics.NoiseSource) {
+	if pm.core.Fidelity != PhysicalNoisy {
+		for r := lo; r < hi; r++ {
+			y[r] = pm.applyRow(xq, r, nil)
 		}
+		return
+	}
+	for r := lo; r < hi; r++ {
+		ns.Reseed(DeriveSeed(seed, r))
 		y[r] = pm.applyRow(xq, r, ns)
 	}
+}
+
+// Applier is reusable per-goroutine scratch for repeated seeded applies
+// against one programmed matrix: the quantization buffer and (in
+// PhysicalNoisy fidelity) the per-row noise source are checked out of
+// the shared pools once and reused across calls, so tight apply loops —
+// the kernel window walk, the infer im2col stream, Landweber passes —
+// pay no pool traffic per call. Release returns the scratch when the
+// loop is done. Output is bit-identical to
+// ProgrammedMatrix.ApplySeededInto. Not safe for concurrent use: create
+// one Applier per goroutine; the underlying matrix may be shared
+// freely.
+type Applier struct {
+	pm *ProgrammedMatrix
+	xq *[]float64
+	ns *photonics.NoiseSource
+}
+
+// NewApplier builds an Applier bound to the matrix, drawing its scratch
+// from the shared pools.
+func (pm *ProgrammedMatrix) NewApplier() *Applier {
+	ap := &Applier{pm: pm, xq: GetScratch(pm.cols)}
+	if pm.core.Fidelity == PhysicalNoisy {
+		ap.ns = getNoise()
+	}
+	return ap
+}
+
+// Release returns the applier's scratch to the shared pools. The
+// applier must not be used afterwards. Optional — an unreleased
+// applier's scratch is simply garbage-collected — but tight per-shard
+// loops should release so the buffers recirculate.
+func (ap *Applier) Release() {
+	PutScratch(ap.xq)
+	ap.xq = nil
+	if ap.ns != nil {
+		putNoise(ap.ns)
+		ap.ns = nil
+	}
+}
+
+// ApplySeededInto computes y = W*x into dst exactly like
+// ProgrammedMatrix.ApplySeededInto, using the applier's own scratch.
+func (ap *Applier) ApplySeededInto(dst, x []float64, seed int64) error {
+	pm := ap.pm
+	if len(dst) != pm.rows {
+		return fmt.Errorf("oc: destination length %d, want %d rows", len(dst), pm.rows)
+	}
+	if err := pm.quantizeInto(*ap.xq, x); err != nil {
+		return err
+	}
+	pm.applySeededRangeNS(*ap.xq, dst, 0, pm.rows, seed, ap.ns)
+	return nil
 }
 
 // ApplyParallel computes y = W*x with the output rows sharded across up
@@ -314,8 +488,9 @@ func (pm *ProgrammedMatrix) ApplyParallel(x []float64, workers int, seed int64) 
 	if workers <= 1 {
 		return pm.ApplySeeded(x, seed)
 	}
-	xq, err := pm.quantize(x)
-	if err != nil {
+	xq := GetScratch(pm.cols)
+	defer PutScratch(xq)
+	if err := pm.quantizeInto(*xq, x); err != nil {
 		return nil, err
 	}
 	y := make([]float64, pm.rows)
@@ -329,7 +504,7 @@ func (pm *ProgrammedMatrix) ApplyParallel(x []float64, workers int, seed int64) 
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			pm.applySeededRange(xq, y, lo, hi, seed)
+			pm.applySeededRange(*xq, y, lo, hi, seed)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -376,6 +551,40 @@ func ShardRange(n, workers int, fn func(lo, hi int) error) error {
 	return ferr
 }
 
+// ApplyBatchSeededInto streams a batch of activation vectors through the
+// programmed matrix into caller-owned destinations: dst[i] (len == Rows)
+// receives vector i's result, computed exactly as ApplyBatchSeeded would
+// — vector i draws its noise via DeriveSeed(seed, i), so the output is
+// bit-identical for any worker count. The steady-state path allocates
+// nothing beyond goroutine bookkeeping when workers > 1.
+func (pm *ProgrammedMatrix) ApplyBatchSeededInto(dst, xs [][]float64, workers int, seed int64) error {
+	if len(xs) == 0 {
+		return fmt.Errorf("oc: empty activation batch")
+	}
+	if len(dst) != len(xs) {
+		return fmt.Errorf("oc: destination batch length %d, want %d", len(dst), len(xs))
+	}
+	if workers <= 1 || len(xs) == 1 {
+		// Serial fast path: no shard closure, so the steady state stays
+		// allocation-free.
+		return pm.applyBatchRange(dst, xs, 0, len(xs), seed)
+	}
+	return ShardRange(len(xs), workers, func(lo, hi int) error {
+		return pm.applyBatchRange(dst, xs, lo, hi, seed)
+	})
+}
+
+// applyBatchRange runs vectors [lo, hi) of a batch into their
+// destinations — the per-shard body of ApplyBatchSeededInto.
+func (pm *ProgrammedMatrix) applyBatchRange(dst, xs [][]float64, lo, hi int, seed int64) error {
+	for i := lo; i < hi; i++ {
+		if err := pm.ApplySeededInto(dst[i], xs[i], DeriveSeed(seed, i)); err != nil {
+			return fmt.Errorf("oc: batch vector %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // ApplyBatchSeeded streams a batch of activation vectors through the
 // programmed matrix, sharding the vectors across up to `workers`
 // goroutines — the batch-level analogue of ApplyParallel's row sharding,
@@ -384,23 +593,18 @@ func ShardRange(n, workers int, fn func(lo, hi int) error) error {
 // bit-identical for any worker count and any interleaving: the same
 // reproducibility contract as MatVecBatch. The compressed-domain kernel
 // layer (internal/kernels) runs its pooling/convolution windows through
-// this path.
+// this path. Allocation-sensitive callers should use
+// ApplyBatchSeededInto.
 func (pm *ProgrammedMatrix) ApplyBatchSeeded(xs [][]float64, workers int, seed int64) ([][]float64, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("oc: empty activation batch")
 	}
 	ys := make([][]float64, len(xs))
-	err := ShardRange(len(xs), workers, func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			y, err := pm.ApplySeeded(xs[i], DeriveSeed(seed, i))
-			if err != nil {
-				return fmt.Errorf("oc: batch vector %d: %w", i, err)
-			}
-			ys[i] = y
-		}
-		return nil
-	})
-	if err != nil {
+	flat := make([]float64, len(xs)*pm.rows)
+	for i := range ys {
+		ys[i] = flat[i*pm.rows : (i+1)*pm.rows : (i+1)*pm.rows]
+	}
+	if err := pm.ApplyBatchSeededInto(ys, xs, workers, seed); err != nil {
 		return nil, err
 	}
 	return ys, nil
@@ -410,9 +614,10 @@ func (pm *ProgrammedMatrix) ApplyBatchSeeded(xs [][]float64, workers int, seed i
 // watts.
 func (pm *ProgrammedMatrix) HeaterPower() float64 {
 	total := 0.0
-	for _, row := range pm.segs {
-		for _, s := range row {
-			total += pm.core.bank.HeaterPower(s.levels)
+	for r := 0; r < pm.rows; r++ {
+		base := r * pm.cols
+		for s := 0; s+1 < len(pm.armBounds); s++ {
+			total += pm.core.bank.HeaterPower(pm.levels[base+pm.armBounds[s] : base+pm.armBounds[s+1]])
 		}
 	}
 	return total

@@ -1,0 +1,347 @@
+package oc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lightator/internal/sensor"
+)
+
+// poolTestMatrix programs a deterministic rows x cols matrix on a fresh core.
+func poolTestMatrix(t testing.TB, rows, cols int, fid Fidelity) *ProgrammedMatrix {
+	t.Helper()
+	core, err := NewCore(4, 4, fid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(rows*1000 + cols)))
+	w := make([][]float64, rows)
+	for r := range w {
+		w[r] = make([]float64, cols)
+		for c := range w[r] {
+			w[r][c] = rng.Float64()*2 - 1
+		}
+	}
+	pm, err := core.Program(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm
+}
+
+func poolTestVector(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return x
+}
+
+func TestShardRangeEdgeCases(t *testing.T) {
+	// n == 0: fn still runs inline once over the empty range.
+	calls := 0
+	if err := ShardRange(0, 4, func(lo, hi int) error {
+		calls++
+		if lo != 0 || hi != 0 {
+			t.Errorf("empty range sharded as [%d,%d)", lo, hi)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("empty range ran fn %d times, want 1", calls)
+	}
+
+	// workers > n: clamped to n, every index covered exactly once.
+	var covered [3]int32
+	if err := ShardRange(3, 64, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Errorf("index %d covered %d times", i, c)
+		}
+	}
+
+	// workers <= 0 runs inline over the whole range.
+	calls = 0
+	if err := ShardRange(5, -1, func(lo, hi int) error {
+		calls++
+		if lo != 0 || hi != 5 {
+			t.Errorf("inline run sharded as [%d,%d)", lo, hi)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("workers=-1 ran fn %d times, want 1", calls)
+	}
+}
+
+func TestShardRangeErrorPropagation(t *testing.T) {
+	// A mid-shard failure must surface; the other shards still complete.
+	boom := errors.New("shard 2 failed")
+	var ran int32
+	err := ShardRange(8, 4, func(lo, hi int) error {
+		atomic.AddInt32(&ran, 1)
+		if lo == 4 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("mid-shard error lost: %v", err)
+	}
+	if ran != 4 {
+		t.Fatalf("%d shards ran, want 4 (no early abort contract)", ran)
+	}
+
+	// Multiple failures: exactly one (some) error comes back.
+	err = ShardRange(8, 4, func(lo, hi int) error {
+		return fmt.Errorf("shard at %d", lo)
+	})
+	if err == nil {
+		t.Fatal("every shard failed but no error returned")
+	}
+
+	// The inline path propagates too.
+	if err := ShardRange(3, 1, func(lo, hi int) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("inline error lost: %v", err)
+	}
+}
+
+func TestScratchPoolRoundTrip(t *testing.T) {
+	p := GetScratch(17)
+	if len(*p) != 17 {
+		t.Fatalf("GetScratch(17) length %d", len(*p))
+	}
+	for i := range *p {
+		(*p)[i] = float64(i)
+	}
+	PutScratch(p)
+	PutScratch(nil) // must be a no-op
+	q := GetScratch(40000)
+	if len(*q) != 40000 {
+		t.Fatalf("grown scratch length %d", len(*q))
+	}
+	PutScratch(q)
+}
+
+// TestApplySeededIntoMatchesApplySeeded pins the destination-passing
+// variant against the allocating one in every fidelity — same values,
+// same stream.
+func TestApplySeededIntoMatchesApplySeeded(t *testing.T) {
+	for _, fid := range []Fidelity{Ideal, Physical, PhysicalNoisy} {
+		pm := poolTestMatrix(t, 13, 23, fid)
+		x := poolTestVector(23, 99)
+		want, err := pm.ApplySeeded(x, 0x5eed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, pm.Rows())
+		if err := pm.ApplySeededInto(dst, x, 0x5eed); err != nil {
+			t.Fatal(err)
+		}
+		ap := pm.NewApplier()
+		apDst := make([]float64, pm.Rows())
+		if err := ap.ApplySeededInto(apDst, x, 0x5eed); err != nil {
+			t.Fatal(err)
+		}
+		for r := range want {
+			if dst[r] != want[r] {
+				t.Fatalf("%v: ApplySeededInto row %d: %g != %g", fid, r, dst[r], want[r])
+			}
+			if apDst[r] != want[r] {
+				t.Fatalf("%v: Applier row %d: %g != %g", fid, r, apDst[r], want[r])
+			}
+		}
+	}
+}
+
+// TestApplyBatchSeededIntoMatches pins the batch Into variant against
+// ApplyBatchSeeded for several worker counts.
+func TestApplyBatchSeededIntoMatches(t *testing.T) {
+	pm := poolTestMatrix(t, 7, 23, PhysicalNoisy)
+	xs := [][]float64{poolTestVector(23, 1), poolTestVector(23, 2), poolTestVector(23, 3), poolTestVector(23, 4), poolTestVector(23, 5)}
+	want, err := pm.ApplyBatchSeeded(xs, 1, 0xabc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		dst := make([][]float64, len(xs))
+		for i := range dst {
+			dst[i] = make([]float64, pm.Rows())
+		}
+		if err := pm.ApplyBatchSeededInto(dst, xs, workers, 0xabc); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			for r := range want[i] {
+				if dst[i][r] != want[i][r] {
+					t.Fatalf("workers=%d vector %d row %d: %g != %g", workers, i, r, dst[i][r], want[i][r])
+				}
+			}
+		}
+	}
+}
+
+func TestApplyIntoErrors(t *testing.T) {
+	pm := poolTestMatrix(t, 4, 10, Ideal)
+	x := poolTestVector(10, 7)
+	if err := pm.ApplySeededInto(make([]float64, 3), x, 1); err == nil {
+		t.Error("short destination accepted")
+	}
+	if err := pm.ApplySeededInto(make([]float64, 4), poolTestVector(9, 7), 1); err == nil {
+		t.Error("short input accepted")
+	}
+	if err := pm.NewApplier().ApplySeededInto(make([]float64, 5), x, 1); err == nil {
+		t.Error("applier: long destination accepted")
+	}
+	if err := pm.ApplyBatchSeededInto(nil, nil, 2, 1); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if err := pm.ApplyBatchSeededInto(make([][]float64, 1), [][]float64{x, x}, 2, 1); err == nil {
+		t.Error("mismatched destination batch accepted")
+	}
+	dst := [][]float64{make([]float64, 4), make([]float64, 2)}
+	if err := pm.ApplyBatchSeededInto(dst, [][]float64{x, x}, 2, 1); err == nil {
+		t.Error("short destination row accepted")
+	}
+}
+
+// TestConcurrentSeededCallersSharedMatrix hammers one ProgrammedMatrix
+// from many goroutines mixing the pooled paths (ApplySeededInto, Applier,
+// batch) and checks every result against the serial answer — the -race
+// contract of the shared scratch arena and pooled noise sources.
+func TestConcurrentSeededCallersSharedMatrix(t *testing.T) {
+	for _, fid := range []Fidelity{Ideal, PhysicalNoisy} {
+		pm := poolTestMatrix(t, 9, 23, fid)
+		xs := make([][]float64, 8)
+		want := make([][]float64, len(xs))
+		for i := range xs {
+			xs[i] = poolTestVector(23, int64(100+i))
+			y, err := pm.ApplySeeded(xs[i], DeriveSeed(0x7777, i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = y
+		}
+		var wg sync.WaitGroup
+		errc := make(chan error, 64)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				ap := pm.NewApplier()
+				dst := make([]float64, pm.Rows())
+				for iter := 0; iter < 25; iter++ {
+					i := (g + iter) % len(xs)
+					var err error
+					if iter%2 == 0 {
+						err = pm.ApplySeededInto(dst, xs[i], DeriveSeed(0x7777, i))
+					} else {
+						err = ap.ApplySeededInto(dst, xs[i], DeriveSeed(0x7777, i))
+					}
+					if err != nil {
+						errc <- err
+						return
+					}
+					for r := range dst {
+						if dst[r] != want[i][r] {
+							errc <- fmt.Errorf("%v: goroutine %d vector %d row %d diverged", fid, g, i, r)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestQuantizeNaNPropagates pins the grid-table quantization's NaN
+// handling: NaN inputs must propagate to the output, as the direct
+// Round(x·n)/n expression did — never index the grid table (a served
+// plane containing NaN bytes must not be able to panic the process).
+func TestQuantizeNaNPropagates(t *testing.T) {
+	pm := poolTestMatrix(t, 3, 10, Ideal)
+	nan := math.NaN()
+	if got := pm.core.QuantizeActivation(nan); !math.IsNaN(got) {
+		t.Errorf("QuantizeActivation(NaN) = %g, want NaN", got)
+	}
+	x := poolTestVector(10, 7)
+	x[4] = nan
+	y := make([]float64, pm.Rows())
+	if err := pm.ApplySeededInto(y, x, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range y {
+		if !math.IsNaN(v) {
+			t.Errorf("NaN input did not propagate to output row: %g", v)
+		}
+	}
+}
+
+// TestCompressSeededNonCRCGrid drives the quantizing branch of the
+// specialised CompressSeeded walk (ABits != the CRC's 4 bits, so the
+// identity-quantization shortcut must not fire) and pins it against the
+// generic seeded apply composition.
+func TestCompressSeededNonCRCGrid(t *testing.T) {
+	for _, fid := range []Fidelity{Ideal, PhysicalNoisy} {
+		core, err := NewCore(4, 3, fid) // 3-bit activations: 7-level grid != 15 comparators
+		if err != nil {
+			t.Fatal(err)
+		}
+		ca, err := NewAcquisitor(core, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(55))
+		f := &sensor.Frame{Rows: 8, Cols: 8, Codes: make([]uint8, 64)}
+		for i := range f.Codes {
+			f.Codes[i] = uint8(rng.Intn(16))
+		}
+		got, err := ca.CompressSeeded(f, 0xfeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference composition: the documented per-window contract.
+		window := make([]float64, 16)
+		for oy := 0; oy < 2; oy++ {
+			for ox := 0; ox < 2; ox++ {
+				i := 0
+				for dy := 0; dy < 4; dy++ {
+					for dx := 0; dx < 4; dx++ {
+						window[i] = f.Intensity(oy*4+dy, ox*4+dx)
+						i++
+					}
+				}
+				j := oy*2 + ox
+				y, err := ca.pm.ApplySeeded(window, DeriveSeed(0xfeed, j))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Pix[j] != y[0] {
+					t.Fatalf("%v: window %d: %g != %g", fid, j, got.Pix[j], y[0])
+				}
+			}
+		}
+	}
+}

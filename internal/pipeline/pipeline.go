@@ -278,7 +278,10 @@ func (p *Pipeline) processFrame(arr *sensor.Array, idx int, frameSeed int64, sce
 
 	if p.pm != nil {
 		t0 = time.Now()
-		y, err := p.pm.ApplySeeded(activations, oc.DeriveSeed(frameSeed, seedMatVec))
+		// Destination-passing keeps the MVM stage's steady-state
+		// allocations to the one result slice that escapes into Result.
+		y := make([]float64, p.pm.Rows())
+		err := p.pm.ApplySeededInto(y, activations, oc.DeriveSeed(frameSeed, seedMatVec))
 		res.MatVecTime = time.Since(t0)
 		st.MatVec.Observe(res.MatVecTime)
 		if err != nil {

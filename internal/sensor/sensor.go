@@ -179,12 +179,32 @@ func (a *Array) Expose(raw *Image) error {
 }
 
 // ExposeRGB mosaics an RGB scene through the Bayer filter and exposes it.
+// The mosaic is fused into the exposure loop — each site reads its Bayer
+// channel straight from the scene (exactly Mosaic's per-site selection)
+// without materializing the intermediate raw plane, since Capture runs
+// once per pipeline frame.
 func (a *Array) ExposeRGB(scene *Image) error {
-	raw, err := Mosaic(scene)
-	if err != nil {
-		return err
+	if scene.C != 3 {
+		return fmt.Errorf("sensor: mosaic needs an RGB scene, have %d channels", scene.C)
 	}
-	return a.Expose(raw)
+	if scene.H != a.Rows || scene.W != a.Cols {
+		return fmt.Errorf("sensor: frame %dx%d does not match array %dx%d", scene.H, scene.W, a.Rows, a.Cols)
+	}
+	for y := 0; y < a.Rows; y++ {
+		rowBase := y * a.Cols
+		for x := 0; x < a.Cols; x++ {
+			// Clip to [0,1] exactly as the materialized path did via
+			// Image.Set (the Bayer filter cannot emit over-range light).
+			v := scene.Pix[(rowBase+x)*3+int(BayerChannelAt(y, x))]
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			a.vpd[rowBase+x] = a.PD.Voltage(v)
+		}
+	}
+	return nil
 }
 
 // Voltage returns the latched V_PD at pixel (y, x).

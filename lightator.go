@@ -702,7 +702,11 @@ func (a *Accelerator) InferReference(plane *Image, model string) ([]float64, err
 
 // MatVecBatch programs the weight matrix once and streams a batch of
 // activation vectors through it, sharding the matrix rows across up to
-// `workers` goroutines. Deterministic for a given Config.Seed.
+// `workers` goroutines. Deterministic for a given Config.Seed. Every
+// MVM the facade serves — this path, the CA, kernels and inference —
+// funnels through the optical core's allocation-free seeded apply
+// (flat programmed-matrix layout, pooled scratch and noise streams;
+// see docs/PERF.md).
 func (a *Accelerator) MatVecBatch(weights [][]float64, activations [][]float64, workers int) ([][]float64, error) {
 	return a.core.MatVecBatch(weights, activations, workers, a.cfg.Seed)
 }
