@@ -1,0 +1,61 @@
+package lightator_test
+
+import (
+	"testing"
+
+	"lightator"
+)
+
+// TestModelAgreementAcrossCAPools pins the end-to-end optical fidelity
+// of the built-in model zoo: at every served compression ratio the
+// optical top-1 agreement against the digital-quantized reference must
+// clear the zoo's floors (tiny-cnn >= 0.90, tiny-mlp >= 0.75) on the
+// same structured-scene sweep the bench and GET /v1/models report.
+// Before the calibrated apply path, tiny-mlp sat at ~0.19 — wide dense
+// rows accumulate systematic crosstalk loss linearly with width.
+func TestModelAgreementAcrossCAPools(t *testing.T) {
+	floors := map[string]float64{
+		"tiny-cnn": 0.90,
+		"tiny-mlp": 0.75,
+	}
+	for _, pool := range []int{4, 8, 16} {
+		cfg := lightator.DefaultConfig()
+		cfg.CAPool = pool
+		acc, err := lightator.New(cfg)
+		if err != nil {
+			t.Fatalf("pool %d: %v", pool, err)
+		}
+		for model, floor := range floors {
+			agree, err := acc.ModelAgreement(model, lightator.DefaultAgreementFrames)
+			if err != nil {
+				t.Fatalf("pool %d %s: %v", pool, model, err)
+			}
+			if agree < floor {
+				t.Errorf("pool %d: %s agreement %.3f below floor %.2f", pool, model, agree, floor)
+			}
+		}
+	}
+}
+
+// TestModelAgreementErrors: unknown models are rejected, and a
+// non-positive frame count falls back to the default sweep size.
+func TestModelAgreementErrors(t *testing.T) {
+	acc, err := lightator.New(lightator.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.ModelAgreement("no-such-model", 4); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	a, err := acc.ModelAgreement("tiny-mlp", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := acc.ModelAgreement("tiny-mlp", lightator.DefaultAgreementFrames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("frames<=0 should use the default sweep: %v vs %v", a, b)
+	}
+}

@@ -10,10 +10,13 @@
 // caveat the bench records — the gate reports the mismatch and passes,
 // rather than failing on numbers that never measured the same machine.
 //
-// The gate additionally pins the steady-state MVM allocation count
-// (allocs_per_op): the fresh run may not allocate more per
-// oc.ApplySeededInto call than the committed baseline. Allocation counts
-// are deterministic, so this check applies even across environments.
+// The gate additionally pins two deterministic records that apply even
+// across environments: the steady-state MVM allocation count
+// (allocs_per_op — the fresh run may not allocate more per
+// oc.ApplySeededInto call than the committed baseline) and each model's
+// optical-vs-reference top-1 agreement (reference_agreement — the fresh
+// run may not fall below the committed baseline for the same sweep
+// size).
 //
 // Usage:
 //
@@ -52,6 +55,9 @@ type record struct {
 	Infer []struct {
 		Model string  `json:"model"`
 		FPS   float64 `json:"fps"`
+		// ReferenceAgreement is the optical-vs-reference top-1 agreement;
+		// nil when the baseline predates the agreement gate.
+		ReferenceAgreement *float64 `json:"reference_agreement"`
 	} `json:"infer"`
 }
 
@@ -129,6 +135,42 @@ func checkAllocs(oldRec, newRec record) (line string, regressed, checked bool) {
 		verdict = "REGRESSED"
 	}
 	return fmt.Sprintf("allocs/op: %.2f -> %.2f  %s", *oldRec.AllocsPerOp, *newRec.AllocsPerOp, verdict), regressed, true
+}
+
+// checkAgreement gates each model's optical-vs-reference top-1
+// agreement: the fresh run may not fall below the committed baseline.
+// Agreement is measured over a seeded structured-scene sweep, so for a
+// given batch size it is deterministic and environment-independent (the
+// infer determinism contract keeps worker counts unobservable) — like
+// the alloc gate, it applies even when the FPS comparison is skipped.
+// checked is false when the baseline predates the gate (no
+// reference_agreement fields) or the sweep sizes differ.
+func checkAgreement(oldRec, newRec record) (lines []string, regressions int, checked bool) {
+	if oldRec.Batch != newRec.Batch {
+		return []string{fmt.Sprintf("agreement: sweep size changed (batch %d -> %d); not comparable", oldRec.Batch, newRec.Batch)}, 0, false
+	}
+	fresh := make(map[string]*float64, len(newRec.Infer))
+	for _, m := range newRec.Infer {
+		fresh[m.Model] = m.ReferenceAgreement
+	}
+	for _, m := range oldRec.Infer {
+		if m.ReferenceAgreement == nil {
+			continue
+		}
+		checked = true
+		na, ok := fresh[m.Model]
+		switch {
+		case !ok || na == nil:
+			lines = append(lines, fmt.Sprintf("agreement:%-14s MISSING from the fresh run", m.Model))
+			regressions++
+		case *na < *m.ReferenceAgreement:
+			lines = append(lines, fmt.Sprintf("agreement:%-14s %.4f -> %.4f  REGRESSED", m.Model, *m.ReferenceAgreement, *na))
+			regressions++
+		default:
+			lines = append(lines, fmt.Sprintf("agreement:%-14s %.4f -> %.4f  ok", m.Model, *m.ReferenceAgreement, *na))
+		}
+	}
+	return lines, regressions, checked
 }
 
 // latestBaseline picks the newest BENCH_*.json in dir under natural
@@ -234,13 +276,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 	lines, missing, comparable, reason := compare(oldRec, newRec, *threshold)
 	allocLine, allocRegressed, allocChecked := checkAllocs(oldRec, newRec)
+	agreeLines, agreeRegressions, agreeChecked := checkAgreement(oldRec, newRec)
 	if !comparable {
 		// Throughput cannot be compared across environments, but the
-		// allocation count is deterministic — gate it regardless.
+		// allocation count and the seeded agreement sweep are
+		// deterministic — gate them regardless.
 		fmt.Fprintf(stdout, "benchdiff: FPS SKIP — %s\n", reason)
 		fmt.Fprintf(stdout, "  %s\n", allocLine)
+		for _, l := range agreeLines {
+			fmt.Fprintf(stdout, "  %s\n", l)
+		}
 		if allocRegressed {
 			return fmt.Errorf("benchdiff: steady-state MVM allocations regressed above the committed baseline")
+		}
+		if agreeRegressions > 0 {
+			return fmt.Errorf("benchdiff: %d models' reference agreement regressed below the committed baseline", agreeRegressions)
 		}
 		return nil
 	}
@@ -265,16 +315,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if allocRegressed {
 		regressions++
 	}
+	for _, l := range agreeLines {
+		fmt.Fprintf(stdout, "  %s\n", l)
+	}
+	regressions += agreeRegressions
 	for _, name := range missing {
 		fmt.Fprintf(stdout, "  %-24s MISSING from the fresh run\n", name)
 	}
 	if regressions > 0 || len(missing) > 0 {
-		return fmt.Errorf("benchdiff: %d matched records regressed (FPS budget -%.0f%%, alloc budget 0), %d baseline records missing from the fresh run",
+		return fmt.Errorf("benchdiff: %d matched records regressed (FPS budget -%.0f%%, alloc and agreement budget 0), %d baseline records missing from the fresh run",
 			regressions, *threshold*100, len(missing))
 	}
 	checkedNote := ""
 	if allocChecked {
-		checkedNote = " + alloc gate"
+		checkedNote += " + alloc gate"
+	}
+	if agreeChecked {
+		checkedNote += " + agreement gate"
 	}
 	fmt.Fprintf(stdout, "benchdiff: PASS — %d matched records within budget%s\n", len(lines), checkedNote)
 	return nil

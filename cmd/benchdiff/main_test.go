@@ -23,11 +23,27 @@ func mkRecord(batch, workers, cpus int, pipelineFPS float64, kernels, models map
 	}
 	for name, fps := range models {
 		r.Infer = append(r.Infer, struct {
-			Model string  `json:"model"`
-			FPS   float64 `json:"fps"`
-		}{name, fps})
+			Model              string   `json:"model"`
+			FPS                float64  `json:"fps"`
+			ReferenceAgreement *float64 `json:"reference_agreement"`
+		}{name, fps, nil})
 	}
 	return r
+}
+
+// withAgreement attaches a reference_agreement measurement to one of a
+// fixture's infer records. The infer slice is copied so fixtures derived
+// from a shared base stay independent.
+func withAgreement(r record, model string, agreement float64) record {
+	infer := append(r.Infer[:0:0], r.Infer...)
+	r.Infer = infer
+	for i := range r.Infer {
+		if r.Infer[i].Model == model {
+			r.Infer[i].ReferenceAgreement = &agreement
+			return r
+		}
+	}
+	panic("withAgreement: model not in fixture")
 }
 
 func TestCompareFlagsRegressions(t *testing.T) {
@@ -158,6 +174,77 @@ func TestRunAllocGateSameEnvironment(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "allocs/op") || !strings.Contains(stdout.String(), "REGRESSED") {
 		t.Errorf("alloc regression not named:\n%s", stdout.String())
+	}
+}
+
+func TestCheckAgreement(t *testing.T) {
+	base := mkRecord(16, 2, 1, 300, nil, map[string]float64{"tiny-mlp": 200})
+	// No baseline agreement records: unchecked, never a regression.
+	if _, regressions, checked := checkAgreement(base, withAgreement(base, "tiny-mlp", 1.0)); regressions != 0 || checked {
+		t.Errorf("pre-gate baseline gated: regressions=%d checked=%v", regressions, checked)
+	}
+	// Different sweep sizes are not comparable.
+	bigger := mkRecord(32, 2, 1, 300, nil, map[string]float64{"tiny-mlp": 200})
+	if _, regressions, checked := checkAgreement(withAgreement(base, "tiny-mlp", 1.0), withAgreement(bigger, "tiny-mlp", 0.5)); regressions != 0 || checked {
+		t.Errorf("mismatched sweep sizes gated: regressions=%d checked=%v", regressions, checked)
+	}
+	// Equal or better stays green; any drop below baseline trips.
+	if _, regressions, checked := checkAgreement(withAgreement(base, "tiny-mlp", 0.75), withAgreement(base, "tiny-mlp", 0.75)); regressions != 0 || !checked {
+		t.Errorf("equal agreement flagged: regressions=%d checked=%v", regressions, checked)
+	}
+	if _, regressions, _ := checkAgreement(withAgreement(base, "tiny-mlp", 0.75), withAgreement(base, "tiny-mlp", 1.0)); regressions != 0 {
+		t.Error("improvement flagged")
+	}
+	if _, regressions, _ := checkAgreement(withAgreement(base, "tiny-mlp", 1.0), withAgreement(base, "tiny-mlp", 0.9375)); regressions != 1 {
+		t.Error("agreement drop not flagged")
+	}
+	// A fresh run that stopped measuring agreement fails the gate.
+	if _, regressions, checked := checkAgreement(withAgreement(base, "tiny-mlp", 1.0), base); regressions != 1 || !checked {
+		t.Error("vanished reference_agreement not flagged")
+	}
+	// So does a model that disappeared entirely.
+	gone := mkRecord(16, 2, 1, 300, nil, nil)
+	if _, regressions, _ := checkAgreement(withAgreement(base, "tiny-mlp", 1.0), gone); regressions != 1 {
+		t.Error("vanished model not flagged by the agreement gate")
+	}
+}
+
+// TestRunAgreementGateAcrossEnvironments: the FPS comparison is skipped
+// on a CPU-count mismatch, but the agreement gate still applies — the
+// seeded sweep is deterministic and environment-independent.
+func TestRunAgreementGateAcrossEnvironments(t *testing.T) {
+	dir := t.TempDir()
+	base := withAgreement(mkRecord(16, 2, 1, 300, nil, map[string]float64{"tiny-mlp": 200}), "tiny-mlp", 1.0)
+	writeFixture(t, filepath.Join(dir, "BENCH_PR6.json"), base)
+	fresh := filepath.Join(dir, "fresh.json")
+	writeFixture(t, fresh, withAgreement(mkRecord(16, 2, 8, 100, nil, map[string]float64{"tiny-mlp": 90}), "tiny-mlp", 0.19))
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-dir", dir, "-new", fresh}, nil, &stdout, &stderr); err == nil {
+		t.Fatalf("cross-environment agreement regression passed:\n%s", stdout.String())
+	}
+	// Same mismatch with healthy agreement still passes.
+	writeFixture(t, fresh, withAgreement(mkRecord(16, 2, 8, 100, nil, map[string]float64{"tiny-mlp": 90}), "tiny-mlp", 1.0))
+	stdout.Reset()
+	if err := run([]string{"-dir", dir, "-new", fresh}, nil, &stdout, &stderr); err != nil {
+		t.Fatalf("clean cross-environment run failed: %v\n%s", err, stdout.String())
+	}
+}
+
+// TestRunAgreementGateSameEnvironment: an agreement regression fails
+// even when every FPS record is within budget.
+func TestRunAgreementGateSameEnvironment(t *testing.T) {
+	dir := t.TempDir()
+	base := withAgreement(mkRecord(16, 2, 1, 300, nil, map[string]float64{"tiny-mlp": 200}), "tiny-mlp", 1.0)
+	writeFixture(t, filepath.Join(dir, "BENCH_PR6.json"), base)
+	fresh := filepath.Join(dir, "fresh.json")
+	writeFixture(t, fresh, withAgreement(mkRecord(16, 2, 1, 310, nil, map[string]float64{"tiny-mlp": 210}), "tiny-mlp", 0.75))
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-dir", dir, "-new", fresh}, nil, &stdout, &stderr)
+	if err == nil {
+		t.Fatalf("agreement regression with healthy FPS passed:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "agreement:tiny-mlp") || !strings.Contains(stdout.String(), "REGRESSED") {
+		t.Errorf("agreement regression not named:\n%s", stdout.String())
 	}
 }
 

@@ -89,43 +89,14 @@ type inferBenchRecord struct {
 	Pipeline           pipeline.StatsReport `json:"pipeline"`
 }
 
-// inferScenes builds structured scenes for the inference sweep: a bright
-// disk jittered across a dim background. Uniform-random scenes average
-// out to a near-constant CA plane (every frame lands on the same logits,
-// making top-1 agreement degenerate); a moving structure keeps the
-// per-frame planes — and classifications — distinct.
-func inferScenes(n, rows, cols int, seed int64) []*lightator.Image {
-	rng := rand.New(rand.NewSource(seed))
-	scenes := make([]*lightator.Image, n)
-	for i := range scenes {
-		s := lightator.NewImage(rows, cols, 3)
-		for j := range s.Pix {
-			s.Pix[j] = 0.1
-		}
-		cy := float64(rng.Intn(rows))
-		cx := float64(rng.Intn(cols))
-		r := float64(rows) * (0.1 + 0.2*rng.Float64())
-		for y := 0; y < rows; y++ {
-			for x := 0; x < cols; x++ {
-				dy, dx := float64(y)-cy, float64(x)-cx
-				if dy*dy+dx*dx < r*r {
-					for c := 0; c < 3; c++ {
-						s.Pix[(y*cols+x)*3+c] = 0.9
-					}
-				}
-			}
-		}
-		scenes[i] = s
-	}
-	return scenes
-}
-
-// runInferSweep streams a structured scene batch through one
-// capture+CA+infer pipeline per registered model, collecting a
-// throughput record and the reference-agreement accuracy each.
+// runInferSweep streams a structured scene batch (infer.DiskScenes, the
+// same generator ActQuant calibration and the serving-time agreement
+// report draw from) through one capture+CA+infer pipeline per registered
+// model, collecting a throughput record and the reference-agreement
+// accuracy each.
 func runInferSweep(acc *lightator.Accelerator, batch, workers int, seed int64) ([]inferBenchRecord, error) {
 	cfg := acc.Config()
-	scenes := inferScenes(batch, cfg.SensorRows, cfg.SensorCols, seed)
+	scenes := infer.DiskScenes(batch, cfg.SensorRows, cfg.SensorCols, seed)
 	var records []inferBenchRecord
 	for _, name := range acc.Models() {
 		desc, err := acc.ModelDescription(name)
@@ -140,8 +111,9 @@ func runInferSweep(acc *lightator.Accelerator, batch, workers int, seed int64) (
 		if err != nil {
 			return nil, err
 		}
-		agree := 0
-		for _, r := range results {
+		optical := make([][]float64, len(results))
+		reference := make([][]float64, len(results))
+		for i, r := range results {
 			if r.Err != nil {
 				return nil, r.Err
 			}
@@ -149,9 +121,8 @@ func runInferSweep(acc *lightator.Accelerator, batch, workers int, seed int64) (
 			if err != nil {
 				return nil, err
 			}
-			if infer.Argmax(r.Logits) == infer.Argmax(ref) {
-				agree++
-			}
+			optical[i] = r.Logits
+			reference[i] = ref
 		}
 		rep := stats.Report()
 		records = append(records, inferBenchRecord{
@@ -159,7 +130,7 @@ func runInferSweep(acc *lightator.Accelerator, batch, workers int, seed int64) (
 			Description:        desc,
 			FPS:                rep.FPS,
 			Frames:             len(results),
-			ReferenceAgreement: float64(agree) / float64(len(results)),
+			ReferenceAgreement: infer.Agreement(optical, reference),
 			Pipeline:           rep,
 		})
 	}

@@ -6,6 +6,7 @@
 //
 //	lightator-train -task mnist -w 4 -a 4
 //	lightator-train -task cifar10 -w 3 -a 4 -epochs 6 -qat 3
+//	lightator-train -task mnist -analog         # crosstalk-in-the-loop QAT
 package main
 
 import (
@@ -37,8 +38,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	testN := fs.Int("test", 500, "test samples")
 	width := fs.Int("width", 8, "VGG9-slim base width (CIFAR tasks)")
 	photonicN := fs.Int("photonic", 100, "photonic evaluation samples (0 = skip)")
+	analog := fs.Bool("analog", false, "crosstalk-in-the-loop QAT: fine-tune against the Physical optical forward instead of the plain quantization grid")
 	seed := fs.Int64("seed", 1, "seed")
-	workers := fs.Int("workers", 0, "training workers (0 = NumCPU)")
+	workers := fs.Int("workers", 0, "training workers (0 = NumCPU; never affects the trained weights)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,10 +79,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg.Workers = *workers
 	cfg.Seed = *seed
 	cfg.Verbose = true
+	if *analog {
+		core, err := oc.NewCore(*wBits, *aBits, oc.Physical)
+		if err != nil {
+			return err
+		}
+		cfg.AnalogCore = core
+	}
 	fmt.Fprintf(stdout, "training %s on %s: %d train / %d test, [%d:%d]",
 		net.Layers[0].Name(), full.TaskName, trainSet.Len(), testSet.Len(), *wBits, *aBits)
 	if *mxFirst != 0 {
 		fmt.Fprintf(stdout, " (MX first layer [%d:%d])", *mxFirst, *aBits)
+	}
+	if *analog {
+		fmt.Fprint(stdout, " (analog QAT: Physical crosstalk in the loop)")
 	}
 	fmt.Fprintln(stdout)
 

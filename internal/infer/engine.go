@@ -2,7 +2,6 @@ package infer
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
 
@@ -50,7 +49,7 @@ func NewEngine(core *oc.Core, poolN, inH, inW int, seed int64) (*Engine, error) 
 
 	mlp, err := buildDefault(core, "tiny-mlp",
 		"2-layer MLP head over the compressed plane (dense 16 -> ReLU -> dense 10)",
-		TinyMLP(inH, inW, DefaultClasses, core.ABits), inH, inW, oc.DeriveSeed(seed, 1))
+		TinyMLP(inH, inW, DefaultClasses, core.ABits), poolN, inH, inW, oc.DeriveSeed(seed, 1))
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +59,7 @@ func NewEngine(core *oc.Core, poolN, inH, inW int, seed int64) (*Engine, error) 
 	if inH%2 == 0 && inW%2 == 0 {
 		cnn, err := buildDefault(core, "tiny-cnn",
 			"1-conv CNN over the compressed plane (conv3x3 x6 -> ReLU -> avgpool2 -> dense 10)",
-			TinyCNN(inH, inW, DefaultClasses, core.ABits), inH, inW, oc.DeriveSeed(seed, 2))
+			TinyCNN(inH, inW, DefaultClasses, core.ABits), poolN, inH, inW, oc.DeriveSeed(seed, 2))
 		if err != nil {
 			return nil, err
 		}
@@ -72,10 +71,12 @@ func NewEngine(core *oc.Core, poolN, inH, inW int, seed int64) (*Engine, error) 
 }
 
 // buildDefault initialises, calibrates, quantization-prepares and
-// compiles one built-in network.
-func buildDefault(core *oc.Core, name, desc string, net *nn.Sequential, inH, inW int, seed int64) (*Model, error) {
+// compiles one built-in network. Calibration planes come from the
+// fidelity-true CA path over structured scenes, so ActQuant scales match
+// what serving actually sees.
+func buildDefault(core *oc.Core, name, desc string, net *nn.Sequential, poolN, inH, inW int, seed int64) (*Model, error) {
 	net.InitHe(seed)
-	if err := Calibrate(net, inH, inW, 4, oc.DeriveSeed(seed, 1)); err != nil {
+	if err := Calibrate(net, core, poolN, inH, inW, 4, oc.DeriveSeed(seed, 1)); err != nil {
 		return nil, fmt.Errorf("infer: %s: %w", name, err)
 	}
 	return Compile(core, name, desc, net, inH, inW)
@@ -104,27 +105,6 @@ func TinyCNN(h, w, classes, aBits int) *nn.Sequential {
 		nn.NewFlatten("flatten"),
 		nn.NewDense("fc1", 6*(h/2)*(w/2), classes),
 	)
-}
-
-// Calibrate runs `batch` deterministic synthetic planes (uniform [0,1]
-// samples from the seed) through the network in training mode to set the
-// ActQuant running-max scales, then freezes them. Networks trained with
-// package train are already calibrated; this is for hand-built or
-// He-initialised networks that have never seen data.
-func Calibrate(net *nn.Sequential, h, w, batch int, seed int64) error {
-	if batch < 1 {
-		batch = 1
-	}
-	rng := rand.New(rand.NewSource(seed))
-	x := nn.NewTensor(batch, 1, h, w)
-	for i := range x.Data {
-		x.Data[i] = rng.Float64()
-	}
-	if _, err := net.Forward(x, true); err != nil {
-		return fmt.Errorf("calibration forward: %w", err)
-	}
-	nn.FreezeActQuant(net, true)
-	return nil
 }
 
 // Register adds a model under its name; names are unique.

@@ -12,9 +12,11 @@ import (
 	"lightator/internal/sensor"
 )
 
-// -update regenerates the golden files. The committed files were generated
-// by the pre-flat-layout (PR 1-4) inference path, so a passing run proves
-// the streamed im2col walk is bit-identical to the materialized one.
+// -update regenerates the golden files. The committed files pin the
+// calibrated optical path (rank-1 per-row defect restore) and the
+// fidelity-true CA calibration planes of the built-in models; a passing
+// run proves the full compile+apply stack is bit-reproducible, including
+// across worker counts.
 var updateGolden = flag.Bool("update", false, "rewrite golden testdata files")
 
 var goldenFidelities = []struct {

@@ -441,7 +441,7 @@ func (m *Model) Reference(plane *sensor.Image) ([]float64, error) {
 // dst (len == pm.Rows() == len(refW)).
 func (st *stage) mvmInto(ap *oc.Applier, dst, vec []float64, ref bool, seed int64) error {
 	if !ref {
-		return ap.ApplySeededInto(dst, vec, seed)
+		return ap.ApplySeededCalibratedInto(dst, vec, seed)
 	}
 	// Preallocated to the vector length up front — the former batch walk
 	// grew its quantization buffer with append from zero capacity.

@@ -235,7 +235,7 @@ func TestEngineRegistry(t *testing.T) {
 	// A model compiled for other dimensions must be rejected.
 	net := TinyMLP(4, 4, 3, 4)
 	net.InitHe(1)
-	if err := Calibrate(net, 4, 4, 2, 2); err != nil {
+	if err := Calibrate(net, core, 2, 4, 4, 2, 2); err != nil {
 		t.Fatal(err)
 	}
 	wrong, err := Compile(core, "wrong-dims", "", net, 4, 4)
@@ -306,7 +306,7 @@ func TestCompileErrors(t *testing.T) {
 	// Geometry mismatch is caught at compile, not first request.
 	bad := TinyMLP(8, 8, 3, 4)
 	bad.InitHe(1)
-	if err := Calibrate(bad, 8, 8, 2, 2); err != nil {
+	if err := Calibrate(bad, core, 2, 8, 8, 2, 2); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Compile(core, "geom", "", bad, 4, 4); err == nil {

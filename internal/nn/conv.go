@@ -1,6 +1,10 @@
 package nn
 
-import "fmt"
+import (
+	"fmt"
+
+	"lightator/internal/oc"
+)
 
 // Conv2D is a standard 2D convolution over NCHW tensors with optional
 // weight fake-quantization for QAT. Weight layout: [OutC][InC][K][K].
@@ -13,6 +17,10 @@ type Conv2D struct {
 	// WQuant, when non-nil, fake-quantizes weights every forward pass
 	// (straight-through estimator: gradients flow to the float weights).
 	WQuant *WeightQuant
+	// Analog, when non-nil, replaces the fake-quantization grid with the
+	// fidelity-true effective weights of the optical core (crosstalk +
+	// calibration) — see EnableAnalogQAT.
+	Analog *oc.Core
 
 	x  *Tensor   // cached input
 	wq []float64 // cached effective (possibly quantized) weights
@@ -40,7 +48,7 @@ func (c *Conv2D) CloneShared() Layer {
 		LayerName: c.LayerName,
 		InC:       c.InC, OutC: c.OutC, K: c.K, Stride: c.Stride, Pad: c.Pad,
 		W: c.W.cloneShared(), B: c.B.cloneShared(),
-		WQuant: c.WQuant,
+		WQuant: c.WQuant, Analog: c.Analog,
 	}
 }
 
@@ -52,13 +60,20 @@ func (c *Conv2D) OutHW(h, w int) (int, int) {
 // effectiveWeights returns the weights used for compute: fake-quantized
 // when QAT is enabled, raw otherwise.
 func (c *Conv2D) effectiveWeights() []float64 {
-	if c.WQuant == nil {
+	if c.WQuant == nil && c.Analog == nil {
 		return c.W.Data
 	}
 	if cap(c.wq) < len(c.W.Data) {
 		c.wq = make([]float64, len(c.W.Data))
 	}
 	c.wq = c.wq[:len(c.W.Data)]
+	if c.Analog != nil {
+		// Shapes are consistent by construction, so this cannot fail.
+		if err := c.Analog.AnalogWeightsInto(c.wq, c.W.Data, c.OutC, c.InC*c.K*c.K); err != nil {
+			panic(fmt.Sprintf("conv %s: analog weights: %v", c.LayerName, err))
+		}
+		return c.wq
+	}
 	c.WQuant.Apply(c.W.Data, c.wq)
 	return c.wq
 }

@@ -1,6 +1,10 @@
 package nn
 
-import "fmt"
+import (
+	"fmt"
+
+	"lightator/internal/oc"
+)
 
 // Dense is a fully-connected layer over [N, D] tensors with optional
 // weight fake-quantization. Weight layout: [Out][In].
@@ -9,6 +13,10 @@ type Dense struct {
 	In, Out   int
 	W, B      *Param
 	WQuant    *WeightQuant
+	// Analog, when non-nil, replaces the fake-quantization grid with the
+	// fidelity-true effective weights of the optical core (crosstalk +
+	// calibration) — see EnableAnalogQAT.
+	Analog *oc.Core
 
 	x  *Tensor
 	wq []float64
@@ -36,18 +44,25 @@ func (d *Dense) CloneShared() Layer {
 		LayerName: d.LayerName,
 		In:        d.In, Out: d.Out,
 		W: d.W.cloneShared(), B: d.B.cloneShared(),
-		WQuant: d.WQuant,
+		WQuant: d.WQuant, Analog: d.Analog,
 	}
 }
 
 func (d *Dense) effectiveWeights() []float64 {
-	if d.WQuant == nil {
+	if d.WQuant == nil && d.Analog == nil {
 		return d.W.Data
 	}
 	if cap(d.wq) < len(d.W.Data) {
 		d.wq = make([]float64, len(d.W.Data))
 	}
 	d.wq = d.wq[:len(d.W.Data)]
+	if d.Analog != nil {
+		// Shapes are consistent by construction, so this cannot fail.
+		if err := d.Analog.AnalogWeightsInto(d.wq, d.W.Data, d.Out, d.In); err != nil {
+			panic(fmt.Sprintf("dense %s: analog weights: %v", d.LayerName, err))
+		}
+		return d.wq
+	}
 	d.WQuant.Apply(d.W.Data, d.wq)
 	return d.wq
 }

@@ -171,7 +171,7 @@ func (st *pStage) applyDense(x *Tensor) (*Tensor, error) {
 		for i := 0; i < d; i++ {
 			vec[i] = x.At2(b, i) / st.sx
 		}
-		y, err := st.pm.Apply(vec)
+		y, err := st.pm.ApplyCalibrated(vec)
 		if err != nil {
 			return nil, err
 		}
@@ -216,7 +216,7 @@ func (st *pStage) applyConv(x *Tensor) (*Tensor, error) {
 						}
 					}
 				}
-				y, err := st.pm.Apply(patch)
+				y, err := st.pm.ApplyCalibrated(patch)
 				if err != nil {
 					return nil, err
 				}

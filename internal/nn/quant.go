@@ -102,6 +102,15 @@ type ActQuant struct {
 	Momentum float64
 	// Frozen stops calibration (inference / final QAT epochs).
 	Frozen bool
+	// External disables the per-forward momentum update: training
+	// forwards only record the observed maximum in BatchMax, and the
+	// owner reduces maxima across replicas and applies UpdateScale once
+	// per batch. This keeps calibration independent of how a batch is
+	// partitioned across workers (max is exact; momentum is not).
+	External bool
+	// BatchMax is the largest activation observed since the last
+	// TakeBatchMax while External calibration is on.
+	BatchMax float64
 
 	mask []bool
 }
@@ -122,6 +131,7 @@ func (a *ActQuant) Params() []*Param { return nil }
 func (a *ActQuant) CloneShared() Layer {
 	cp := *a
 	cp.mask = nil
+	cp.BatchMax = 0
 	return &cp
 }
 
@@ -134,9 +144,14 @@ func (a *ActQuant) Forward(x *Tensor, train bool) (*Tensor, error) {
 				batchMax = v
 			}
 		}
-		if a.Scale == 0 {
+		switch {
+		case a.External:
+			if batchMax > a.BatchMax {
+				a.BatchMax = batchMax
+			}
+		case a.Scale == 0:
 			a.Scale = batchMax
-		} else {
+		default:
 			a.Scale = a.Momentum*a.Scale + (1-a.Momentum)*batchMax
 		}
 	}
@@ -178,6 +193,27 @@ func (a *ActQuant) ForwardInplace(x *Tensor) error {
 		x.Data[i] = QuantizeUnsigned(v, scale, a.Bits)
 	}
 	return nil
+}
+
+// UpdateScale applies the running-max momentum rule with an externally
+// reduced batch maximum. No-op while Frozen.
+func (a *ActQuant) UpdateScale(batchMax float64) {
+	if a.Frozen {
+		return
+	}
+	if a.Scale == 0 {
+		a.Scale = batchMax
+	} else {
+		a.Scale = a.Momentum*a.Scale + (1-a.Momentum)*batchMax
+	}
+}
+
+// TakeBatchMax returns the largest activation observed since the last
+// call and resets the tracker.
+func (a *ActQuant) TakeBatchMax() float64 {
+	m := a.BatchMax
+	a.BatchMax = 0
+	return m
 }
 
 // Backward implements Layer.

@@ -180,6 +180,21 @@ type ProgrammedMatrix struct {
 	// every row: 0, 9, 18, ..., cols. Segment s of row r covers columns
 	// [armBounds[s], armBounds[s+1]).
 	armBounds []int
+	// rowDefect is the per-row defect calibration constant κ_r: the mean,
+	// over the row's columns, of (ideal grid weight − effective analog
+	// coefficient). The analog transfer loses a small, systematically
+	// negative amount per coefficient to the Lorentzian tails of the
+	// neighbouring rings (insertion loss + parasitic drops), so a row's
+	// accumulated error grows linearly with its programmed width while the
+	// signal only grows like √width — exactly why wide dense layers are
+	// analog-hostile. κ_r is exactly the rank-1 compensation a one-time
+	// per-row hardware calibration would measure (program the row, drive
+	// all channels at full scale, compare the readout to the expected
+	// value); the calibrated apply paths restore it digitally as
+	// κ_r·Σ_j x_j — one shared activation sum plus one MAC per row. In
+	// Ideal fidelity the effective coefficients are the grid weights and
+	// every κ_r is exactly 0.
+	rowDefect []float64
 }
 
 // Program quantizes and maps a weight matrix with entries in [-1, 1].
@@ -232,7 +247,23 @@ func (c *Core) Program(w [][]float64) (*ProgrammedMatrix, error) {
 			copy(pm.levels[base+lo:base+hi], segLevels)
 		}
 	}
+	pm.rowDefect = make([]float64, pm.rows)
+	for r := 0; r < pm.rows; r++ {
+		base := r * cols
+		sum := 0.0
+		for i := 0; i < cols; i++ {
+			sum += c.bank.LevelToWeight(pm.levels[base+i]) - pm.coeffs[base+i]
+		}
+		pm.rowDefect[r] = sum / float64(cols)
+	}
 	return pm, nil
+}
+
+// DefectCalibration returns the per-row defect calibration constants κ_r
+// (mean ideal-minus-effective coefficient per row; see the rowDefect
+// field). The slice is a copy; all zeros in Ideal fidelity.
+func (pm *ProgrammedMatrix) DefectCalibration() []float64 {
+	return append([]float64(nil), pm.rowDefect...)
 }
 
 // Rows returns the number of output rows.
@@ -380,6 +411,64 @@ func (pm *ProgrammedMatrix) ApplySeededInto(dst, x []float64, seed int64) error 
 	return nil
 }
 
+// addDefect applies the rank-1 defect compensation to a computed output:
+// dst[r] += κ_r·S for S = Σ_j xq_j over the quantized activations — the
+// digital restore of the systematic per-row analog loss (see rowDefect).
+// In Ideal fidelity every κ_r is exactly 0 and dst is left bit-identical.
+func (pm *ProgrammedMatrix) addDefect(dst, xq []float64) {
+	s := 0.0
+	for _, v := range xq {
+		s += v
+	}
+	for r, k := range pm.rowDefect {
+		dst[r] += k * s
+	}
+}
+
+// ApplySeededCalibratedInto is ApplySeededInto with the per-row defect
+// calibration restored digitally: y = W*x + κ·Σxq (see DefectCalibration).
+// This is the fidelity-true serving path for wide programmed matrices —
+// the systematic crosstalk loss, which accumulates linearly with row
+// width, is compensated by one shared activation sum and one extra MAC
+// per row. Noise and the zero-mean crosstalk residual remain, so the
+// optical-vs-reference gap still isolates genuine analog error. Same
+// determinism and concurrency contract as ApplySeededInto.
+func (pm *ProgrammedMatrix) ApplySeededCalibratedInto(dst, x []float64, seed int64) error {
+	if len(dst) != pm.rows {
+		return fmt.Errorf("oc: destination length %d, want %d rows", len(dst), pm.rows)
+	}
+	xq := GetScratch(pm.cols)
+	defer PutScratch(xq)
+	if err := pm.quantizeInto(*xq, x); err != nil {
+		return err
+	}
+	pm.applySeededRange(*xq, dst, 0, pm.rows, seed)
+	pm.addDefect(dst, *xq)
+	return nil
+}
+
+// ApplyCalibrated computes y = W*x + κ·Σxq through the shared-noise path
+// (Apply's concurrency caveats) with the per-row defect calibration
+// restored digitally — the training-eval counterpart of
+// ApplySeededCalibratedInto.
+func (pm *ProgrammedMatrix) ApplyCalibrated(x []float64) ([]float64, error) {
+	y := make([]float64, pm.rows)
+	xq := GetScratch(pm.cols)
+	defer PutScratch(xq)
+	if err := pm.quantizeInto(*xq, x); err != nil {
+		return nil, err
+	}
+	var ns *photonics.NoiseSource
+	if pm.core.Fidelity == PhysicalNoisy {
+		ns = pm.core.noise
+	}
+	for r := 0; r < pm.rows; r++ {
+		y[r] = pm.applyRow(*xq, r, ns)
+	}
+	pm.addDefect(y, *xq)
+	return y, nil
+}
+
 // ApplySeeded computes y = W*x like Apply, but in PhysicalNoisy fidelity
 // the noise of output row r is drawn from an independent stream seeded
 // with DeriveSeed(seed, r). Two calls with the same inputs and seed are
@@ -474,6 +563,22 @@ func (ap *Applier) ApplySeededInto(dst, x []float64, seed int64) error {
 		return err
 	}
 	pm.applySeededRangeNS(*ap.xq, dst, 0, pm.rows, seed, ap.ns)
+	return nil
+}
+
+// ApplySeededCalibratedInto is ApplySeededInto via the applier's scratch,
+// with the per-row defect calibration restored digitally — bit-identical
+// to ProgrammedMatrix.ApplySeededCalibratedInto.
+func (ap *Applier) ApplySeededCalibratedInto(dst, x []float64, seed int64) error {
+	pm := ap.pm
+	if len(dst) != pm.rows {
+		return fmt.Errorf("oc: destination length %d, want %d rows", len(dst), pm.rows)
+	}
+	if err := pm.quantizeInto(*ap.xq, x); err != nil {
+		return err
+	}
+	pm.applySeededRangeNS(*ap.xq, dst, 0, pm.rows, seed, ap.ns)
+	pm.addDefect(dst, *ap.xq)
 	return nil
 }
 
@@ -627,6 +732,82 @@ func (pm *ProgrammedMatrix) HeaterPower() float64 {
 // core's bank model for the energy model.
 func (c *Core) MeanHeaterPowerPerMR() float64 {
 	return c.bank.MeanHeaterPowerPerRing()
+}
+
+// AnalogWeightsInto writes the fidelity-true effective weight matrix for
+// a float weight matrix w (row-major, rows x cols, any scale) into out
+// (same layout): exactly the noiseless transfer the served optical path
+// realises per coefficient, including the full-scale normalisation split
+// (w is scaled so its largest magnitude sits at ±1, programmed on the
+// bank level grid, and the factor restored), the per-fidelity crosstalk
+// of the 9-ring arm segments, and the rank-1 per-row defect calibration
+// κ_r the calibrated apply paths restore digitally.
+//
+// This is the forward operator for crosstalk-in-the-loop QAT: training a
+// network against out instead of the plain quantization grid (package
+// nn's analog fake-quantization routes Dense/Conv2D through it with a
+// straight-through estimator) makes the learned weights absorb the
+// residual analog error that survives calibration. In Ideal fidelity out
+// is the plain symmetric weight grid. All-zero weights produce all
+// zeros.
+func (c *Core) AnalogWeightsInto(out, w []float64, rows, cols int) error {
+	if rows < 1 || cols < 1 || rows*cols != len(w) {
+		return fmt.Errorf("oc: analog weights shape %dx%d does not match %d values", rows, cols, len(w))
+	}
+	if len(out) != len(w) {
+		return fmt.Errorf("oc: analog weights destination length %d, want %d", len(out), len(w))
+	}
+	sw := 0.0
+	for _, v := range w {
+		if v > sw {
+			sw = v
+		} else if -v > sw {
+			sw = -v
+		}
+	}
+	if sw == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return nil
+	}
+	segLevels := make([]int, 0, mapping.MRsPerArm)
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		for lo := 0; lo < cols; lo += mapping.MRsPerArm {
+			hi := lo + mapping.MRsPerArm
+			if hi > cols {
+				hi = cols
+			}
+			segLevels = segLevels[:0]
+			for _, v := range w[base+lo : base+hi] {
+				segLevels = append(segLevels, c.bank.WeightToLevel(v/sw))
+			}
+			var (
+				cf  []float64
+				err error
+			)
+			if c.Fidelity == Ideal {
+				cf, err = c.bank.IdealCoefficients(segLevels)
+			} else {
+				cf, err = c.bank.Coefficients(segLevels)
+			}
+			if err != nil {
+				return err
+			}
+			copy(out[base+lo:base+hi], cf)
+		}
+		// Per-row defect calibration, exactly as Program derives it.
+		defect := 0.0
+		for i := base; i < base+cols; i++ {
+			defect += c.bank.LevelToWeight(c.bank.WeightToLevel(w[i]/sw)) - out[i]
+		}
+		defect /= float64(cols)
+		for i := base; i < base+cols; i++ {
+			out[i] = (out[i] + defect) * sw
+		}
+	}
+	return nil
 }
 
 // MatVec is the one-shot convenience: program w, apply x once.

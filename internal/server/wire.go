@@ -204,6 +204,12 @@ type ModelInfo struct {
 	InputH  int `json:"input_h"`
 	InputW  int `json:"input_w"`
 	Classes int `json:"classes"`
+	// ReferenceAgreement is the measured optical-vs-digital-reference
+	// top-1 agreement over a structured-scene sweep at server
+	// construction (the fidelity contract cmd/benchdiff gates; 1.0 =
+	// every sweep frame classified identically). Omitted when the server
+	// was built with agreement measurement disabled.
+	ReferenceAgreement *float64 `json:"reference_agreement,omitempty"`
 }
 
 // ModelsResponse lists the model registry (GET /v1/models), sorted by

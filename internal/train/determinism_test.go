@@ -1,0 +1,124 @@
+package train
+
+import (
+	"testing"
+
+	"lightator/internal/dataset"
+	"lightator/internal/nn"
+	"lightator/internal/oc"
+)
+
+// tinyQATNet is a minimal MLP with one activation quantizer — small
+// enough to train in milliseconds, deep enough to exercise the
+// microbatch gradient reduction and the external ActQuant calibration.
+func tinyQATNet(aBits int) *nn.Sequential {
+	return nn.NewSequential(
+		nn.NewFlatten("flat"),
+		nn.NewDense("fc1", 28*28, 16),
+		nn.NewReLU("relu1"),
+		nn.NewActQuant("aq1", aBits),
+		nn.NewDense("fc2", 16, 10),
+	)
+}
+
+// trainedState trains the tiny net to completion with the given worker
+// count and returns deep copies of every parameter plus the calibrated
+// activation scales.
+func trainedState(t *testing.T, workers int, analog bool) ([][]float64, []float64) {
+	t.Helper()
+	ds := dataset.NewDigits(96, 11)
+	net := tinyQATNet(4)
+	net.InitHe(5)
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	cfg.QATEpochs = 2
+	cfg.WBits = 4
+	// Deliberately not a multiple of the microbatch granule, so the last
+	// microbatch is short and the weighted reduction is exercised.
+	cfg.BatchSize = 20
+	cfg.Workers = workers
+	cfg.Seed = 3
+	cfg.Verbose = false
+	if analog {
+		core, err := oc.NewCore(4, 4, oc.Physical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.AnalogCore = core
+	}
+	if _, err := Train(net, ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var params [][]float64
+	for _, p := range net.Params() {
+		params = append(params, append([]float64(nil), p.Data...))
+	}
+	var scales []float64
+	for _, aq := range nn.ActQuants(net) {
+		scales = append(scales, aq.Scale)
+	}
+	return params, scales
+}
+
+func requireIdenticalState(t *testing.T, workers int, wantP [][]float64, wantS []float64, gotP [][]float64, gotS []float64) {
+	t.Helper()
+	if len(gotP) != len(wantP) {
+		t.Fatalf("workers=%d: %d params, want %d", workers, len(gotP), len(wantP))
+	}
+	for pi := range wantP {
+		for i := range wantP[pi] {
+			if gotP[pi][i] != wantP[pi][i] {
+				t.Fatalf("workers=%d: param %d value %d diverged: %v vs %v",
+					workers, pi, i, gotP[pi][i], wantP[pi][i])
+			}
+		}
+	}
+	for i := range wantS {
+		if gotS[i] != wantS[i] {
+			t.Fatalf("workers=%d: ActQuant scale %d diverged: %v vs %v", workers, i, gotS[i], wantS[i])
+		}
+	}
+}
+
+// TestTrainWorkerInvariance pins the determinism contract: the trained
+// weights and calibrated activation scales are bit-identical for any
+// worker count. This is the regression test for the old per-worker
+// gradient partitioning and the worker-0-only ActQuant sync.
+func TestTrainWorkerInvariance(t *testing.T) {
+	refP, refS := trainedState(t, 1, false)
+	if len(refS) != 1 || refS[0] <= 0 {
+		t.Fatalf("QAT left the activation scale uncalibrated: %v", refS)
+	}
+	for _, workers := range []int{2, 4} {
+		p, s := trainedState(t, workers, false)
+		requireIdenticalState(t, workers, refP, refS, p, s)
+	}
+}
+
+// TestTrainAnalogWorkerInvariance: crosstalk-in-the-loop QAT (the
+// Physical analog forward) trains, changes the outcome versus plain grid
+// QAT, and stays bit-identical across worker counts.
+func TestTrainAnalogWorkerInvariance(t *testing.T) {
+	refP, refS := trainedState(t, 1, true)
+	if len(refS) != 1 || refS[0] <= 0 {
+		t.Fatalf("analog QAT left the activation scale uncalibrated: %v", refS)
+	}
+	for _, workers := range []int{2, 4} {
+		p, s := trainedState(t, workers, true)
+		requireIdenticalState(t, workers, refP, refS, p, s)
+	}
+	// The analog forward must actually be in the loop: the trained
+	// weights differ from the plain-QAT run somewhere.
+	plainP, _ := trainedState(t, 1, false)
+	differs := false
+	for pi := range refP {
+		for i := range refP[pi] {
+			if refP[pi][i] != plainP[pi][i] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("analog QAT produced bit-identical weights to plain QAT — core not in the loop")
+	}
+}

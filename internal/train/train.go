@@ -11,8 +11,10 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"lightator/internal/nn"
+	"lightator/internal/oc"
 )
 
 // Dataset is the minimal data access the trainer needs.
@@ -59,6 +61,16 @@ func (o *SGD) Step(params []*nn.Param) {
 }
 
 // Config controls a training run.
+//
+// Determinism contract: a finished run is a pure function of the network
+// initialisation, the dataset, and every Config field except Workers and
+// Verbose. Workers only sets the degree of parallelism — each batch is
+// split into fixed-size microbatches whose gradients are accumulated in
+// separate buffers and reduced in microbatch-index order, and activation
+// calibration reduces per-clone observed maxima by exact max before a
+// single momentum update per batch — so the trained weights are
+// bit-identical for any worker count, including the host-dependent
+// NumCPU default.
 type Config struct {
 	// Epochs of float pre-training.
 	Epochs int
@@ -80,7 +92,15 @@ type Config struct {
 	Momentum float64
 	// WeightDecay (L2).
 	WeightDecay float64
-	// Workers for data-parallel gradient computation; 0 = NumCPU.
+	// AnalogCore, when non-nil, makes the QAT phase hardware-aware:
+	// Dense/Conv2D forwards run through the analog optical model
+	// (crosstalk-in-the-loop, see nn.EnableAnalogQAT) instead of the
+	// plain quantization grid, with a straight-through estimator
+	// backward. The core's weight precision takes priority over WBits.
+	// Use a Physical-fidelity core to keep training deterministic.
+	AnalogCore *oc.Core
+	// Workers for data-parallel gradient computation; 0 = NumCPU. Never
+	// affects the trained weights (see the determinism contract above).
 	Workers int
 	// Seed for shuffling.
 	Seed int64
@@ -132,10 +152,13 @@ func Train(net *nn.Sequential, ds Dataset, cfg Config) (Result, error) {
 	totalEpochs := cfg.Epochs + cfg.QATEpochs
 	for epoch := 0; epoch < totalEpochs; epoch++ {
 		if epoch == cfg.Epochs && cfg.QATEpochs > 0 {
-			// Switch to quantization-aware fine-tuning. WBits == 0 means
-			// the caller attached (possibly mixed-precision) quantizers
-			// itself; leave them untouched.
-			if cfg.WBits > 0 {
+			// Switch to quantization-aware fine-tuning. WBits == 0 and a
+			// nil AnalogCore means the caller attached (possibly
+			// mixed-precision) quantizers itself; leave them untouched.
+			switch {
+			case cfg.AnalogCore != nil:
+				nn.EnableAnalogQAT(net, cfg.AnalogCore)
+			case cfg.WBits > 0:
 				nn.EnableQAT(net, cfg.WBits)
 			}
 			res.QATEnabled = true
@@ -161,7 +184,22 @@ func Train(net *nn.Sequential, ds Dataset, cfg Config) (Result, error) {
 	return res, nil
 }
 
+// microBatchSize is the fixed gradient-accumulation granule. Batches are
+// always split at this granularity — never by worker count — so the
+// floating-point grouping of the gradient reduction is a property of the
+// batch alone and training output cannot depend on Config.Workers.
+const microBatchSize = 8
+
 // trainEpoch runs one pass over the dataset with data-parallel workers.
+//
+// Determinism: each batch is cut into microbatches of microBatchSize.
+// Workers claim microbatches from a shared counter (scheduling is racy,
+// results are not): every microbatch's gradients land in their own
+// buffers, which the reduction then folds into the master parameters in
+// microbatch-index order. Activation calibration runs externally — clones
+// record observed maxima, the reduction takes the exact max across all
+// clones and applies one momentum update on the master per batch — so
+// neither the partition nor the schedule can change the result.
 func trainEpoch(net *nn.Sequential, ds Dataset, cfg Config, opt *SGD, rng *rand.Rand, workers int) (float64, error) {
 	n := ds.Len()
 	perm := rng.Perm(n)
@@ -172,10 +210,29 @@ func trainEpoch(net *nn.Sequential, ds Dataset, cfg Config, opt *SGD, rng *rand.
 	}
 
 	clones := make([]*nn.Sequential, workers)
+	cloneAQ := make([][]*nn.ActQuant, workers)
 	for i := range clones {
 		clones[i] = net.CloneShared()
+		nn.SetActQuantExternal(clones[i], true)
+		cloneAQ[i] = nn.ActQuants(clones[i])
 	}
 	masterParams := net.Params()
+	masterAQ := nn.ActQuants(net)
+
+	// Per-microbatch gradient buffers, reused across batches.
+	maxMB := (cfg.BatchSize + microBatchSize - 1) / microBatchSize
+	type mbResult struct {
+		loss  float64
+		count int
+		grads [][]float64 // one buffer per parameter
+	}
+	mbs := make([]mbResult, maxMB)
+	for m := range mbs {
+		mbs[m].grads = make([][]float64, len(masterParams))
+		for pi, p := range masterParams {
+			mbs[m].grads[pi] = make([]float64, len(p.Data))
+		}
+	}
 
 	totalLoss := 0.0
 	batches := 0
@@ -185,49 +242,55 @@ func trainEpoch(net *nn.Sequential, ds Dataset, cfg Config, opt *SGD, rng *rand.
 			end = n
 		}
 		idxs := perm[start:end]
-		// Split the batch across workers.
-		per := (len(idxs) + workers - 1) / workers
+		nMB := (len(idxs) + microBatchSize - 1) / microBatchSize
+		var next int64
 		var wg sync.WaitGroup
-		losses := make([]float64, workers)
 		errs := make([]error, workers)
-		counts := make([]int, workers)
-		for w := 0; w < workers; w++ {
-			lo := w * per
-			if lo >= len(idxs) {
-				break
-			}
-			hi := lo + per
-			if hi > len(idxs) {
-				hi = len(idxs)
-			}
+		for w := 0; w < workers && w < nMB; w++ {
 			wg.Add(1)
-			go func(w int, part []int) {
+			go func(w int) {
 				defer wg.Done()
 				clone := clones[w]
-				clone.ZeroGrad()
-				shape := append([]int{len(part)}, inShape...)
-				x := nn.NewTensor(shape...)
-				labels := make([]int, len(part))
-				for i, idx := range part {
-					labels[i] = ds.Sample(idx, x.Data[i*sampleSize:(i+1)*sampleSize])
+				for {
+					m := int(atomic.AddInt64(&next, 1)) - 1
+					if m >= nMB {
+						return
+					}
+					lo := m * microBatchSize
+					hi := lo + microBatchSize
+					if hi > len(idxs) {
+						hi = len(idxs)
+					}
+					part := idxs[lo:hi]
+					clone.ZeroGrad()
+					shape := append([]int{len(part)}, inShape...)
+					x := nn.NewTensor(shape...)
+					labels := make([]int, len(part))
+					for i, idx := range part {
+						labels[i] = ds.Sample(idx, x.Data[i*sampleSize:(i+1)*sampleSize])
+					}
+					y, err := clone.Forward(x, true)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					loss, grad, err := nn.SoftmaxCrossEntropy(y, labels)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if err := clone.Backward(grad); err != nil {
+						errs[w] = err
+						return
+					}
+					cp := clone.Params()
+					for pi := range cp {
+						copy(mbs[m].grads[pi], cp[pi].Grad)
+					}
+					mbs[m].loss = loss
+					mbs[m].count = len(part)
 				}
-				y, err := clone.Forward(x, true)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				loss, grad, err := nn.SoftmaxCrossEntropy(y, labels)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				if err := clone.Backward(grad); err != nil {
-					errs[w] = err
-					return
-				}
-				losses[w] = loss
-				counts[w] = len(part)
-			}(w, idxs[lo:hi])
+			}(w)
 		}
 		wg.Wait()
 		for _, err := range errs {
@@ -235,11 +298,11 @@ func trainEpoch(net *nn.Sequential, ds Dataset, cfg Config, opt *SGD, rng *rand.
 				return 0, err
 			}
 		}
-		// Reduce worker gradients into the master params, weighted by
-		// each worker's share of the batch.
+		// Fold microbatch gradients into the master params in index
+		// order, weighted by each microbatch's share of the batch.
 		total := 0
-		for _, c := range counts {
-			total += c
+		for m := 0; m < nMB; m++ {
+			total += mbs[m].count
 		}
 		if total == 0 {
 			continue
@@ -247,28 +310,34 @@ func trainEpoch(net *nn.Sequential, ds Dataset, cfg Config, opt *SGD, rng *rand.
 		for _, p := range masterParams {
 			p.ZeroGrad()
 		}
-		for w, clone := range clones {
-			if counts[w] == 0 {
-				continue
-			}
-			scale := float64(counts[w]) / float64(total)
-			cp := clone.Params()
+		for m := 0; m < nMB; m++ {
+			scale := float64(mbs[m].count) / float64(total)
 			for pi, p := range masterParams {
+				g := mbs[m].grads[pi]
 				for i := range p.Grad {
-					p.Grad[i] += cp[pi].Grad[i] * scale
+					p.Grad[i] += g[i] * scale
 				}
 			}
-			totalLoss += losses[w] * scale
+			totalLoss += mbs[m].loss * scale
 		}
 		batches++
 		opt.Step(masterParams)
-		// Propagate activation-quantizer calibration from worker 0 back
-		// to the master (scales drift identically across workers since
-		// data distribution is shared; worker 0 is representative).
-		if err := nn.SyncActQuantScales(net, clones[0]); err != nil {
-			return 0, err
+		// Activation calibration: exact max across every clone's observed
+		// maxima (order-free), one momentum update on the master, then
+		// sync the new scales back to all clones.
+		for qi, maq := range masterAQ {
+			if maq.Frozen {
+				continue
+			}
+			batchMax := 0.0
+			for w := range clones {
+				if m := cloneAQ[w][qi].TakeBatchMax(); m > batchMax {
+					batchMax = m
+				}
+			}
+			maq.UpdateScale(batchMax)
 		}
-		for _, clone := range clones[1:] {
+		for _, clone := range clones {
 			if err := nn.SyncActQuantScales(clone, net); err != nil {
 				return 0, err
 			}

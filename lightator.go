@@ -700,6 +700,52 @@ func (a *Accelerator) InferReference(plane *Image, model string) ([]float64, err
 	return m.Reference(plane)
 }
 
+// DefaultAgreementFrames is the structured-scene sweep size
+// ModelAgreement uses when the caller passes frames < 1 — the same batch
+// size the committed BENCH_*.json agreement records were measured at.
+const DefaultAgreementFrames = 16
+
+// ModelAgreement measures a registered model's optical-vs-reference
+// top-1 agreement over `frames` structured test scenes (infer.DiskScenes
+// under Config.Seed): every scene runs capture + CA + the model through
+// the optical core, the exact digital reference re-runs each compressed
+// plane, and the score is the fraction of frames whose top-1 class
+// matches. This is the label-free fidelity contract: the same
+// measurement lightator-bench -infer records into BENCH_*.json, the
+// cmd/benchdiff agreement gate enforces in CI, and GET /v1/models
+// reports per served model.
+func (a *Accelerator) ModelAgreement(model string, frames int) (float64, error) {
+	if a.inf == nil {
+		return 0, fmt.Errorf("lightator: compressed-domain inference disabled (CAPool = 0)")
+	}
+	if frames < 1 {
+		frames = DefaultAgreementFrames
+	}
+	scenes := infer.DiskScenes(frames, a.cfg.SensorRows, a.cfg.SensorCols, a.cfg.Seed)
+	p, err := a.inferPipeline(model)
+	if err != nil {
+		return 0, err
+	}
+	results, _, err := p.Run(scenes)
+	if err != nil {
+		return 0, err
+	}
+	optical := make([][]float64, len(results))
+	reference := make([][]float64, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return 0, r.Err
+		}
+		ref, err := a.InferReference(r.Compressed, model)
+		if err != nil {
+			return 0, err
+		}
+		optical[i] = r.Logits
+		reference[i] = ref
+	}
+	return infer.Agreement(optical, reference), nil
+}
+
 // MatVecBatch programs the weight matrix once and streams a batch of
 // activation vectors through it, sharding the matrix rows across up to
 // `workers` goroutines. Deterministic for a given Config.Seed. Every

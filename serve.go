@@ -98,6 +98,12 @@ type ServeOptions struct {
 	// CacheEntries sizes the content-hash response LRU (default 256;
 	// negative disables).
 	CacheEntries int
+	// AgreementFrames is the structured-scene sweep size used to measure
+	// each served model's optical-vs-reference top-1 agreement at server
+	// construction (reported by GET /v1/models). 0 means
+	// DefaultAgreementFrames; negative skips the measurement (models
+	// list without a reference_agreement field).
+	AgreementFrames int
 }
 
 // NewServer builds the HTTP serving layer over this accelerator. The
@@ -160,10 +166,18 @@ func (a *Accelerator) NewServer(opts ServeOptions) (*Server, error) {
 				return nil, err
 			}
 			h, w := m.InputDims()
-			modelInfos = append(modelInfos, ModelInfo{
+			info := ModelInfo{
 				Name: name, Description: m.Description(),
 				InputH: h, InputW: w, Classes: m.Classes(),
-			})
+			}
+			if opts.AgreementFrames >= 0 {
+				agree, err := a.ModelAgreement(name, opts.AgreementFrames)
+				if err != nil {
+					return nil, err
+				}
+				info.ReferenceAgreement = &agree
+			}
+			modelInfos = append(modelInfos, info)
 		}
 	}
 	return server.New(server.Backend{
