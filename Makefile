@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race linkcheck bench bench-pipeline bench-kernels bench-infer bench-profile benchdiff serve
+.PHONY: check vet build test test-race linkcheck metricscheck paper bench bench-pipeline bench-kernels bench-infer bench-profile benchdiff serve
 
-check: vet build test-race linkcheck
+check: vet build test-race linkcheck metricscheck
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,16 @@ test-race:
 # Fail on broken relative links in the repo's markdown files.
 linkcheck:
 	$(GO) run ./cmd/linkcheck
+
+# Fail when docs/OBSERVABILITY.md documents a metric series that a live
+# /metrics scrape does not export (the linkcheck pattern, for metrics).
+metricscheck:
+	$(GO) run ./cmd/metricscheck
+
+# Regenerate the continuously-verified paper-claims table (markdown;
+# exits non-zero on drift). CI uploads this as the paper-claims artifact.
+paper:
+	$(GO) run ./cmd/lightator-bench -paper
 
 # Microbenchmarks (one pass; raise -benchtime for stable numbers).
 bench:

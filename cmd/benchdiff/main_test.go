@@ -335,6 +335,45 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunToleratesNewEnergyFields: a fresh run whose records gained the
+// energy_j_per_request / modeled_kfps_per_w observability fields must
+// diff cleanly against a pre-observability baseline that lacks them —
+// records growing fields is the expected direction of schema drift.
+func TestRunToleratesNewEnergyFields(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, filepath.Join(dir, "BENCH_PR6.json"),
+		withAllocs(mkRecord(16, 2, 1, 300, map[string]float64{"edge": 100}, map[string]float64{"tiny-mlp": 200}), 0))
+
+	// The fresh record carries fields the baseline never had, at every
+	// level benchdiff reads: top-level, per-kernel, and per-infer.
+	fresh := filepath.Join(dir, "fresh.json")
+	body := []byte(`{
+		"batch": 16, "workers": 2, "num_cpu": 1,
+		"allocs_per_op": 0,
+		"measured": {"fps": 295},
+		"modeled_fps": 1000,
+		"energy_j_per_request": 2.6e-07,
+		"modeled_kfps_per_w": 3777.9,
+		"kernels": [
+			{"kernel": "edge", "fps": 98, "energy_j_per_request": 4.6e-07, "modeled_kfps_per_w": 2148.1}
+		],
+		"infer": [
+			{"model": "tiny-mlp", "fps": 195, "reference_agreement": 1.0,
+			 "energy_j_per_request": 2.8e-07, "modeled_kfps_per_w": 3531.1}
+		]
+	}`)
+	if err := os.WriteFile(fresh, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-dir", dir, "-new", fresh}, nil, &stdout, &stderr); err != nil {
+		t.Fatalf("record with new energy fields failed the gate: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "PASS") {
+		t.Errorf("healthy grown-schema run did not report PASS:\n%s", stdout.String())
+	}
+}
+
 func TestGoldenFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run([]string{"-h"}, nil, &stdout, &stderr); err != flag.ErrHelp {

@@ -10,6 +10,7 @@
 //	lightator-bench -batch 64 -workers 4    # concurrent pipeline throughput
 //	lightator-bench -batch 64 -json         # machine-readable perf record
 //	lightator-bench -batch 16 -kernels      # + per-kernel compressed-domain sweep
+//	lightator-bench -paper                  # continuously-verified paper claims (exit 1 on drift)
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"lightator"
+	"lightator/internal/energy"
 	"lightator/internal/experiments"
 	"lightator/internal/infer"
 	"lightator/internal/oc"
@@ -50,10 +52,14 @@ type benchReport struct {
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	// Measured is the concurrent pipeline run (FPS, per-stage p50/p99).
 	Measured pipeline.StatsReport `json:"measured"`
-	// ModeledFPS and ModeledKFPSPerW come from the architecture
-	// simulator for the same workload (vgg9-ca).
-	ModeledFPS      float64 `json:"modeled_fps"`
-	ModeledKFPSPerW float64 `json:"modeled_kfps_per_w"`
+	// ModeledFPS comes from the architecture simulator's vgg9-ca
+	// streaming workload; EnergyJPerRequest and ModeledKFPSPerW come
+	// from the energy bridge over the benched pipeline's own op counts
+	// (capture + CA + MVM head), so they describe the run this record
+	// measures. See docs/OBSERVABILITY.md.
+	ModeledFPS        float64 `json:"modeled_fps"`
+	EnergyJPerRequest float64 `json:"energy_j_per_request"`
+	ModeledKFPSPerW   float64 `json:"modeled_kfps_per_w"`
 	// Kernels holds the per-kernel compressed-domain sweep (-kernels):
 	// one record per registered kernel, so BENCH_*.json tracks the
 	// /v1/process hot path across PRs.
@@ -68,10 +74,15 @@ type benchReport struct {
 // the full capture+CA+kernel pipeline run (Pipeline.Kernel holds the
 // kernel stage's own latency quantiles).
 type kernelBenchRecord struct {
-	Kernel      string               `json:"kernel"`
-	Description string               `json:"description"`
-	FPS         float64              `json:"fps"`
-	Pipeline    pipeline.StatsReport `json:"pipeline"`
+	Kernel      string  `json:"kernel"`
+	Description string  `json:"description"`
+	FPS         float64 `json:"fps"`
+	// EnergyJPerRequest and ModeledKFPSPerW price this pipeline's static
+	// per-frame op counts through the energy bridge (internal/energy
+	// RequestEnergy) — the same gauges the server exports per series.
+	EnergyJPerRequest float64              `json:"energy_j_per_request"`
+	ModeledKFPSPerW   float64              `json:"modeled_kfps_per_w"`
+	Pipeline          pipeline.StatsReport `json:"pipeline"`
 }
 
 // inferBenchRecord is one inference model's throughput/accuracy record:
@@ -85,8 +96,19 @@ type inferBenchRecord struct {
 	Frames      int     `json:"frames"`
 	// ReferenceAgreement is the fraction of frames whose optical top-1
 	// class matches the digital quantized reference's.
-	ReferenceAgreement float64              `json:"reference_agreement"`
-	Pipeline           pipeline.StatsReport `json:"pipeline"`
+	ReferenceAgreement float64 `json:"reference_agreement"`
+	// EnergyJPerRequest and ModeledKFPSPerW price this pipeline's static
+	// per-frame op counts through the energy bridge.
+	EnergyJPerRequest float64              `json:"energy_j_per_request"`
+	ModeledKFPSPerW   float64              `json:"modeled_kfps_per_w"`
+	Pipeline          pipeline.StatsReport `json:"pipeline"`
+}
+
+// modeledEnergy prices a pipeline's static per-frame op counts through
+// the energy bridge, returning (joules/frame, KFPS/W).
+func modeledEnergy(p *lightator.Pipeline, params energy.Params, wBits int) (float64, float64) {
+	j := params.RequestEnergy(p.FrameOps().Total(), wBits).Total()
+	return j, energy.ModeledKFPSPerW(j)
 }
 
 // runInferSweep streams a structured scene batch (infer.DiskScenes, the
@@ -96,6 +118,7 @@ type inferBenchRecord struct {
 // accuracy each.
 func runInferSweep(acc *lightator.Accelerator, batch, workers int, seed int64) ([]inferBenchRecord, error) {
 	cfg := acc.Config()
+	params := energy.Default()
 	scenes := infer.DiskScenes(batch, cfg.SensorRows, cfg.SensorCols, seed)
 	var records []inferBenchRecord
 	for _, name := range acc.Models() {
@@ -125,12 +148,15 @@ func runInferSweep(acc *lightator.Accelerator, batch, workers int, seed int64) (
 			reference[i] = ref
 		}
 		rep := stats.Report()
+		j, kfpsPerW := modeledEnergy(p, params, cfg.Precision.WBits)
 		records = append(records, inferBenchRecord{
 			Model:              name,
 			Description:        desc,
 			FPS:                rep.FPS,
 			Frames:             len(results),
 			ReferenceAgreement: infer.Agreement(optical, reference),
+			EnergyJPerRequest:  j,
+			ModeledKFPSPerW:    kfpsPerW,
 			Pipeline:           rep,
 		})
 	}
@@ -141,6 +167,8 @@ func runInferSweep(acc *lightator.Accelerator, batch, workers int, seed int64) (
 // pipeline per registered kernel, collecting a throughput record each.
 func runKernelSweep(acc *lightator.Accelerator, scenes []*lightator.Image, workers int) ([]kernelBenchRecord, error) {
 	var records []kernelBenchRecord
+	params := energy.Default()
+	wBits := acc.Config().Precision.WBits
 	for _, name := range acc.Kernels() {
 		desc, err := acc.KernelDescription(name)
 		if err != nil {
@@ -160,11 +188,14 @@ func runKernelSweep(acc *lightator.Accelerator, scenes []*lightator.Image, worke
 			}
 		}
 		rep := stats.Report()
+		j, kfpsPerW := modeledEnergy(p, params, wBits)
 		records = append(records, kernelBenchRecord{
-			Kernel:      name,
-			Description: desc,
-			FPS:         rep.FPS,
-			Pipeline:    rep,
+			Kernel:            name,
+			Description:       desc,
+			FPS:               rep.FPS,
+			EnergyJPerRequest: j,
+			ModeledKFPSPerW:   kfpsPerW,
+			Pipeline:          rep,
 		})
 	}
 	return records, nil
@@ -290,18 +321,20 @@ func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep, infer
 		if err != nil {
 			return err
 		}
+		j, kfpsPerW := modeledEnergy(p, energy.Default(), cfg.Precision.WBits)
 		out := benchReport{
-			Batch:           batch,
-			Workers:         workers,
-			Seed:            seed,
-			GOMAXPROCS:      runtime.GOMAXPROCS(0),
-			NumCPU:          runtime.NumCPU(),
-			AllocsPerOp:     &allocs,
-			Measured:        stats.Report(),
-			ModeledFPS:      rep.FPS,
-			ModeledKFPSPerW: rep.KFPSPerW,
-			Kernels:         kernelRecords,
-			Infer:           inferRecords,
+			Batch:             batch,
+			Workers:           workers,
+			Seed:              seed,
+			GOMAXPROCS:        runtime.GOMAXPROCS(0),
+			NumCPU:            runtime.NumCPU(),
+			AllocsPerOp:       &allocs,
+			Measured:          stats.Report(),
+			ModeledFPS:        rep.FPS,
+			EnergyJPerRequest: j,
+			ModeledKFPSPerW:   kfpsPerW,
+			Kernels:           kernelRecords,
+			Infer:             inferRecords,
 		}
 		if out.NumCPU == 1 {
 			out.Caveat = "single-CPU host: worker parallelism cannot speed up this run; measured FPS understates multi-core throughput"
@@ -351,6 +384,7 @@ func realMain() int {
 	asJSON := flag.Bool("json", false, "with -batch: emit a machine-readable report (FPS, per-stage p50/p99, CPU counts) for the BENCH_*.json perf trajectory")
 	kernelSweep := flag.Bool("kernels", false, "with -batch: additionally sweep every registered compressed-domain kernel and report per-kernel throughput")
 	inferSweep := flag.Bool("infer", false, "with -batch: additionally sweep every registered inference model and report per-model throughput and optical-vs-reference agreement")
+	paper := flag.Bool("paper", false, "regenerate the continuously-verified paper-claims table (training-free; markdown to stdout, exit 1 on drift)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (go tool pprof; docs/PERF.md)")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile of the run to this file (go tool pprof; docs/PERF.md)")
 	flag.Parse()
@@ -381,6 +415,19 @@ func realMain() int {
 				fmt.Fprintf(os.Stderr, "lightator-bench: memprofile: %v\n", err)
 			}
 		}()
+	}
+
+	if *paper {
+		res, err := experiments.PaperClaims()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lightator-bench: paper claims: %v\n", err)
+			return 1
+		}
+		fmt.Print(res.Render())
+		if len(res.Failing()) > 0 {
+			return 1
+		}
+		return 0
 	}
 
 	if *batch > 0 {

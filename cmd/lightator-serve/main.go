@@ -45,6 +45,8 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth per batched endpoint (full = 429)")
 	maxBatches := flag.Int("max-batches", 2, "concurrent in-flight pipeline batches per endpoint")
 	cache := flag.Int("cache", 256, "response cache entries (negative disables)")
+	traceEntries := flag.Int("trace-entries", 256, "GET /debug/traces ring capacity (negative disables retention)")
+	debug := flag.Bool("debug", false, "mount the debug mux: /debug/pprof/ and /debug/runtime")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	flag.Parse()
 
@@ -85,6 +87,8 @@ func main() {
 		Queue:        *queue,
 		MaxBatches:   *maxBatches,
 		CacheEntries: *cache,
+		TraceEntries: *traceEntries,
+		Debug:        *debug,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lightator-serve: %v\n", err)

@@ -1,0 +1,191 @@
+// Command metricscheck verifies the metric-series contract in
+// docs/OBSERVABILITY.md: every `lightator_*` series named in the doc
+// must exist in a live /metrics scrape. It stands up an in-process
+// server over a small accelerator, exercises every compute endpoint
+// once so counters and latency summaries materialise, scrapes
+// /metrics, and diffs the doc's series names against the output — the
+// same rot-prevention pattern cmd/linkcheck applies to relative links.
+// CI runs it via `make metricscheck` (part of `make check`).
+//
+// Usage:
+//
+//	metricscheck [doc]    # default doc: docs/OBSERVABILITY.md
+//
+// Exits non-zero listing every documented series missing from the
+// scrape.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"lightator"
+)
+
+// seriesRe matches metric series names in the doc and in the scrape.
+var seriesRe = regexp.MustCompile(`lightator_[a-z0-9_]+`)
+
+// docSeries extracts the unique series names the doc references.
+func docSeries(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, m := range seriesRe.FindAllString(string(data), -1) {
+		seen[m] = true
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// scrapeSeries collects the series names present in a /metrics scrape.
+func scrapeSeries(text string) map[string]bool {
+	out := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		if name := seriesRe.FindString(line); name != "" && strings.HasPrefix(line, name) {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// post fires one JSON request and drains the response.
+func post(url string, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// exercise sends one request down every compute endpoint so every
+// counter family (including the latency summaries, which only render
+// once observed) exists in the scrape.
+func exercise(acc *lightator.Accelerator, base string) error {
+	rng := rand.New(rand.NewSource(11))
+	scene := lightator.NewImage(32, 32, 3)
+	for i := range scene.Pix {
+		scene.Pix[i] = rng.Float64()
+	}
+	wire := lightator.EncodeImage(scene)
+	if err := post(base+"/v1/capture", lightator.CaptureRequest{Scene: wire}); err != nil {
+		return err
+	}
+	if err := post(base+"/v1/compress", lightator.CompressRequest{Scene: wire}); err != nil {
+		return err
+	}
+	kernels := acc.Kernels()
+	if len(kernels) > 0 {
+		if err := post(base+"/v1/process", lightator.ProcessRequest{Scene: wire, Kernel: kernels[0]}); err != nil {
+			return err
+		}
+	}
+	models := acc.Models()
+	if len(models) > 0 {
+		if err := post(base+"/v1/infer", lightator.InferRequest{Scene: &wire, Model: models[0]}); err != nil {
+			return err
+		}
+	}
+	if err := post(base+"/v1/matvec", lightator.MatVecRequest{
+		Weights:     [][]float64{{0.5, -0.25}, {0.125, 0.75}},
+		Activations: []float64{1, 0.5},
+	}); err != nil {
+		return err
+	}
+	return post(base+"/v1/simulate", lightator.SimulateRequest{Model: "lenet"})
+}
+
+func run() error {
+	doc := "docs/OBSERVABILITY.md"
+	if len(os.Args) > 1 {
+		doc = os.Args[1]
+	}
+	wanted, err := docSeries(doc)
+	if err != nil {
+		return err
+	}
+	if len(wanted) == 0 {
+		return fmt.Errorf("%s names no lightator_* series — contract check is vacuous", doc)
+	}
+
+	cfg := lightator.DefaultConfig()
+	cfg.SensorRows, cfg.SensorCols = 32, 32
+	acc, err := lightator.New(cfg)
+	if err != nil {
+		return err
+	}
+	srv, err := acc.NewServer(lightator.ServeOptions{Workers: 1, Debug: true})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+
+	if err := exercise(acc, ts.URL); err != nil {
+		return err
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	scrape, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	have := scrapeSeries(string(scrape))
+
+	var missing []string
+	for _, name := range wanted {
+		if !have[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		for _, name := range missing {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s documents %s, absent from /metrics\n", doc, name)
+		}
+		return fmt.Errorf("%d documented series missing from the scrape (%d checked)", len(missing), len(wanted))
+	}
+	fmt.Printf("metricscheck: %d series documented in %s, all present in /metrics\n", len(wanted), doc)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "metricscheck:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,79 @@
+// Per-request energy accounting: the bridge from trace op counts to the
+// paper's component model. Where LayerPower amortises a scheduled
+// layer's energy into watts over a layer time, RequestEnergy prices the
+// modeled op counts of one served request directly in joules — the
+// serving layer's energy_j_per_request / modeled_kfps_per_w gauges and
+// the per-request trace records come from here.
+package energy
+
+import (
+	"lightator/internal/mapping"
+	"lightator/internal/trace"
+)
+
+// RequestTime returns the modeled optical wall time of a request's op
+// counts: one modulation cycle per MVM row readout. Capture-only
+// requests (comparator fires, no rows) take zero modeled optical time —
+// their energy is purely per-fire comparator energy.
+func (p Params) RequestTime(c trace.OpCounts) float64 {
+	return float64(c.MVMRows) / p.ClockHz
+}
+
+// RequestEnergy prices op counts through the component model, in
+// joules per component (the same six buckets as Figs. 8 and 9, so a
+// Breakdown's Share() applies unchanged):
+//
+//   - DACs: every runtime-driven coefficient hold (DACSettles) burns
+//     one cycle of b-bit DAC hold power. Pre-set banks (CA) count no
+//     settles, mirroring LayerPower's Pool/CACompress case.
+//   - TUN: every coefficient-cycle hold (MRCoeffHolds, including
+//     pre-set banks) burns one cycle of MR heater power.
+//   - BPD: coefficient holds spread over MRsPerArm-wide arms; each
+//     engaged arm-cycle burns one cycle of photodetector bias power.
+//   - ADCs: one conversion energy per digitized row readout.
+//   - DMVA: VCSEL channel power over the modeled compute time, plus
+//     CRC comparator energy per capture fire.
+//   - Misc: controller power over the compute time, plus activation
+//     SRAM traffic (each conversion result written once, read once,
+//     packed ActBits-wide).
+func (p Params) RequestEnergy(c trace.OpCounts, wBits int) Breakdown {
+	t := p.RequestTime(c)
+	cycle := 1 / p.ClockHz
+	armCycles := (c.MRCoeffHolds + int64(mapping.MRsPerArm) - 1) / int64(mapping.MRsPerArm)
+	var b Breakdown
+	b.DACs = p.DACPower(c.DACSettles, wBits) * cycle
+	b.TUN = p.TuningPower(c.MRCoeffHolds) * cycle
+	b.BPD = float64(armCycles) * p.BPDPowerPerArm * cycle
+	b.ADCs = float64(c.ADCConversions) * p.ADCEnergyPerConv
+	b.DMVA = float64(p.NumVCSELChannels)*p.VCSELAvgPower*t +
+		float64(c.ComparatorFires)*p.CRCComparatorEnergy
+	b.Misc = p.ControllerPower * t
+	if c.ADCConversions > 0 {
+		// actAccesses rounds up to packed memory words, so it charges a
+		// word even for zero values — only price traffic when a request
+		// actually digitized something.
+		b.Misc += p.ActMemory.ReadEnergy() * p.actAccesses(c.ADCConversions)
+	}
+	return b
+}
+
+// RequestPower returns the average modeled power of a request, watts;
+// zero when the request has no modeled optical time.
+func (p Params) RequestPower(c trace.OpCounts, wBits int) float64 {
+	t := p.RequestTime(c)
+	if t <= 0 {
+		return 0
+	}
+	return p.RequestEnergy(c, wBits).Total() / t
+}
+
+// ModeledKFPSPerW converts joules-per-request into the paper's
+// KFPS/W efficiency figure: a stream of identical requests sustains
+// 1/J requests per second per watt, i.e. 1/(1000*J) KFPS/W. Returns 0
+// for non-positive energy.
+func ModeledKFPSPerW(joulesPerRequest float64) float64 {
+	if joulesPerRequest <= 0 {
+		return 0
+	}
+	return 1 / (1000 * joulesPerRequest)
+}

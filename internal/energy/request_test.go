@@ -1,0 +1,131 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"lightator/internal/mapping"
+	"lightator/internal/trace"
+)
+
+func TestRequestEnergyComponents(t *testing.T) {
+	p := Default()
+	c := trace.OpCounts{
+		MVMRows:         1000,
+		DACSettles:      9000,
+		ADCConversions:  1000,
+		ComparatorFires: 500,
+		MRCoeffHolds:    18000,
+	}
+	wBits := 4
+	b := p.RequestEnergy(c, wBits)
+	cycle := 1 / p.ClockHz
+	tm := p.RequestTime(c)
+
+	if want := tm; math.Abs(want-float64(c.MVMRows)/p.ClockHz) > 1e-18 {
+		t.Fatalf("RequestTime = %g, want %g", tm, want)
+	}
+	if want := p.DACPower(c.DACSettles, wBits) * cycle; math.Abs(b.DACs-want)/want > 1e-12 {
+		t.Fatalf("DACs = %g, want %g", b.DACs, want)
+	}
+	if want := p.TuningPower(c.MRCoeffHolds) * cycle; math.Abs(b.TUN-want)/want > 1e-12 {
+		t.Fatalf("TUN = %g, want %g", b.TUN, want)
+	}
+	armCycles := (c.MRCoeffHolds + int64(mapping.MRsPerArm) - 1) / int64(mapping.MRsPerArm)
+	if want := float64(armCycles) * p.BPDPowerPerArm * cycle; math.Abs(b.BPD-want)/want > 1e-12 {
+		t.Fatalf("BPD = %g, want %g", b.BPD, want)
+	}
+	if want := float64(c.ADCConversions) * p.ADCEnergyPerConv; math.Abs(b.ADCs-want)/want > 1e-12 {
+		t.Fatalf("ADCs = %g, want %g", b.ADCs, want)
+	}
+	wantDMVA := float64(p.NumVCSELChannels)*p.VCSELAvgPower*tm + float64(c.ComparatorFires)*p.CRCComparatorEnergy
+	if math.Abs(b.DMVA-wantDMVA)/wantDMVA > 1e-12 {
+		t.Fatalf("DMVA = %g, want %g", b.DMVA, wantDMVA)
+	}
+	if b.Misc <= p.ControllerPower*tm {
+		t.Fatalf("Misc = %g should include activation memory traffic beyond controller %g", b.Misc, p.ControllerPower*tm)
+	}
+	if b.Total() <= 0 {
+		t.Fatal("total energy must be positive")
+	}
+}
+
+func TestRequestEnergyDACShareDominatesRuntimeMatrices(t *testing.T) {
+	// A dense MVM-style request (every coefficient DAC-driven) must show
+	// the paper's DAC dominance at [4:4].
+	p := Default()
+	rows, cols := int64(256), int64(1024)
+	c := trace.OpCounts{
+		MVMRows:        rows,
+		DACSettles:     rows * cols,
+		ADCConversions: rows,
+		MRCoeffHolds:   rows * cols,
+	}
+	b := p.RequestEnergy(c, 4)
+	if share := b.Share()["DACs"]; share < 0.85 {
+		t.Fatalf("DAC share = %.3f, want > 0.85 for runtime-driven matrices", share)
+	}
+}
+
+func TestRequestEnergyPresetBankCountsNoDACs(t *testing.T) {
+	// CA-style request: coefficients pre-set, no DAC settles.
+	p := Default()
+	c := trace.OpCounts{MVMRows: 4096, ADCConversions: 4096, MRCoeffHolds: 4096 * 4}
+	b := p.RequestEnergy(c, 4)
+	if b.DACs != 0 {
+		t.Fatalf("pre-set bank request priced DAC energy %g, want 0", b.DACs)
+	}
+	if b.TUN <= 0 {
+		t.Fatal("pre-set bank still holds tuning power")
+	}
+}
+
+func TestRequestEnergyCaptureOnly(t *testing.T) {
+	p := Default()
+	c := trace.OpCounts{ComparatorFires: 256 * 256 * 15}
+	b := p.RequestEnergy(c, 4)
+	want := float64(c.ComparatorFires) * p.CRCComparatorEnergy
+	if math.Abs(b.Total()-want)/want > 1e-12 {
+		t.Fatalf("capture-only energy = %g, want pure comparator energy %g", b.Total(), want)
+	}
+	if p.RequestPower(c, 4) != 0 {
+		t.Fatal("capture-only request has no modeled optical time; power must be 0")
+	}
+}
+
+func TestRequestEnergyScalesLinearly(t *testing.T) {
+	p := Default()
+	// Activation traffic rounds to packed memory words, so exact
+	// linearity holds up to one word of rounding — a 1% tolerance at
+	// these counts.
+	c := trace.OpCounts{MVMRows: 100, DACSettles: 900, ADCConversions: 100, MRCoeffHolds: 900}
+	one := p.RequestEnergy(c, 3).Total()
+	three := p.RequestEnergy(c.Scale(3), 3).Total()
+	if math.Abs(three-3*one)/(3*one) > 1e-2 {
+		t.Fatalf("energy not linear in ops: 3x counts gave %g, want %g", three, 3*one)
+	}
+}
+
+func TestRequestPowerConsistentWithEnergy(t *testing.T) {
+	p := Default()
+	c := trace.OpCounts{MVMRows: 5000, DACSettles: 45000, ADCConversions: 5000, MRCoeffHolds: 45000}
+	e := p.RequestEnergy(c, 4).Total()
+	tm := p.RequestTime(c)
+	if got, want := p.RequestPower(c, 4), e/tm; math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("RequestPower = %g, want E/t = %g", got, want)
+	}
+}
+
+func TestModeledKFPSPerW(t *testing.T) {
+	if got := ModeledKFPSPerW(1e-3); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("1 mJ/request should be 1 KFPS/W, got %g", got)
+	}
+	if ModeledKFPSPerW(0) != 0 || ModeledKFPSPerW(-1) != 0 {
+		t.Fatal("non-positive energy must map to 0")
+	}
+	// Round-trip with the power view: KFPS/W = FPS/(1000 P) = 1/(1000 J).
+	j := 2.5e-4
+	if got, want := ModeledKFPSPerW(j), 1/(1000*j); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("ModeledKFPSPerW(%g) = %g, want %g", j, got, want)
+	}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"lightator/internal/arch"
+	"lightator/internal/energy"
+	"lightator/internal/models"
+)
+
+// Claim is one quantitative claim from the paper, re-measured from the
+// architecture simulator on every run. Claims are training-free (no
+// accuracy rows) so the whole set regenerates in milliseconds — cheap
+// enough for CI to verify on every push.
+type Claim struct {
+	// Name identifies the claim, e.g. "table1/max-power/[3:4]".
+	Name string `json:"name"`
+	// Unit labels Measured and Paper (W, KFPS/W, fraction, x).
+	Unit string `json:"unit"`
+	// Measured is this build's simulated value.
+	Measured float64 `json:"measured"`
+	// Paper is the value the paper reports.
+	Paper float64 `json:"paper"`
+	// RelTol is the accepted |Measured-Paper|/|Paper| drift for two-sided
+	// claims. The bounds encode the calibrated model's current distance
+	// from the paper, with headroom: a regression that moves a component
+	// model further from the paper fails CI, faithful refactors pass.
+	RelTol float64 `json:"rel_tol"`
+	// MinOnly marks one-sided claims ("measured must be at least the
+	// paper's floor", e.g. the >85% DAC share); RelTol is ignored.
+	MinOnly bool `json:"min_only,omitempty"`
+}
+
+// Drift is the signed relative deviation from the paper value.
+func (c Claim) Drift() float64 {
+	if c.Paper == 0 {
+		return 0
+	}
+	return (c.Measured - c.Paper) / math.Abs(c.Paper)
+}
+
+// OK reports whether the measured value honours the claim.
+func (c Claim) OK() bool {
+	if c.MinOnly {
+		return c.Measured >= c.Paper
+	}
+	return math.Abs(c.Drift()) <= c.RelTol
+}
+
+// ClaimsResult is the continuously-verified paper-claims set.
+type ClaimsResult struct {
+	Claims []Claim `json:"claims"`
+}
+
+// Failing returns the claims whose measured values drifted out of
+// tolerance.
+func (r *ClaimsResult) Failing() []Claim {
+	var out []Claim
+	for _, c := range r.Claims {
+		if !c.OK() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Get returns a claim by name.
+func (r *ClaimsResult) Get(name string) (Claim, bool) {
+	for _, c := range r.Claims {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Claim{}, false
+}
+
+// PaperClaims re-measures the paper's headline quantitative claims from
+// the architecture simulator: the Table 1 power ladder and efficiency
+// column for every Lightator precision schedule (VGG9+CA max power,
+// LeNet KFPS/W — the paper's own workload pairing), the Fig. 8 average
+// power-efficiency gain, and the Fig. 9 CA first-layer reduction and
+// DAC-dominance pie. Everything here is analytical — no training — so
+// the set is deterministic and fast.
+func PaperClaims() (*ClaimsResult, error) {
+	p := energy.Default()
+	res := &ClaimsResult{}
+
+	// Table 1 ladder. Two-sided tolerances per schedule: the calibrated
+	// component model lands within ~8% of the paper's power column at
+	// uniform precision; the throughput column (which divides through the
+	// simulator's more conservative frame latency) sits further out. The
+	// MX schedules share the uniform rows' max power because the
+	// max-power layer is not the remapped first layer, so their power
+	// claims are pinned on KFPS/W, where the first layer does move the
+	// needle.
+	powerTol := map[string]float64{
+		"[4:4]": 0.12, "[3:4]": 0.08, "[2:4]": 0.05,
+	}
+	kfpsTol := map[string]float64{
+		"[4:4]": 0.40, "[3:4]": 0.40, "[2:4]": 0.40,
+		"[4:4][3:4]": 0.20, "[4:4][2:4]": 0.25,
+	}
+	for _, c := range lightatorConfigs {
+		name := c.ps.Name()
+		vgg, err := arch.Simulate("vgg9-ca", models.VGG9WithCA(10), c.ps, p)
+		if err != nil {
+			return nil, err
+		}
+		lenet, err := arch.Simulate("lenet", models.LeNet(), c.ps, p)
+		if err != nil {
+			return nil, err
+		}
+		if tol, ok := powerTol[name]; ok {
+			res.Claims = append(res.Claims, Claim{
+				Name: "table1/max-power/" + name, Unit: "W",
+				Measured: vgg.MaxPower, Paper: c.paper.PaperPowerW, RelTol: tol,
+			})
+		}
+		if tol, ok := kfpsTol[name]; ok {
+			res.Claims = append(res.Claims, Claim{
+				Name: "table1/kfps-per-w/" + name, Unit: "KFPS/W",
+				Measured: lenet.KFPSPerW, Paper: c.paper.PaperKFPSPerW, RelTol: tol,
+			})
+		}
+	}
+
+	// Fig. 8: average power efficiency of the [4:4] -> [2:4] bit
+	// reduction (paper: ~2.4x).
+	f8, err := Fig8()
+	if err != nil {
+		return nil, err
+	}
+	res.Claims = append(res.Claims, Claim{
+		Name: "fig8/avg-power-efficiency", Unit: "x",
+		Measured: f8.AvgPowerEfficiency, Paper: 2.4, RelTol: 0.5,
+	})
+
+	// Fig. 9: CA first-layer reduction (paper: 42.2%) and the L8 pie's
+	// DAC dominance (paper: DACs >85% — one-sided floor).
+	f9, err := Fig9()
+	if err != nil {
+		return nil, err
+	}
+	res.Claims = append(res.Claims,
+		Claim{
+			Name: "fig9/ca-l1-reduction", Unit: "fraction",
+			Measured: f9.L1Reduction, Paper: 0.422, RelTol: 0.5,
+		},
+		Claim{
+			Name: "fig9/l8-dac-share", Unit: "fraction",
+			Measured: f9.L8Share["DACs"], Paper: 0.85, MinOnly: true,
+		},
+	)
+	return res, nil
+}
+
+// Render prints the claims as a markdown table (the CI artifact format).
+func (r *ClaimsResult) Render() string {
+	var b strings.Builder
+	b.WriteString("# Paper claims — continuously verified\n\n")
+	b.WriteString("Measured values regenerate from the architecture simulator on every run\n")
+	b.WriteString("(training-free); tolerances encode the calibrated model's accepted distance\n")
+	b.WriteString("from the paper. A failing row means a change moved the component model\n")
+	b.WriteString("further from the paper's reported numbers.\n\n")
+	b.WriteString("| claim | measured | paper | drift | tolerance | status |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---|\n")
+	for _, c := range r.Claims {
+		tol := fmt.Sprintf("±%.0f%%", c.RelTol*100)
+		if c.MinOnly {
+			tol = fmt.Sprintf("≥%.4g", c.Paper)
+		}
+		status := "ok"
+		if !c.OK() {
+			status = "**DRIFT**"
+		}
+		fmt.Fprintf(&b, "| %s | %.4g %s | %.4g %s | %+.1f%% | %s | %s |\n",
+			c.Name, c.Measured, c.Unit, c.Paper, c.Unit, c.Drift()*100, tol, status)
+	}
+	if failing := r.Failing(); len(failing) > 0 {
+		fmt.Fprintf(&b, "\n%d claim(s) out of tolerance.\n", len(failing))
+	} else {
+		fmt.Fprintf(&b, "\nAll %d claims within tolerance.\n", len(r.Claims))
+	}
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPaperClaimsAllPass is the drift gate: every continuously-verified
+// claim must hold on every build, so a calibration regression fails CI
+// here (and in the bench job's `lightator-bench -paper` artifact).
+func TestPaperClaimsAllPass(t *testing.T) {
+	res, err := PaperClaims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Claims) < 10 {
+		t.Fatalf("only %d claims, want the full Table1+Fig8+Fig9 set", len(res.Claims))
+	}
+	for _, c := range res.Failing() {
+		t.Errorf("claim %s drifted: measured %.4g %s vs paper %.4g %s (%+.1f%%, tol ±%.0f%%)",
+			c.Name, c.Measured, c.Unit, c.Paper, c.Unit, c.Drift()*100, c.RelTol*100)
+	}
+}
+
+// TestPaperClaimsPowerLadder pins the paper's 5.28 / 2.71 / 1.46 W
+// VGG9+CA max-power ladder at [4:4]/[3:4]/[2:4] explicitly.
+func TestPaperClaimsPowerLadder(t *testing.T) {
+	res, err := PaperClaims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder := []struct {
+		name  string
+		paper float64
+	}{
+		{"table1/max-power/[4:4]", 5.28},
+		{"table1/max-power/[3:4]", 2.71},
+		{"table1/max-power/[2:4]", 1.46},
+	}
+	prev := math.Inf(1)
+	for _, step := range ladder {
+		c, ok := res.Get(step.name)
+		if !ok {
+			t.Fatalf("missing claim %s", step.name)
+		}
+		if c.Paper != step.paper {
+			t.Errorf("%s pins paper value %.4g, want %.4g", step.name, c.Paper, step.paper)
+		}
+		if !c.OK() {
+			t.Errorf("%s out of tolerance: measured %.4g W vs paper %.4g W", step.name, c.Measured, c.Paper)
+		}
+		if c.Measured >= prev {
+			t.Errorf("%s breaks the descending power ladder: %.4g >= %.4g", step.name, c.Measured, prev)
+		}
+		prev = c.Measured
+	}
+}
+
+// TestPaperClaimsDACShare pins the paper's ">85% DAC share" claim as a
+// one-sided floor on the Fig. 9 L8 pie.
+func TestPaperClaimsDACShare(t *testing.T) {
+	res, err := PaperClaims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := res.Get("fig9/l8-dac-share")
+	if !ok {
+		t.Fatal("missing fig9/l8-dac-share")
+	}
+	if !c.MinOnly {
+		t.Error("DAC share must be a one-sided floor claim")
+	}
+	if c.Measured < 0.85 {
+		t.Errorf("L8 DAC share %.3f below the paper's 0.85 floor", c.Measured)
+	}
+}
+
+// TestPaperClaimsEfficiencyLadder checks KFPS/W rises as weight bits
+// shrink, matching the paper's efficiency column ordering.
+func TestPaperClaimsEfficiencyLadder(t *testing.T) {
+	res, err := PaperClaims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{
+		"table1/kfps-per-w/[4:4]",
+		"table1/kfps-per-w/[3:4]",
+		"table1/kfps-per-w/[2:4]",
+	}
+	prev := 0.0
+	for _, name := range names {
+		c, ok := res.Get(name)
+		if !ok {
+			t.Fatalf("missing claim %s", name)
+		}
+		if c.Measured <= prev {
+			t.Errorf("%s breaks the ascending efficiency ladder: %.4g <= %.4g", name, c.Measured, prev)
+		}
+		prev = c.Measured
+	}
+}
+
+func TestPaperClaimsRender(t *testing.T) {
+	res, err := PaperClaims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, want := range []string{
+		"| claim |", "table1/max-power/[3:4]", "fig8/avg-power-efficiency",
+		"fig9/ca-l1-reduction", "within tolerance",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if strings.Contains(out, "DRIFT") {
+		t.Error("render reports drift on a passing set")
+	}
+}
+
+func TestClaimDriftAndOK(t *testing.T) {
+	c := Claim{Measured: 1.1, Paper: 1.0, RelTol: 0.15}
+	if math.Abs(c.Drift()-0.1) > 1e-12 || !c.OK() {
+		t.Errorf("drift %.3f ok=%v, want 0.1 true", c.Drift(), c.OK())
+	}
+	c.RelTol = 0.05
+	if c.OK() {
+		t.Error("claim beyond tolerance must fail")
+	}
+	floor := Claim{Measured: 0.84, Paper: 0.85, MinOnly: true}
+	if floor.OK() {
+		t.Error("one-sided floor claim below the floor must fail")
+	}
+	floor.Measured = 0.87
+	if !floor.OK() {
+		t.Error("one-sided floor claim above the floor must pass")
+	}
+}

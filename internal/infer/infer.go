@@ -51,10 +51,12 @@ package infer
 
 import (
 	"fmt"
+	"sync"
 
 	"lightator/internal/nn"
 	"lightator/internal/oc"
 	"lightator/internal/sensor"
+	"lightator/internal/trace"
 )
 
 // stageKind partitions a compiled network between the optical core and
@@ -101,6 +103,13 @@ type Model struct {
 	inW     int
 	classes int
 	stages  []stage
+
+	// Per-Apply analog op counts, computed once by a shape-only walk on
+	// first use (Ops); the sync.Once keeps the Model's concurrent-use
+	// guarantee.
+	opsOnce sync.Once
+	ops     trace.OpCounts
+	opsErr  error
 }
 
 // Compile programs a trained network onto the core for single-channel
@@ -459,6 +468,62 @@ func (st *stage) mvmInto(ap *oc.Applier, dst, vec []float64, ref bool, seed int6
 		dst[r] = sum
 	}
 	return nil
+}
+
+// Ops returns the modeled analog op counts of one Apply — the
+// observability layer's per-request accounting (see internal/trace).
+// Counts come from a one-time shape walk: digital stages run their
+// Forward over zero tensors purely to propagate shapes, while each
+// optical stage contributes its patch/row geometry analytically — conv
+// layers stream oh*ow im2col patches and dense layers one batch row
+// through the programmed (rows x cols) matrix, every coefficient
+// runtime-DAC-driven. The result is cached; concurrent calls are safe.
+func (m *Model) Ops() (trace.OpCounts, error) {
+	m.opsOnce.Do(func() { m.ops, m.opsErr = m.countOps() })
+	return m.ops, m.opsErr
+}
+
+func (m *Model) countOps() (trace.OpCounts, error) {
+	x := nn.NewTensor(1, 1, m.inH, m.inW)
+	var ops trace.OpCounts
+	var err error
+	for i := range m.stages {
+		st := &m.stages[i]
+		switch st.kind {
+		case stageDigital:
+			// Shape propagation only; InplaceLayers keep the shape, so the
+			// plain Forward suffices (and never mutates compiled state).
+			x, err = st.layer.Forward(x, false)
+			if err != nil {
+				return trace.OpCounts{}, fmt.Errorf("infer: %s: ops walk: %s: %w", m.name, st.layer.Name(), err)
+			}
+		case stageConv:
+			c := st.conv
+			if len(x.Shape) != 4 {
+				return trace.OpCounts{}, fmt.Errorf("infer: %s: ops walk: conv %s wants NCHW input, got rank %d", m.name, c.Name(), len(x.Shape))
+			}
+			oh, ow := c.OutHW(x.Shape[2], x.Shape[3])
+			patches := int64(x.Shape[0]) * int64(oh) * int64(ow)
+			rows, cols := int64(st.pm.Rows()), int64(st.pm.Cols())
+			ops.MVMRows += patches * rows
+			ops.DACSettles += patches * rows * cols
+			ops.ADCConversions += patches * rows
+			ops.MRCoeffHolds += patches * rows * cols
+			x = nn.NewTensor(x.Shape[0], c.OutC, oh, ow)
+		case stageDense:
+			if len(x.Shape) != 2 {
+				return trace.OpCounts{}, fmt.Errorf("infer: %s: ops walk: dense stage wants [N,D] input, got rank %d", m.name, len(x.Shape))
+			}
+			batch := int64(x.Shape[0])
+			rows, cols := int64(st.pm.Rows()), int64(st.pm.Cols())
+			ops.MVMRows += batch * rows
+			ops.DACSettles += batch * rows * cols
+			ops.ADCConversions += batch * rows
+			ops.MRCoeffHolds += batch * rows * cols
+			x = nn.NewTensor(x.Shape[0], st.pm.Rows())
+		}
+	}
+	return ops, nil
 }
 
 // Argmax returns the top-1 class of a logit vector (-1 for empty input).

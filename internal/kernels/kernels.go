@@ -30,6 +30,7 @@ import (
 
 	"lightator/internal/oc"
 	"lightator/internal/sensor"
+	"lightator/internal/trace"
 )
 
 // Kernel is one compressed-domain operator. Implementations must be safe
@@ -53,6 +54,11 @@ type Kernel interface {
 	// Reference computes the same operator in exact float arithmetic (no
 	// quantization, no analog effects) for verification.
 	Reference(plane *sensor.Image) (*sensor.Image, error)
+	// Ops returns the modeled analog op counts of one Apply over an
+	// h x w compressed plane — the observability layer's per-request
+	// accounting (see internal/trace). Derived from the programmed
+	// geometry, never measured, so it is cheap and exact.
+	Ops(h, w int) (trace.OpCounts, error)
 }
 
 // LinOp is a windowed linear operator: a (block² x k²) matrix applied to
@@ -155,6 +161,25 @@ func (o *LinOp) OutDims(h, w int) (int, int, error) {
 		return 0, 0, err
 	}
 	return wh * o.block, ww * o.block, nil
+}
+
+// Ops implements Kernel: every window streams through the programmed
+// (block² x k²) matrix once — block² row readouts and digitizations,
+// each row holding k² runtime-DAC-driven coefficients.
+func (o *LinOp) Ops(h, w int) (trace.OpCounts, error) {
+	wh, ww, err := o.winDims(h, w)
+	if err != nil {
+		return trace.OpCounts{}, err
+	}
+	windows := int64(wh) * int64(ww)
+	rows := int64(o.pm.Rows())
+	cols := int64(o.pm.Cols())
+	return trace.OpCounts{
+		MVMRows:        windows * rows,
+		DACSettles:     windows * rows * cols,
+		ADCConversions: windows * rows,
+		MRCoeffHolds:   windows * rows * cols,
+	}, nil
 }
 
 // checkPlane rejects inputs the window walk would misread.

@@ -28,6 +28,7 @@ import (
 
 	"lightator/internal/oc"
 	"lightator/internal/sensor"
+	"lightator/internal/trace"
 )
 
 // caGeometry derives the per-window CA quantities every reconstruction
@@ -137,6 +138,25 @@ func (o *IterOp) OutDims(h, w int) (int, int, error) {
 		return 0, 0, fmt.Errorf("kernels: %s: empty plane %dx%d", o.name, h, w)
 	}
 	return h * o.n, w * o.n, nil
+}
+
+// Ops implements Kernel: every compressed sample runs iters Landweber
+// iterations, each one forward pass (1 row of n² coefficients) and one
+// adjoint pass (n² rows of 1 coefficient) — 1+n² row readouts and 2n²
+// runtime-DAC coefficient holds per iteration.
+func (o *IterOp) Ops(h, w int) (trace.OpCounts, error) {
+	if _, _, err := o.OutDims(h, w); err != nil {
+		return trace.OpCounts{}, err
+	}
+	samples := int64(h) * int64(w)
+	n2 := int64(o.n) * int64(o.n)
+	passes := samples * int64(o.iters)
+	return trace.OpCounts{
+		MVMRows:        passes * (1 + n2),
+		DACSettles:     passes * 2 * n2,
+		ADCConversions: passes * (1 + n2),
+		MRCoeffHolds:   passes * 2 * n2,
+	}, nil
 }
 
 // iterScratch is one shard's worth of pooled Landweber state: the n²

@@ -31,9 +31,11 @@ import (
 	"sync"
 	"time"
 
+	"lightator/internal/analog"
 	"lightator/internal/kernels"
 	"lightator/internal/oc"
 	"lightator/internal/sensor"
+	"lightator/internal/trace"
 )
 
 // Stage seed tags: frame seed s yields DeriveSeed(s, stage) per stage, so
@@ -118,6 +120,11 @@ type Result struct {
 	// CaptureTime, CompressTime, KernelTime, InferTime and MatVecTime are
 	// per-stage latencies.
 	CaptureTime, CompressTime, KernelTime, InferTime, MatVecTime time.Duration
+	// Ops is the frame's modeled per-stage analog op counts — the
+	// pipeline's static FrameOps value copied in (a plain struct copy, no
+	// allocation; see internal/trace). Stages that were not enabled stay
+	// zero.
+	Ops trace.StageOps
 }
 
 // Pipeline is a configured worker pool. It is safe to call Run and
@@ -133,6 +140,10 @@ type Pipeline struct {
 	ca    *oc.Acquisitor
 	pm    *oc.ProgrammedMatrix
 	proto *sensor.Array
+	// ops is the per-frame op-count profile, fixed by the configured
+	// geometry at construction (every frame of a pipeline does identical
+	// modeled analog work).
+	ops trace.StageOps
 
 	mu    sync.Mutex
 	total Stats
@@ -198,8 +209,71 @@ func New(cfg Config) (*Pipeline, error) {
 		}
 		p.pm = pm
 	}
+	if err := p.profileOps(); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
+
+// profileOps derives the static per-frame op-count profile from the
+// configured geometry: capture reads every pixel through the CRC
+// comparator ladder; the CA streams one pre-set row per pooled window;
+// kernel and infer stages report their own programmed geometry; the MVM
+// stage is one runtime-driven matrix apply. See docs/OBSERVABILITY.md.
+func (p *Pipeline) profileOps() error {
+	cfg := p.cfg
+	p.ops.Capture = trace.OpCounts{
+		ComparatorFires: int64(cfg.Rows) * int64(cfg.Cols) * int64(analog.NumComparators),
+	}
+	caH, caW := cfg.Rows, cfg.Cols
+	if p.ca != nil {
+		caH, caW = cfg.Rows/cfg.CAPool, cfg.Cols/cfg.CAPool
+		windows := int64(caH) * int64(caW)
+		taps := int64(cfg.CAPool) * int64(cfg.CAPool)
+		p.ops.Compress = trace.OpCounts{
+			MVMRows:        windows,
+			ADCConversions: windows,
+			// Pre-set bank: coefficients tuned once at programming time, so
+			// the windows hold MRs without runtime DAC settles.
+			MRCoeffHolds: windows * taps,
+		}
+	}
+	if cfg.Kernel != nil {
+		ops, err := cfg.Kernel.Ops(caH, caW)
+		if err != nil {
+			return fmt.Errorf("pipeline: kernel %s op profile: %w", cfg.Kernel.Name(), err)
+		}
+		p.ops.Kernel = ops
+	}
+	if cfg.Infer != nil {
+		// infer.Model implements the optional op-count contract; other
+		// InferModels simply report zero (the pipeline depends on the
+		// contract, not the engine).
+		if om, ok := cfg.Infer.(interface {
+			Ops() (trace.OpCounts, error)
+		}); ok {
+			ops, err := om.Ops()
+			if err != nil {
+				return fmt.Errorf("pipeline: infer %s op profile: %w", cfg.Infer.Name(), err)
+			}
+			p.ops.Infer = ops
+		}
+	}
+	if p.pm != nil {
+		rows, cols := int64(p.pm.Rows()), int64(p.pm.Cols())
+		p.ops.MatVec = trace.OpCounts{
+			MVMRows:        rows,
+			DACSettles:     rows * cols,
+			ADCConversions: rows,
+			MRCoeffHolds:   rows * cols,
+		}
+	}
+	return nil
+}
+
+// FrameOps returns the modeled per-stage analog op counts of one frame
+// through this pipeline — constant for the pipeline's lifetime.
+func (p *Pipeline) FrameOps() trace.StageOps { return p.ops }
 
 // Config returns the effective (defaulted) configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
@@ -208,7 +282,7 @@ func (p *Pipeline) Config() Config { return p.cfg }
 // frameSeed is the frame's top-level noise seed; stages derive children
 // from it.
 func (p *Pipeline) processFrame(arr *sensor.Array, idx int, frameSeed int64, scene *sensor.Image, st *Stats) Result {
-	res := Result{Index: idx}
+	res := Result{Index: idx, Ops: p.ops}
 	st.Frames++
 
 	t0 := time.Now()

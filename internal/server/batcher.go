@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lightator/internal/pipeline"
@@ -44,6 +45,10 @@ type batcher struct {
 
 	in    chan batchItem
 	slots chan struct{} // limits concurrent in-flight flushes
+
+	// parked gauges the collector's currently-accumulating batch (frames
+	// admitted but not yet dispatched) for the observability layer.
+	parked atomic.Int64
 
 	// mu orders submissions against shutdown: close() flips closed under
 	// the write lock, so once it proceeds no submit can still be mid-
@@ -102,6 +107,7 @@ func (b *batcher) collect() {
 			return
 		}
 		batch := []batchItem{first}
+		b.parked.Store(1)
 		timer := time.NewTimer(b.delay)
 		trigger := flushDeadline
 	collecting:
@@ -109,6 +115,7 @@ func (b *batcher) collect() {
 			select {
 			case it := <-b.in:
 				batch = append(batch, it)
+				b.parked.Store(int64(len(batch)))
 			case <-timer.C:
 				break collecting
 			case <-b.quit:
@@ -120,6 +127,7 @@ func (b *batcher) collect() {
 			trigger = flushSize
 		}
 		timer.Stop()
+		b.parked.Store(0)
 		b.dispatch(batch, trigger)
 		select {
 		case <-b.quit:
@@ -178,6 +186,15 @@ func (b *batcher) dispatch(batch []batchItem, trigger flushTrigger) {
 		}
 	}()
 }
+
+// queueDepth gauges admitted-but-uncollected frames (channel backlog).
+func (b *batcher) queueDepth() int { return len(b.in) }
+
+// inflightBatches gauges pipeline batches currently executing.
+func (b *batcher) inflightBatches() int { return len(b.slots) }
+
+// occupancy gauges the collector's accumulating (parked) batch size.
+func (b *batcher) occupancy() int { return int(b.parked.Load()) }
 
 // close stops admission, flushes everything already queued, and waits for
 // in-flight flushes, so every admitted request has its response delivered

@@ -124,3 +124,21 @@ func (c *responseCache) len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// capacity reports the configured entry bound (0 when disabled).
+func (c *responseCache) capacity() int {
+	if c == nil {
+		return 0
+	}
+	return c.cap
+}
+
+// sizeBytes reports the current total cached body bytes.
+func (c *responseCache) sizeBytes() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

@@ -1,0 +1,190 @@
+// Observability endpoints and per-request trace recording: the ring
+// behind GET /debug/traces, the structured response headers every
+// compute endpoint sets, and the opt-in debug mux (net/http/pprof +
+// GET /debug/runtime) mounted when Config.Debug is set. See
+// docs/OBSERVABILITY.md.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"lightator/internal/energy"
+	"lightator/internal/pipeline"
+	"lightator/internal/trace"
+)
+
+// traceFrame records a batched request's per-stage spans from its
+// pipeline result: stage wall times from the Result, op counts from the
+// pipeline's static profile. target is the kernel/model addressed, ""
+// when the endpoint has none.
+func (s *Server) traceFrame(w http.ResponseWriter, endpoint, target string, start time.Time, res pipeline.Result) {
+	spans := make([]trace.Span, 0, 5)
+	add := func(stage string, d time.Duration, ops trace.OpCounts) {
+		if d == 0 && ops.IsZero() {
+			return
+		}
+		spans = append(spans, trace.Span{Stage: stage, DurationNS: d.Nanoseconds(), Ops: ops})
+	}
+	add("capture", res.CaptureTime, res.Ops.Capture)
+	add("compress", res.CompressTime, res.Ops.Compress)
+	add("kernel", res.KernelTime, res.Ops.Kernel)
+	add("infer", res.InferTime, res.Ops.Infer)
+	add("matvec", res.MatVecTime, res.Ops.MatVec)
+	s.finishTrace(w, trace.Trace{Endpoint: endpoint, Target: target, Spans: spans}, start)
+}
+
+// traceSpan records an unbatched request (matvec, plane infer) as a
+// single span carrying the whole request's op counts.
+func (s *Server) traceSpan(w http.ResponseWriter, endpoint, target, stage string, start time.Time, ops trace.OpCounts) {
+	t := trace.Trace{
+		Endpoint: endpoint,
+		Target:   target,
+		Spans:    []trace.Span{{Stage: stage, DurationNS: time.Since(start).Nanoseconds(), Ops: ops}},
+	}
+	s.finishTrace(w, t, start)
+}
+
+// finishTrace stamps identity and energy, sets the per-request response
+// headers (before the body is written — callers run inside the compute
+// closure), and retains the trace in the debug ring.
+func (s *Server) finishTrace(w http.ResponseWriter, t trace.Trace, start time.Time) {
+	t.ID = trace.NewID()
+	t.Start = start
+	t.DurationNS = time.Since(start).Nanoseconds()
+	ops := t.Ops()
+	t.EnergyJ = s.backend.Energy.RequestEnergy(ops, s.backend.WBits).Total()
+	t.ModeledKFPSPerW = energy.ModeledKFPSPerW(t.EnergyJ)
+	if w != nil {
+		h := w.Header()
+		h.Set("X-Lightator-Trace-Id", t.ID)
+		h.Set("X-Lightator-Ops", ops.String())
+		h.Set("X-Lightator-Energy-J", strconv.FormatFloat(t.EnergyJ, 'g', -1, 64))
+		var sb strings.Builder
+		for i, sp := range t.Spans {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%s=%d", sp.Stage, sp.DurationNS)
+		}
+		if sb.Len() > 0 {
+			h.Set("X-Lightator-Stage-Ns", sb.String())
+		}
+	}
+	s.traces.Add(t)
+}
+
+// traceCacheHit records a cache-served request: no spans, no op counts
+// (nothing analog ran), flagged CacheHit.
+func (s *Server) traceCacheHit(w http.ResponseWriter, endpoint string, start time.Time) {
+	t := trace.Trace{Endpoint: endpoint, CacheHit: true}
+	t.ID = trace.NewID()
+	t.Start = start
+	t.DurationNS = time.Since(start).Nanoseconds()
+	if w != nil {
+		w.Header().Set("X-Lightator-Trace-Id", t.ID)
+		w.Header().Set("X-Lightator-Cache", "hit")
+	}
+	s.traces.Add(t)
+}
+
+// TracesResponse is the GET /debug/traces body.
+type TracesResponse struct {
+	// Total counts every trace ever recorded, including ones the ring
+	// has evicted.
+	Total uint64 `json:"total"`
+	// Traces holds the retained traces, oldest first.
+	Traces []trace.Trace `json:"traces"`
+}
+
+// handleTraces serves the retained request traces, oldest first; ?limit=N
+// keeps only the newest N.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.traces.Snapshot()
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad limit %q", q))
+			return
+		}
+		if n < len(traces) {
+			traces = traces[len(traces)-n:]
+		}
+	}
+	if traces == nil {
+		traces = []trace.Trace{}
+	}
+	body, err := json.Marshal(TracesResponse{Total: s.traces.Total(), Traces: traces})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// mountDebug mounts the opt-in debug mux: the standard net/http/pprof
+// handlers (profile, heap, goroutine, ... via the index) and the
+// runtime snapshot. Deliberately not mounted by default — profiling
+// endpoints do not belong on an unauthenticated production surface.
+func (s *Server) mountDebug(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/runtime", s.handleRuntime)
+}
+
+// RuntimeSnapshot is the GET /debug/runtime body: Go runtime health
+// plus the serving gauges a load shedder watches.
+type RuntimeSnapshot struct {
+	Goroutines     int     `json:"goroutines"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	NumGC          uint32  `json:"num_gc"`
+	GCPauseTotalNS uint64  `json:"gc_pause_total_ns"`
+	NextGCBytes    uint64  `json:"next_gc_bytes"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Inflight       int64   `json:"inflight"`
+	Draining       bool    `json:"draining"`
+	// Queues gauges each batched endpoint's admission state (depth,
+	// parked-batch occupancy, in-flight batches).
+	Queues map[string]QueueSnapshot `json:"queues,omitempty"`
+	// TracesHeld / TracesTotal describe the /debug/traces ring.
+	TracesHeld  int    `json:"traces_held"`
+	TracesTotal uint64 `json:"traces_total"`
+}
+
+// handleRuntime serves the runtime snapshot (debug mux only).
+func (s *Server) handleRuntime(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	snap := RuntimeSnapshot{
+		Goroutines:     runtime.NumGoroutine(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		NumGC:          ms.NumGC,
+		GCPauseTotalNS: ms.PauseTotalNs,
+		NextGCBytes:    ms.NextGC,
+		UptimeSeconds:  s.m.uptime().Seconds(),
+		Inflight:       s.inflight.Load(),
+		Draining:       s.draining.Load(),
+		Queues:         s.queueSnapshots(),
+		TracesHeld:     s.traces.Len(),
+		TracesTotal:    s.traces.Total(),
+	}
+	body, err := json.Marshal(snap)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}

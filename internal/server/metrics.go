@@ -104,6 +104,13 @@ func (m *metrics) flush(n int, trigger flushTrigger) {
 	}
 }
 
+// uptime reports the time since the server's construction.
+func (m *metrics) uptime() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return time.Since(m.start)
+}
+
 // EndpointSnapshot is one endpoint's counters at snapshot time.
 type EndpointSnapshot struct {
 	Requests    int64                `json:"requests"`
@@ -123,6 +130,25 @@ type BatcherSnapshot struct {
 	MaxBatch        int   `json:"max_batch"`
 }
 
+// QueueSnapshot gauges one batched endpoint's admission state at
+// snapshot time: queued-but-uncollected frames, the collector's
+// accumulating (parked) batch, and pipeline batches in flight.
+type QueueSnapshot struct {
+	Depth           int `json:"depth"`
+	Occupancy       int `json:"occupancy"`
+	InflightBatches int `json:"inflight_batches"`
+}
+
+// EnergyGauge is one pipeline series' modeled per-request energy: the
+// joules one frame through that pipeline costs under the paper's
+// component model, and the KFPS/W a stream of such frames would
+// sustain. Fixed at construction (every frame of a pipeline does
+// identical modeled analog work).
+type EnergyGauge struct {
+	EnergyJPerRequest float64 `json:"energy_j_per_request"`
+	ModeledKFPSPerW   float64 `json:"modeled_kfps_per_w"`
+}
+
 // MetricsSnapshot is the full machine-readable state of a running server,
 // served as JSON at /metrics?format=json.
 type MetricsSnapshot struct {
@@ -130,8 +156,17 @@ type MetricsSnapshot struct {
 	Inflight      int64                       `json:"inflight"`
 	Draining      bool                        `json:"draining"`
 	CacheEntries  int                         `json:"cache_entries"`
+	CacheCapacity int                         `json:"cache_capacity"`
+	CacheBytes    int                         `json:"cache_bytes"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Batcher       BatcherSnapshot             `json:"batcher"`
+	// Queues gauges each batched endpoint's admission state, keyed by
+	// endpoint (kernel/model series as "/v1/process:<kernel>" etc.).
+	Queues map[string]QueueSnapshot `json:"queues,omitempty"`
+	// Energy holds each pipeline series' modeled per-request energy,
+	// keyed like the pipeline stats below (capture, compress,
+	// process:<kernel>, infer:<model>).
+	Energy map[string]EnergyGauge `json:"energy,omitempty"`
 	// Capture and Compress are the cumulative pipeline stats behind the
 	// batched endpoints (frames, FPS, per-stage latency histograms).
 	Capture  pipeline.StatsReport `json:"capture_pipeline"`
@@ -179,6 +214,19 @@ func renderProm(snap MetricsSnapshot) string {
 	fmt.Fprintf(&b, "lightator_uptime_seconds %g\n", snap.UptimeSeconds)
 	fmt.Fprintf(&b, "lightator_inflight_requests %d\n", snap.Inflight)
 	fmt.Fprintf(&b, "lightator_cache_entries %d\n", snap.CacheEntries)
+	fmt.Fprintf(&b, "lightator_cache_capacity %d\n", snap.CacheCapacity)
+	fmt.Fprintf(&b, "lightator_cache_bytes %d\n", snap.CacheBytes)
+	queueNames := make([]string, 0, len(snap.Queues))
+	for name := range snap.Queues {
+		queueNames = append(queueNames, name)
+	}
+	sort.Strings(queueNames)
+	for _, name := range queueNames {
+		q := snap.Queues[name]
+		fmt.Fprintf(&b, "lightator_queue_depth{endpoint=%q} %d\n", name, q.Depth)
+		fmt.Fprintf(&b, "lightator_batch_occupancy{endpoint=%q} %d\n", name, q.Occupancy)
+		fmt.Fprintf(&b, "lightator_inflight_batches{endpoint=%q} %d\n", name, q.InflightBatches)
+	}
 	names := make([]string, 0, len(snap.Endpoints))
 	for name := range snap.Endpoints {
 		names = append(names, name)
@@ -245,6 +293,17 @@ func renderProm(snap MetricsSnapshot) string {
 	for _, p := range pipes {
 		fmt.Fprintf(&b, "lightator_pipeline_frames_total{pipeline=%q} %d\n", p.name, p.rep.Frames)
 		fmt.Fprintf(&b, "lightator_pipeline_fps{pipeline=%q} %g\n", p.name, p.rep.FPS)
+	}
+	// Energy gauges per pipeline series, sorted for diffable scrapes.
+	energyNames := make([]string, 0, len(snap.Energy))
+	for name := range snap.Energy {
+		energyNames = append(energyNames, name)
+	}
+	sort.Strings(energyNames)
+	for _, name := range energyNames {
+		e := snap.Energy[name]
+		fmt.Fprintf(&b, "lightator_energy_j_per_request{pipeline=%q} %g\n", name, e.EnergyJPerRequest)
+		fmt.Fprintf(&b, "lightator_modeled_kfps_per_w{pipeline=%q} %g\n", name, e.ModeledKFPSPerW)
 	}
 	return b.String()
 }

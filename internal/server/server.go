@@ -40,10 +40,12 @@ import (
 	"time"
 
 	"lightator/internal/arch"
+	"lightator/internal/energy"
 	"lightator/internal/infer"
 	"lightator/internal/oc"
 	"lightator/internal/pipeline"
 	"lightator/internal/sensor"
+	"lightator/internal/trace"
 )
 
 // maxBodyBytes bounds request bodies: a 256x256 RGB float64 scene is
@@ -90,6 +92,13 @@ type Backend struct {
 	Deterministic bool
 	// Simulate runs the architecture simulator for /v1/simulate.
 	Simulate func(model string) (*arch.Report, error)
+	// Energy prices per-request op counts for the observability layer; a
+	// zero value takes energy.Default() — existing backends need not set
+	// it.
+	Energy energy.Params
+	// WBits is the weight precision the energy bridge prices DAC holds
+	// at; 0 takes the paper's default 4.
+	WBits int
 }
 
 // Config tunes the serving layer; zero values take the documented
@@ -110,6 +119,14 @@ type Config struct {
 	// CacheEntries sizes the content-hash response LRU; 0 means the
 	// default 256, negative disables caching.
 	CacheEntries int
+	// TraceEntries sizes the /debug/traces ring; 0 means the default
+	// 256, negative disables per-request trace retention (headers are
+	// still set).
+	TraceEntries int
+	// Debug mounts the opt-in debug mux: net/http/pprof under
+	// /debug/pprof/ and the runtime snapshot at /debug/runtime.
+	// /debug/traces is always mounted.
+	Debug bool
 }
 
 // withDefaults resolves zero values.
@@ -129,6 +146,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
 	}
+	if c.TraceEntries == 0 {
+		c.TraceEntries = 256
+	}
 	return c
 }
 
@@ -140,6 +160,11 @@ type Server struct {
 	mux     *http.ServeMux
 	m       *metrics
 	cache   *responseCache
+	traces  *trace.Ring
+	// energy maps each pipeline series (capture, compress,
+	// process:<kernel>, infer:<model>) to its modeled per-request gauge,
+	// fixed at construction.
+	energy map[string]EnergyGauge
 
 	captureB  *batcher
 	compressB *batcher
@@ -166,12 +191,42 @@ func New(b Backend, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: backend needs a simulate function")
 	}
 	cfg = cfg.withDefaults()
+	// Zero-value energy params mean "unconfigured" (a real model always
+	// has a clock): default them so directly-assembled backends keep
+	// working and always price requests with the calibrated model.
+	if b.Energy.ClockHz == 0 {
+		b.Energy = energy.Default()
+	}
+	if b.WBits == 0 {
+		b.WBits = 4
+	}
 	s := &Server{
 		backend: b,
 		cfg:     cfg,
 		m:       newMetrics(),
 		cache:   newResponseCache(cfg.CacheEntries),
+		traces:  trace.NewRing(cfg.TraceEntries),
 		stopped: make(chan struct{}),
+	}
+	// Per-series energy gauges are fixed by the pipelines' geometry;
+	// compute them once.
+	s.energy = make(map[string]EnergyGauge)
+	addGauge := func(name string, pipe *pipeline.Pipeline) {
+		j := b.Energy.RequestEnergy(pipe.FrameOps().Total(), b.WBits).Total()
+		s.energy[name] = EnergyGauge{
+			EnergyJPerRequest: j,
+			ModeledKFPSPerW:   energy.ModeledKFPSPerW(j),
+		}
+	}
+	addGauge("capture", b.Capture)
+	if b.Compress != nil {
+		addGauge("compress", b.Compress)
+	}
+	for name, pipe := range b.Process {
+		addGauge("process:"+name, pipe)
+	}
+	for name, pipe := range b.Infer {
+		addGauge("infer:"+name, pipe)
 	}
 	// Built here, not in Serve, so Shutdown never races a concurrent
 	// Serve call on the field.
@@ -200,6 +255,10 @@ func New(b Backend, cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	if cfg.Debug {
+		s.mountDebug(mux)
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -215,6 +274,13 @@ func (s *Server) Metrics() MetricsSnapshot {
 	snap.Inflight = s.inflight.Load()
 	snap.Draining = s.draining.Load()
 	snap.CacheEntries = s.cache.len()
+	snap.CacheCapacity = s.cache.capacity()
+	snap.CacheBytes = s.cache.sizeBytes()
+	snap.Queues = s.queueSnapshots()
+	snap.Energy = make(map[string]EnergyGauge, len(s.energy))
+	for name, g := range s.energy {
+		snap.Energy[name] = g
+	}
 	st := s.backend.Capture.Stats()
 	snap.Capture = st.Report()
 	if s.backend.Compress != nil {
@@ -236,6 +302,31 @@ func (s *Server) Metrics() MetricsSnapshot {
 		}
 	}
 	return snap
+}
+
+// queueSnapshots gauges every batched endpoint's admission state, keyed
+// by endpoint with per-kernel/model series suffixed by name.
+func (s *Server) queueSnapshots() map[string]QueueSnapshot {
+	qs := make(map[string]QueueSnapshot, 2+len(s.processB)+len(s.inferB))
+	add := func(name string, b *batcher) {
+		if b == nil {
+			return
+		}
+		qs[name] = QueueSnapshot{
+			Depth:           b.queueDepth(),
+			Occupancy:       b.occupancy(),
+			InflightBatches: b.inflightBatches(),
+		}
+	}
+	add("/v1/capture", s.captureB)
+	add("/v1/compress", s.compressB)
+	for name, b := range s.processB {
+		add("/v1/process:"+name, b)
+	}
+	for name, b := range s.inferB {
+		add("/v1/infer:"+name, b)
+	}
+	return qs
 }
 
 // Drain gracefully stops the serving layer: new submissions are rejected
@@ -396,11 +487,14 @@ func (s *Server) submitFrame(r *http.Request, b *batcher, seed int64, scene *sen
 // probe the cache when use is set (recording hit/miss), otherwise run
 // compute, cache the marshaled body (when use) and write it. Keeping this
 // in one place guarantees hit and miss responses are the same bytes on
-// every endpoint.
-func (s *Server) respond(w http.ResponseWriter, endpoint string, use bool, key cacheKey, compute func() ([]byte, int, error)) (int, error) {
+// every endpoint. (Trace/cache headers differ between hit and miss by
+// design; the byte-identity contract covers bodies.) start is the
+// request's arrival time, stamped onto the cache-hit trace.
+func (s *Server) respond(w http.ResponseWriter, endpoint string, start time.Time, use bool, key cacheKey, compute func() ([]byte, int, error)) (int, error) {
 	if use {
 		if body, ok := s.cache.get(key); ok {
 			s.m.cache(endpoint, true)
+			s.traceCacheHit(w, endpoint, start)
 			writeJSON(w, http.StatusOK, body)
 			return http.StatusOK, nil
 		}
@@ -412,6 +506,7 @@ func (s *Server) respond(w http.ResponseWriter, endpoint string, use bool, key c
 	}
 	if use {
 		s.cache.put(key, body)
+		w.Header().Set("X-Lightator-Cache", "miss")
 	}
 	writeJSON(w, http.StatusOK, body)
 	return http.StatusOK, nil
@@ -420,6 +515,7 @@ func (s *Server) respond(w http.ResponseWriter, endpoint string, use bool, key c
 // handleCapture serves one ADC-less readout. Capture has no analog noise,
 // so responses cache in every fidelity.
 func (s *Server) handleCapture(w http.ResponseWriter, r *http.Request) (int, error) {
+	start := time.Now()
 	var req CaptureRequest
 	if err := decodeBody(r, &req); err != nil {
 		return decodeStatus(err), err
@@ -434,12 +530,13 @@ func (s *Server) handleCapture(w http.ResponseWriter, r *http.Request) (int, err
 	if s.cache != nil {
 		key = hashRequest("capture", 0, rawPix, dimBytes(req.Scene.H, req.Scene.W, req.Scene.C))
 	}
-	return s.respond(w, "/v1/capture", s.cache != nil, key, func() ([]byte, int, error) {
+	return s.respond(w, "/v1/capture", start, s.cache != nil, key, func() ([]byte, int, error) {
 		scene := imageFromRaw(req.Scene, rawPix)
 		res, status, err := s.submitFrame(r, s.captureB, s.effectiveSeed(req.Seed), scene)
 		if err != nil {
 			return nil, status, err
 		}
+		s.traceFrame(w, "/v1/capture", "", start, res)
 		body, err := json.Marshal(CaptureResponse{Frame: EncodeFrame(res.Frame)})
 		if err != nil {
 			return nil, http.StatusInternalServerError, err
@@ -452,6 +549,7 @@ func (s *Server) handleCapture(w http.ResponseWriter, r *http.Request) (int, err
 // gated on deterministic fidelity: in PhysicalNoisy the response depends
 // on the seeded noise streams and the cache stays out of the path.
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) (int, error) {
+	start := time.Now()
 	if s.compressB == nil {
 		return http.StatusNotImplemented, fmt.Errorf("server: compressive acquisition disabled (CAPool = 0)")
 	}
@@ -471,12 +569,13 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) (int, er
 	if cacheable {
 		key = hashRequest("compress", 0, rawPix, dimBytes(req.Scene.H, req.Scene.W, req.Scene.C))
 	}
-	return s.respond(w, "/v1/compress", cacheable, key, func() ([]byte, int, error) {
+	return s.respond(w, "/v1/compress", start, cacheable, key, func() ([]byte, int, error) {
 		scene := imageFromRaw(req.Scene, rawPix)
 		res, status, err := s.submitFrame(r, s.compressB, s.effectiveSeed(req.Seed), scene)
 		if err != nil {
 			return nil, status, err
 		}
+		s.traceFrame(w, "/v1/compress", "", start, res)
 		body, err := json.Marshal(CompressResponse{Image: EncodeImage(res.Compressed)})
 		if err != nil {
 			return nil, http.StatusInternalServerError, err
@@ -493,6 +592,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) (int, er
 // Caching follows the compress policy: deterministic fidelities only,
 // with the kernel name folded into the content hash.
 func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) (int, error) {
+	start := time.Now()
 	if len(s.processB) == 0 {
 		return http.StatusNotImplemented, fmt.Errorf("server: compressed-domain kernels disabled (CAPool = 0)")
 	}
@@ -516,12 +616,13 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) (int, err
 	if cacheable {
 		key = hashRequest("process", 0, []byte(req.Kernel), rawPix, dimBytes(req.Scene.H, req.Scene.W, req.Scene.C))
 	}
-	return s.respond(w, "/v1/process", cacheable, key, func() ([]byte, int, error) {
+	return s.respond(w, "/v1/process", start, cacheable, key, func() ([]byte, int, error) {
 		scene := imageFromRaw(req.Scene, rawPix)
 		res, status, err := s.submitFrame(r, b, s.effectiveSeed(req.Seed), scene)
 		if err != nil {
 			return nil, status, err
 		}
+		s.traceFrame(w, "/v1/process", req.Kernel, start, res)
 		body, err := json.Marshal(ProcessResponse{Plane: EncodeImage(res.Processed)})
 		if err != nil {
 			return nil, http.StatusInternalServerError, err
@@ -540,6 +641,7 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) (int, err
 // Caching follows the compress policy: deterministic fidelities only,
 // with the model name and input kind folded into the content hash.
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) (int, error) {
+	start := time.Now()
 	if len(s.inferB) == 0 {
 		return http.StatusNotImplemented, fmt.Errorf("server: compressed-domain inference disabled (CAPool = 0)")
 	}
@@ -572,7 +674,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) (int, error
 	if cacheable {
 		key = hashRequest(kind, 0, []byte(req.Model), rawPix, dimBytes(input.H, input.W, input.C))
 	}
-	return s.respond(w, "/v1/infer", cacheable, key, func() ([]byte, int, error) {
+	return s.respond(w, "/v1/infer", start, cacheable, key, func() ([]byte, int, error) {
 		var logits []float64
 		if req.Scene != nil {
 			scene := imageFromRaw(*req.Scene, rawPix)
@@ -580,6 +682,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) (int, error
 			if err != nil {
 				return nil, status, err
 			}
+			s.traceFrame(w, "/v1/infer", req.Model, start, res)
 			logits = res.Logits
 		} else {
 			if s.draining.Load() {
@@ -591,6 +694,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) (int, error
 			if err != nil {
 				return nil, http.StatusBadRequest, err
 			}
+			// Plane requests skip capture+CA; the model's op counts are
+			// the infer stage of its pipeline's static profile.
+			s.traceSpan(w, "/v1/infer", req.Model, "infer", start, s.backend.Infer[req.Model].FrameOps().Infer)
 		}
 		body, err := json.Marshal(InferResponse{Model: req.Model, Logits: logits, Class: infer.Argmax(logits)})
 		if err != nil {
@@ -630,6 +736,7 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 // hits keep serving mid-drain on every endpoint (same policy as
 // capture/compress, whose drain check lives in submitFrame).
 func (s *Server) handleMatVec(w http.ResponseWriter, r *http.Request) (int, error) {
+	start := time.Now()
 	var req MatVecRequest
 	if err := decodeBody(r, &req); err != nil {
 		return decodeStatus(err), err
@@ -649,7 +756,7 @@ func (s *Server) handleMatVec(w http.ResponseWriter, r *http.Request) (int, erro
 		parts = append(parts, floatBytes(req.Activations))
 		key = hashRequest("matvec", 0, parts...)
 	}
-	return s.respond(w, "/v1/matvec", cacheable, key, func() ([]byte, int, error) {
+	return s.respond(w, "/v1/matvec", start, cacheable, key, func() ([]byte, int, error) {
 		if s.draining.Load() {
 			return nil, http.StatusServiceUnavailable, errDraining
 		}
@@ -657,6 +764,15 @@ func (s *Server) handleMatVec(w http.ResponseWriter, r *http.Request) (int, erro
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}
+		// One runtime-driven matrix apply: rows readouts, every
+		// coefficient DAC-held for its cycle.
+		rows, cols := int64(len(req.Weights)), int64(len(req.Activations))
+		s.traceSpan(w, "/v1/matvec", "", "matvec", start, trace.OpCounts{
+			MVMRows:        rows,
+			DACSettles:     rows * cols,
+			ADCConversions: rows,
+			MRCoeffHolds:   rows * cols,
+		})
 		body, err := json.Marshal(MatVecResponse{Output: ys[0]})
 		if err != nil {
 			return nil, http.StatusInternalServerError, err
@@ -668,6 +784,7 @@ func (s *Server) handleMatVec(w http.ResponseWriter, r *http.Request) (int, erro
 // handleSimulate runs the architecture simulator; reports are
 // deterministic, so they always cache.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (int, error) {
+	start := time.Now()
 	var req SimulateRequest
 	if err := decodeBody(r, &req); err != nil {
 		return decodeStatus(err), err
@@ -679,7 +796,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (int, er
 	if s.cache != nil {
 		key = hashRequest("simulate", 0, []byte(req.Model))
 	}
-	return s.respond(w, "/v1/simulate", s.cache != nil, key, func() ([]byte, int, error) {
+	return s.respond(w, "/v1/simulate", start, s.cache != nil, key, func() ([]byte, int, error) {
 		if s.draining.Load() {
 			return nil, http.StatusServiceUnavailable, errDraining
 		}
@@ -687,6 +804,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (int, er
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}
+		// Purely digital: the trace carries identity and wall time, no
+		// analog op counts.
+		s.traceSpan(w, "/v1/simulate", req.Model, "simulate", start, trace.OpCounts{})
 		body, err := json.Marshal(rep)
 		if err != nil {
 			return nil, http.StatusInternalServerError, err

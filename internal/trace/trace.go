@@ -1,0 +1,234 @@
+// Package trace is the per-request observability substrate: analog op
+// counts per pipeline stage, wall-time spans, and a fixed-capacity ring
+// of completed request traces served by GET /debug/traces.
+//
+// The package is a std-lib-only leaf so every layer can import it:
+// internal/kernels and internal/infer report their per-frame op counts
+// through it, internal/pipeline aggregates those into per-stage
+// StageOps, and internal/energy prices an OpCounts into modeled joules
+// (see energy.Params.RequestEnergy).
+//
+// Op counts are modeled, not measured: they are derived analytically
+// from the programmed shapes (matrix dimensions, window geometry,
+// iteration counts), so recording them costs nothing on the hot path —
+// a pipeline computes its StageOps once at construction and copies the
+// value into every Result. See docs/OBSERVABILITY.md for the exact
+// semantics of each counter.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OpCounts tallies the analog work behind one request (or one stage of
+// it). All counters are modeled from programmed shapes; see
+// docs/OBSERVABILITY.md#span-op-counts for the derivations.
+type OpCounts struct {
+	// MVMRows counts optical row readouts: one per programmed-matrix row
+	// per apply. Each is one compute cycle of the modeled clock.
+	MVMRows int64 `json:"mvm_rows"`
+	// DACSettles counts weight-DAC MR-cycle holds — matrix coefficients
+	// held by runtime DACs, rows x cols per apply. Zero for pre-set
+	// banks (the CA stage), whose coefficients are tuned once at
+	// programming time rather than driven per cycle.
+	DACSettles int64 `json:"dac_settles"`
+	// ADCConversions counts output digitizations: one per optical row
+	// readout outside the capture stage (capture digitizes through the
+	// CRC comparator ladder instead).
+	ADCConversions int64 `json:"adc_conversions"`
+	// ComparatorFires counts CRC comparator evaluations during capture:
+	// analog.NumComparators per pixel.
+	ComparatorFires int64 `json:"comparator_fires"`
+	// MRCoeffHolds counts microring coefficient-cycle holds across all
+	// optical stages, including pre-set CA banks — the base for thermal
+	// tuning and balanced-photodetector energy.
+	MRCoeffHolds int64 `json:"mr_coeff_holds"`
+}
+
+// Add returns the element-wise sum.
+func (c OpCounts) Add(o OpCounts) OpCounts {
+	return OpCounts{
+		MVMRows:         c.MVMRows + o.MVMRows,
+		DACSettles:      c.DACSettles + o.DACSettles,
+		ADCConversions:  c.ADCConversions + o.ADCConversions,
+		ComparatorFires: c.ComparatorFires + o.ComparatorFires,
+		MRCoeffHolds:    c.MRCoeffHolds + o.MRCoeffHolds,
+	}
+}
+
+// Scale returns the counts multiplied by n (n requests of this shape).
+func (c OpCounts) Scale(n int64) OpCounts {
+	return OpCounts{
+		MVMRows:         c.MVMRows * n,
+		DACSettles:      c.DACSettles * n,
+		ADCConversions:  c.ADCConversions * n,
+		ComparatorFires: c.ComparatorFires * n,
+		MRCoeffHolds:    c.MRCoeffHolds * n,
+	}
+}
+
+// IsZero reports whether no op was counted.
+func (c OpCounts) IsZero() bool { return c == OpCounts{} }
+
+// String renders the counts in the compact key=value form used by the
+// X-Lightator-Ops response header.
+func (c OpCounts) String() string {
+	return fmt.Sprintf("mvm_rows=%d dac_settles=%d adc_conversions=%d comparator_fires=%d mr_coeff_holds=%d",
+		c.MVMRows, c.DACSettles, c.ADCConversions, c.ComparatorFires, c.MRCoeffHolds)
+}
+
+// StageOps is a frame's op counts broken down by pipeline stage.
+// Stages a pipeline does not run stay zero. The struct is a plain
+// value: copying it into a pipeline Result allocates nothing.
+type StageOps struct {
+	Capture  OpCounts `json:"capture"`
+	Compress OpCounts `json:"compress"`
+	Kernel   OpCounts `json:"kernel"`
+	Infer    OpCounts `json:"infer"`
+	MatVec   OpCounts `json:"matvec"`
+}
+
+// Total sums the per-stage counts.
+func (s StageOps) Total() OpCounts {
+	return s.Capture.Add(s.Compress).Add(s.Kernel).Add(s.Infer).Add(s.MatVec)
+}
+
+// Span is one recorded pipeline stage: its wall time and the modeled
+// analog op counts behind it.
+type Span struct {
+	Stage      string   `json:"stage"`
+	DurationNS int64    `json:"duration_ns"`
+	Ops        OpCounts `json:"ops"`
+}
+
+// Trace is one completed request as recorded in the debug ring.
+type Trace struct {
+	ID       string `json:"id"`
+	Endpoint string `json:"endpoint"`
+	// Target is the kernel or model the request addressed, when any.
+	Target     string    `json:"target,omitempty"`
+	Start      time.Time `json:"start"`
+	DurationNS int64     `json:"duration_ns"`
+	CacheHit   bool      `json:"cache_hit,omitempty"`
+	Spans      []Span    `json:"spans,omitempty"`
+	// EnergyJ is the modeled energy of the request through the paper's
+	// component model (energy.Params.RequestEnergy over the span ops).
+	EnergyJ float64 `json:"energy_j"`
+	// ModeledKFPSPerW is the throughput-per-watt a stream of identical
+	// requests would sustain: 1/(1000 * EnergyJ).
+	ModeledKFPSPerW float64 `json:"modeled_kfps_per_w,omitempty"`
+}
+
+// Ops sums the op counts over the trace's spans.
+func (t Trace) Ops() OpCounts {
+	var c OpCounts
+	for _, s := range t.Spans {
+		c = c.Add(s.Ops)
+	}
+	return c
+}
+
+// idState seeds request IDs from the process start time once, then
+// advances a counter; NewID hashes the pair so IDs look opaque but cost
+// one atomic add and no allocation beyond the returned string.
+var idState = func() *atomic.Uint64 {
+	var v atomic.Uint64
+	v.Store(uint64(time.Now().UnixNano()))
+	return &v
+}()
+
+// NewID returns a 16-hex-digit request ID, unique within the process
+// and stable across restarts only by accident.
+func NewID() string {
+	x := idState.Add(1)
+	// splitmix64 finalizer: decorrelates sequential counter values.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return fmt.Sprintf("%016x", x)
+}
+
+// Ring is a fixed-capacity buffer of the most recent traces, safe for
+// concurrent use. A nil *Ring ignores adds and snapshots empty, so
+// callers can leave tracing unconfigured without branching.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Trace
+	next  int
+	total uint64
+}
+
+// NewRing returns a ring holding up to capacity traces; capacity <= 0
+// returns nil (the no-op ring).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Ring{buf: make([]Trace, capacity)}
+}
+
+// Add records a completed trace, evicting the oldest when full. The
+// slot store reuses the preallocated buffer: steady-state adds allocate
+// nothing beyond what the trace itself carries.
+func (r *Ring) Add(t Trace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len reports how many traces the ring currently holds.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.len()
+}
+
+func (r *Ring) len() int {
+	if r.total < uint64(len(r.buf)) {
+		return int(r.total)
+	}
+	return len(r.buf)
+}
+
+// Total reports how many traces have ever been added, including
+// evicted ones.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot copies the held traces oldest-first.
+func (r *Ring) Snapshot() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.len()
+	out := make([]Trace, 0, n)
+	start := 0
+	if r.total >= uint64(len(r.buf)) {
+		start = r.next
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}

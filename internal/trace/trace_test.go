@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestOpCountsAddScaleTotal(t *testing.T) {
+	a := OpCounts{MVMRows: 1, DACSettles: 2, ADCConversions: 3, ComparatorFires: 4, MRCoeffHolds: 5}
+	b := OpCounts{MVMRows: 10, DACSettles: 20, ADCConversions: 30, ComparatorFires: 40, MRCoeffHolds: 50}
+	got := a.Add(b)
+	want := OpCounts{MVMRows: 11, DACSettles: 22, ADCConversions: 33, ComparatorFires: 44, MRCoeffHolds: 55}
+	if got != want {
+		t.Fatalf("Add = %+v, want %+v", got, want)
+	}
+	if s := a.Scale(3); s != (OpCounts{MVMRows: 3, DACSettles: 6, ADCConversions: 9, ComparatorFires: 12, MRCoeffHolds: 15}) {
+		t.Fatalf("Scale(3) = %+v", s)
+	}
+	if !(OpCounts{}).IsZero() || a.IsZero() {
+		t.Fatal("IsZero misclassifies")
+	}
+	so := StageOps{Capture: a, Infer: b}
+	if so.Total() != want {
+		t.Fatalf("StageOps.Total = %+v, want %+v", so.Total(), want)
+	}
+	for _, k := range []string{"mvm_rows=1", "dac_settles=2", "adc_conversions=3", "comparator_fires=4", "mr_coeff_holds=5"} {
+		if !strings.Contains(a.String(), k) {
+			t.Fatalf("String() = %q missing %q", a.String(), k)
+		}
+	}
+}
+
+func TestTraceOpsSumsSpans(t *testing.T) {
+	tr := Trace{Spans: []Span{
+		{Stage: "capture", Ops: OpCounts{ComparatorFires: 7}},
+		{Stage: "compress", Ops: OpCounts{MVMRows: 2, ADCConversions: 2, MRCoeffHolds: 8}},
+	}}
+	got := tr.Ops()
+	if got != (OpCounts{MVMRows: 2, ADCConversions: 2, ComparatorFires: 7, MRCoeffHolds: 8}) {
+		t.Fatalf("Trace.Ops = %+v", got)
+	}
+}
+
+func TestNewIDUniqueAndWellFormed(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if len(id) != 16 {
+			t.Fatalf("id %q not 16 hex digits", id)
+		}
+		for _, c := range id {
+			if !strings.ContainsRune("0123456789abcdef", c) {
+				t.Fatalf("id %q has non-hex rune %q", id, c)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRingEvictsOldestFirst(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(Trace{Endpoint: string(rune('a' + i))})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+	snap := r.Snapshot()
+	var got []string
+	for _, tr := range snap {
+		got = append(got, tr.Endpoint)
+	}
+	if strings.Join(got, "") != "cde" {
+		t.Fatalf("Snapshot order = %v, want oldest-first c d e", got)
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	r.Add(Trace{Endpoint: "x"})
+	r.Add(Trace{Endpoint: "y"})
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Endpoint != "x" || snap[1].Endpoint != "y" {
+		t.Fatalf("partial snapshot = %+v", snap)
+	}
+}
+
+func TestNilRingIsNoOp(t *testing.T) {
+	var r *Ring
+	r.Add(Trace{}) // must not panic
+	if r.Len() != 0 || r.Total() != 0 || r.Snapshot() != nil {
+		t.Fatal("nil ring not inert")
+	}
+	if NewRing(0) != nil || NewRing(-1) != nil {
+		t.Fatal("non-positive capacity should return the nil ring")
+	}
+}
+
+func TestRingConcurrentAdds(t *testing.T) {
+	r := NewRing(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(Trace{ID: NewID()})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", r.Total())
+	}
+	if r.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", r.Len())
+	}
+}

@@ -104,6 +104,15 @@ type ServeOptions struct {
 	// DefaultAgreementFrames; negative skips the measurement (models
 	// list without a reference_agreement field).
 	AgreementFrames int
+	// TraceEntries sizes the GET /debug/traces ring of per-request
+	// traces (default 256; negative disables retention — response
+	// headers are still set). See docs/OBSERVABILITY.md.
+	TraceEntries int
+	// Debug mounts the opt-in debug mux: net/http/pprof under
+	// /debug/pprof/ and the runtime snapshot at /debug/runtime. Off by
+	// default — profiling endpoints do not belong on an unauthenticated
+	// production surface.
+	Debug bool
 }
 
 // NewServer builds the HTTP serving layer over this accelerator. The
@@ -205,11 +214,17 @@ func (a *Accelerator) NewServer(opts ServeOptions) (*Server, error) {
 		Seed:          a.cfg.Seed,
 		Deterministic: a.cfg.Fidelity != PhysicalNoisy,
 		Simulate:      a.Simulate,
+		// The observability layer prices every request with this
+		// accelerator's energy model at its configured weight precision.
+		Energy: a.params,
+		WBits:  a.cfg.Precision.WBits,
 	}, server.Config{
 		BatchSize:    opts.BatchSize,
 		BatchDelay:   opts.BatchDelay,
 		Queue:        opts.Queue,
 		MaxBatches:   opts.MaxBatches,
 		CacheEntries: opts.CacheEntries,
+		TraceEntries: opts.TraceEntries,
+		Debug:        opts.Debug,
 	})
 }
