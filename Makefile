@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race linkcheck metricscheck paper bench bench-pipeline bench-kernels bench-infer bench-profile benchdiff serve
+.PHONY: check vet build test test-race linkcheck metricscheck fuzz paper bench bench-pipeline bench-kernels bench-infer bench-profile benchdiff serve
 
 check: vet build test-race linkcheck metricscheck
 
@@ -20,6 +20,15 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Coverage-guided fuzz smoke over the wire codecs and the /v1/process
+# JSON decoder (seed corpora in internal/server/testdata/fuzz). Each
+# target needs its own invocation: -fuzz accepts exactly one match.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzDecodeImage$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzProcessRequest$$' -fuzztime $(FUZZTIME)
 
 # Fail on broken relative links in the repo's markdown files.
 linkcheck:

@@ -83,6 +83,15 @@ type kernelBenchRecord struct {
 	EnergyJPerRequest float64              `json:"energy_j_per_request"`
 	ModeledKFPSPerW   float64              `json:"modeled_kfps_per_w"`
 	Pipeline          pipeline.StatsReport `json:"pipeline"`
+	// SolverPassesPerSample is the realized average optical pass count per
+	// compressed sample over this sweep, reported only for iterative
+	// solvers (omitted for single-pass kernels). For fixed-count Landweber
+	// this is the constant 2·iters; for reconstruct-cg it is where the
+	// adaptive stopping rule becomes visible in bench JSON. New optional
+	// fields are safe: benchdiff ignores unknown baseline fields.
+	SolverPassesPerSample float64 `json:"solver_passes_per_sample,omitempty"`
+	// SolverSamples is the sample count behind that average.
+	SolverSamples uint64 `json:"solver_samples,omitempty"`
 }
 
 // inferBenchRecord is one inference model's throughput/accuracy record:
@@ -178,6 +187,12 @@ func runKernelSweep(acc *lightator.Accelerator, scenes []*lightator.Image, worke
 		if err != nil {
 			return nil, err
 		}
+		// Snapshot the solver's lifetime pass totals around the run so the
+		// record reflects only this sweep's samples.
+		passes0, samples0, iterative, err := acc.KernelSolverPasses(name)
+		if err != nil {
+			return nil, err
+		}
 		results, stats, err := p.Run(scenes)
 		if err != nil {
 			return nil, err
@@ -189,14 +204,25 @@ func runKernelSweep(acc *lightator.Accelerator, scenes []*lightator.Image, worke
 		}
 		rep := stats.Report()
 		j, kfpsPerW := modeledEnergy(p, params, wBits)
-		records = append(records, kernelBenchRecord{
+		rec := kernelBenchRecord{
 			Kernel:            name,
 			Description:       desc,
 			FPS:               rep.FPS,
 			EnergyJPerRequest: j,
 			ModeledKFPSPerW:   kfpsPerW,
 			Pipeline:          rep,
-		})
+		}
+		if iterative {
+			passes1, samples1, _, err := acc.KernelSolverPasses(name)
+			if err != nil {
+				return nil, err
+			}
+			if n := samples1 - samples0; n > 0 {
+				rec.SolverPassesPerSample = float64(passes1-passes0) / float64(n)
+				rec.SolverSamples = n
+			}
+		}
+		records = append(records, rec)
 	}
 	return records, nil
 }
@@ -350,10 +376,14 @@ func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep, infer
 	if kernelRecords != nil {
 		fmt.Println("== compressed-domain kernel sweep ==")
 		for _, r := range kernelRecords {
-			fmt.Printf("%-18s %8.1f frames/sec  kernel-stage p50<=%v p99<=%v\n",
+			solver := ""
+			if r.SolverSamples > 0 {
+				solver = fmt.Sprintf("  %.1f passes/sample", r.SolverPassesPerSample)
+			}
+			fmt.Printf("%-18s %8.1f frames/sec  kernel-stage p50<=%v p99<=%v%s\n",
 				r.Kernel, r.FPS,
 				time.Duration(r.Pipeline.Kernel.P50NS).Round(time.Microsecond),
-				time.Duration(r.Pipeline.Kernel.P99NS).Round(time.Microsecond))
+				time.Duration(r.Pipeline.Kernel.P99NS).Round(time.Microsecond), solver)
 		}
 	}
 	if inferRecords != nil {

@@ -1,0 +1,88 @@
+//go:build !race
+
+// Steady-state allocation pins for the iterative solver loops, in the
+// spirit of internal/oc/alloc_test.go: once the scratch arena and the
+// Applier pools are warm, solving one compressed sample allocates
+// nothing, in Ideal and PhysicalNoisy fidelity. (The direct kernels'
+// per-window path is LinOp.Apply over Applier.ApplySeededInto, whose
+// zero-alloc contract is pinned in internal/oc.) The race detector
+// instruments allocations, so these run only in the plain test pass.
+package kernels
+
+import (
+	"testing"
+
+	"lightator/internal/oc"
+)
+
+func solverAllocCore(t *testing.T, fid oc.Fidelity) *oc.Core {
+	t.Helper()
+	core, err := oc.NewCore(4, 4, fid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core
+}
+
+// TestCGSolveAllocFree pins the reconstruct-cg steady state: a warmed-up
+// CGNR solve performs zero heap allocations per sample.
+func TestCGSolveAllocFree(t *testing.T) {
+	for _, fid := range []oc.Fidelity{oc.Ideal, oc.PhysicalNoisy} {
+		o, err := NewReconstructCG(solverAllocCore(t, fid), 4, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apply, release := cgOpticalPass(o)
+		defer release()
+		sc := o.getScratch()
+		defer sc.release()
+		if _, err := o.solve(0.7, sc, 1, apply, nil); err != nil { // warm the pools
+			t.Fatal(err)
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(100, func() {
+			i++
+			if _, err := o.solve(0.7, sc, oc.DeriveSeed(1, i), apply, nil); err != nil {
+				panic(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v: CGNR solve allocates %.2f/sample, want 0", fid, allocs)
+		}
+	}
+}
+
+// TestIterateAllocFree pins the same contract for the Landweber loop.
+func TestIterateAllocFree(t *testing.T) {
+	for _, fid := range []oc.Fidelity{oc.Ideal, oc.PhysicalNoisy} {
+		o, err := NewReconstructIter(solverAllocCore(t, fid), 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := o.(*IterOp)
+		fwd, adj := k.fwd.NewApplier(), k.adj.NewApplier()
+		defer fwd.Release()
+		defer adj.Release()
+		apply := func(pm *oc.ProgrammedMatrix, dst, in []float64, seed int64) error {
+			if pm == k.fwd {
+				return fwd.ApplySeededInto(dst, in, seed)
+			}
+			return adj.ApplySeededInto(dst, in, seed)
+		}
+		sc := k.getScratch()
+		defer sc.release()
+		if err := k.iterate(0.7, sc, 1, apply); err != nil { // warm the pools
+			t.Fatal(err)
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(100, func() {
+			i++
+			if err := k.iterate(0.7, sc, oc.DeriveSeed(1, i), apply); err != nil {
+				panic(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v: Landweber iterate allocates %.2f/sample, want 0", fid, allocs)
+		}
+	}
+}

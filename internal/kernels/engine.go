@@ -21,12 +21,14 @@ type Engine struct {
 // NewEngine builds the registry over the core for a CA pooling factor of
 // poolN (even, >= 2 — the compressed plane's provenance). Built-ins:
 //
-//	reconstruct       closed-form least-squares expansion to the full plane
-//	reconstruct-iter  Landweber iterative reconstruction (optical fwd/adjoint)
-//	edge              3x3 Laplacian edge detector (signed output)
-//	downsample2x      2x2 average pooling, stride 2 (compounds the CA ratio)
-//	denoise           3x3 Gaussian blur
-//	sharpen           3x3 unsharp mask, built through the generic BlockConv path
+//	reconstruct         closed-form least-squares expansion to the full plane
+//	reconstruct-direct  exact least-squares via the factorized CA Gram system
+//	reconstruct-iter    Landweber iterative reconstruction (optical fwd/adjoint)
+//	reconstruct-cg      CGNR iterative reconstruction with convergence stopping
+//	edge                3x3 Laplacian edge detector (signed output)
+//	downsample2x        2x2 average pooling, stride 2 (compounds the CA ratio)
+//	denoise             3x3 Gaussian blur
+//	sharpen             3x3 unsharp mask, built through the generic BlockConv path
 func NewEngine(core *oc.Core, poolN int) (*Engine, error) {
 	if core == nil {
 		return nil, fmt.Errorf("kernels: engine needs an optical core")
@@ -37,7 +39,15 @@ func NewEngine(core *oc.Core, poolN int) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	direct, err := NewReconstructDirect(core, poolN)
+	if err != nil {
+		return nil, err
+	}
 	it, err := NewReconstructIter(core, poolN, 0)
+	if err != nil {
+		return nil, err
+	}
+	cg, err := NewReconstructCG(core, poolN, 0, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +75,7 @@ func NewEngine(core *oc.Core, poolN int) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, k := range []Kernel{rec, it, edge, down, den, sharp} {
+	for _, k := range []Kernel{rec, direct, it, cg, edge, down, den, sharp} {
 		if err := e.Register(k); err != nil {
 			return nil, err
 		}

@@ -3,12 +3,43 @@ package kernels_test
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"lightator/internal/kernels"
 	"lightator/internal/oc"
 	"lightator/internal/sensor"
 )
+
+// builtinTol is the single source of truth for the built-in kernel set
+// and each kernel's optical-vs-reference tolerance. It is checked in
+// BOTH directions: TestEngineRegistry fails when the engine registers a
+// kernel with no entry here (a new kernel cannot silently ship without a
+// tolerance, i.e. untested), and when an entry names a kernel the engine
+// no longer registers. Bounds sit ~2x above the measured 8-bit
+// quantization error (flat across CR thanks to the full-scale weight
+// normalisation); a scale or seeding regression trips them immediately.
+var builtinTol = map[string]float64{
+	"reconstruct":        0.01,
+	"reconstruct-direct": 0.01,
+	"reconstruct-iter":   0.015,
+	"reconstruct-cg":     0.015,
+	"edge":               0.12,
+	"sharpen":            0.1,
+	"denoise":            0.01,
+	"downsample2x":       0.005,
+}
+
+// builtinNames returns the expected registry contents, derived from the
+// tolerance table so the two can never drift apart.
+func builtinNames() []string {
+	names := make([]string, 0, len(builtinTol))
+	for name := range builtinTol {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // newCore builds a core or fails the test.
 func newCore(t *testing.T, wBits, aBits int, fid oc.Fidelity) *oc.Core {
@@ -85,17 +116,6 @@ func maxAbsDiff(t *testing.T, a, b *sensor.Image) float64 {
 // CR-independent (without it the CA adjoint's 1/N² entries would drown
 // in weight quantization at CR 16).
 func TestKernelsMatchReference(t *testing.T) {
-	// Bounds sit ~2x above the measured 8-bit quantization error (which is
-	// flat across CR thanks to the full-scale normalisation); a scale or
-	// seeding regression trips them immediately.
-	tol := map[string]float64{
-		"reconstruct":      0.01,
-		"reconstruct-iter": 0.015,
-		"edge":             0.12,
-		"sharpen":          0.1,
-		"denoise":          0.01,
-		"downsample2x":     0.005,
-	}
 	core := newCore(t, 8, 8, oc.Ideal)
 	for _, pool := range []int{4, 8, 16} {
 		eng, err := kernels.NewEngine(core, pool)
@@ -104,6 +124,10 @@ func TestKernelsMatchReference(t *testing.T) {
 		}
 		plane := caPlane(t, core, 64, 64, pool, int64(1000+pool))
 		for _, name := range eng.Names() {
+			bound, ok := builtinTol[name]
+			if !ok {
+				t.Fatalf("kernel %q has no tolerance entry in builtinTol; every registered kernel must be covered", name)
+			}
 			k, err := eng.Kernel(name)
 			if err != nil {
 				t.Fatal(err)
@@ -123,9 +147,9 @@ func TestKernelsMatchReference(t *testing.T) {
 			if got.H != wantH || got.W != wantW {
 				t.Fatalf("pool %d %s: output %dx%d, OutDims says %dx%d", pool, name, got.H, got.W, wantH, wantW)
 			}
-			if d := maxAbsDiff(t, got, want); d > tol[name] {
+			if d := maxAbsDiff(t, got, want); d > bound {
 				t.Errorf("pool %d (CR %d): kernel %s diverges from dense reference: max |diff| = %g > %g",
-					pool, pool, name, d, tol[name])
+					pool, pool, name, d, bound)
 			}
 		}
 	}
@@ -259,7 +283,7 @@ func TestEngineRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 	names := eng.Names()
-	want := []string{"denoise", "downsample2x", "edge", "reconstruct", "reconstruct-iter", "sharpen"}
+	want := builtinNames()
 	if len(names) != len(want) {
 		t.Fatalf("registered kernels %v, want %v", names, want)
 	}

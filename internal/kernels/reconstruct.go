@@ -80,6 +80,7 @@ type IterOp struct {
 	wmax  float64
 	fwd   *oc.ProgrammedMatrix // 1 x n²: the CA row w
 	adj   *oc.ProgrammedMatrix // n² x 1: the CA column wᵀ
+	stats solverCounters
 }
 
 // DefaultLandweberIters is the default iteration count: with the default
@@ -269,9 +270,15 @@ func (o *IterOp) run(plane *sensor.Image, seed int64, workers int, newApply func
 	return out, nil
 }
 
+// PassTotals implements SolverStats: the fixed-count Landweber loop
+// always runs 2·iters optical passes per sample.
+func (o *IterOp) PassTotals() (passes, samples uint64) {
+	return o.stats.PassTotals()
+}
+
 // Apply implements Kernel: every pass runs through the optical core.
 func (o *IterOp) Apply(plane *sensor.Image, seed int64, workers int) (*sensor.Image, error) {
-	return o.run(plane, seed, workers, func() (passFn, func()) {
+	out, err := o.run(plane, seed, workers, func() (passFn, func()) {
 		fwd, adj := o.fwd.NewApplier(), o.adj.NewApplier()
 		apply := func(pm *oc.ProgrammedMatrix, dst, in []float64, seed int64) error {
 			if pm == o.fwd {
@@ -284,6 +291,11 @@ func (o *IterOp) Apply(plane *sensor.Image, seed int64, workers int) (*sensor.Im
 			adj.Release()
 		}
 	})
+	if err == nil {
+		samples := uint64(plane.H) * uint64(plane.W)
+		o.stats.add(samples*uint64(2*o.iters), samples)
+	}
+	return out, err
 }
 
 // Reference implements Kernel: the same Landweber loop in exact float

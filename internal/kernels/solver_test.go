@@ -1,0 +1,334 @@
+// White-box tests of the solver machinery: the Gaussian-elimination
+// factorization behind reconstruct-direct and the CGNR loop behind
+// reconstruct-cg (residual monotonicity, stopping-rule behavior at loose
+// vs tight tolerances, multi-row Gram solves).
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lightator/internal/oc"
+	"lightator/internal/sensor"
+)
+
+func solverTestCore(t *testing.T, wBits, aBits int, fid oc.Fidelity) *oc.Core {
+	t.Helper()
+	core, err := oc.NewCore(wBits, aBits, fid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core
+}
+
+// TestSolveLinear pins the Gaussian-elimination direct solver on systems
+// with known solutions, including one whose natural order has a zero
+// leading pivot (partial pivoting required) and a singular one.
+func TestSolveLinear(t *testing.T) {
+	// 2x2, needs the row swap: a[0][0] == 0.
+	x, err := solveLinear(
+		[][]float64{{0, 2}, {3, 1}},
+		[][]float64{{4}, {5}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3x = 5 - 1*x1, 2*x1 = 4 -> x1 = 2, x0 = 1.
+	if math.Abs(x[0][0]-1) > 1e-12 || math.Abs(x[1][0]-2) > 1e-12 {
+		t.Errorf("pivoted 2x2 solve = %v, want [[1] [2]]", x)
+	}
+	// 3x3 with two right-hand sides, checked by residual g·x - b = 0.
+	g := [][]float64{{4, 1, 0}, {1, 3, 1}, {0, 1, 2}}
+	b := [][]float64{{1, 0}, {0, 1}, {2, -1}}
+	x, err = solveLinear(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g {
+		for c := range b[0] {
+			sum := 0.0
+			for k := range g[i] {
+				sum += g[i][k] * x[k][c]
+			}
+			if math.Abs(sum-b[i][c]) > 1e-12 {
+				t.Errorf("3x3 residual at (%d,%d): %g", i, c, sum-b[i][c])
+			}
+		}
+	}
+	// Singular: second row is a multiple of the first.
+	if _, err := solveLinear([][]float64{{1, 2}, {2, 4}}, [][]float64{{1}, {2}}); err == nil {
+		t.Error("singular system solved without error")
+	} else if !strings.Contains(err.Error(), "linearly dependent") {
+		t.Errorf("singular system error %q does not name the cause", err)
+	}
+}
+
+// TestGramSolverMultiRow pins the tentpole generalization: a sensing
+// configuration with k² > 1 measurements per window — rows that share
+// pixels, beyond the rank-1 block-diagonal CA — still solves exactly.
+func TestGramSolverMultiRow(t *testing.T) {
+	core := solverTestCore(t, 8, 8, oc.Ideal)
+
+	// Square invertible case: 4 measurements of a 2x2 pixel block. Least
+	// squares is the exact inverse, so reconstruction recovers any block.
+	phi := [][]float64{
+		{0.5, 0.25, 0.15, 0.10}, // overlapping rows: every row reads every pixel
+		{0.10, 0.5, 0.25, 0.15},
+		{0.15, 0.10, 0.5, 0.25},
+		{0.25, 0.15, 0.10, 0.5},
+	}
+	k, err := NewGramSolver(core, "multirow", "4-row overlapping sensing", phi, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	truth := sensor.NewImage(6, 6, 1)
+	for i := range truth.Pix {
+		truth.Pix[i] = rng.Float64()
+	}
+	// Compress: each 2x2 pixel block becomes a 2x2 window of measurements.
+	meas := sensor.NewImage(6, 6, 1)
+	for wy := 0; wy < 3; wy++ {
+		for wx := 0; wx < 3; wx++ {
+			var x [4]float64
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					x[dy*2+dx] = truth.Pix[(wy*2+dy)*6+wx*2+dx]
+				}
+			}
+			for r := 0; r < 4; r++ {
+				sum := 0.0
+				for c := 0; c < 4; c++ {
+					sum += phi[r][c] * x[c]
+				}
+				meas.Pix[(wy*2+r/2)*6+wx*2+r%2] = sum
+			}
+		}
+	}
+	got, err := k.Reference(meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth.Pix {
+		if d := math.Abs(got.Pix[i] - truth.Pix[i]); d > 1e-9 {
+			t.Fatalf("multi-row exact solve diverges at %d: |diff| = %g", i, d)
+		}
+	}
+
+	// Underdetermined case (m < d): 4 measurements of a 3x3 block. The
+	// min-norm solution must still satisfy Φx̂ = y exactly.
+	under := make([][]float64, 4)
+	urng := rand.New(rand.NewSource(23))
+	for r := range under {
+		under[r] = make([]float64, 9)
+		for c := range under[r] {
+			under[r][c] = urng.Float64()
+		}
+	}
+	ku, err := NewGramSolver(core, "underdet", "4 measurements per 3x3 block", under, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	my := sensor.NewImage(2, 2, 1)
+	for i := range my.Pix {
+		my.Pix[i] = urng.Float64()
+	}
+	xh, err := ku.Reference(my)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One window (the single 2x2 measurement window) -> one 3x3 block.
+	for r := 0; r < 4; r++ {
+		y := my.Pix[(r/2)*2+r%2]
+		sum := 0.0
+		for c := 0; c < 9; c++ {
+			sum += under[r][c] * xh.Pix[(c/3)*3+c%3]
+		}
+		if d := math.Abs(sum - y); d > 1e-9 {
+			t.Errorf("min-norm solution violates Φx̂ = y at row %d: |diff| = %g", r, d)
+		}
+	}
+
+	// Rank-deficient sensing rows must be rejected at construction.
+	dep := [][]float64{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{1, 1, 0, 0}, // row0 + row1
+		{0, 0, 1, 0},
+	}
+	if _, err := NewGramSolver(core, "dependent", "", dep, 2, 2, 0); err == nil {
+		t.Error("linearly dependent sensing rows accepted")
+	}
+	// More measurements than pixels can never have a full-rank Gram.
+	over := [][]float64{{1}, {2}, {3}, {4}}
+	if _, err := NewGramSolver(core, "over", "", over, 2, 2, 0); err == nil {
+		t.Error("overdetermined (m > d) sensing matrix accepted")
+	}
+}
+
+// cgOpticalPass builds the same optical pass executor CGOp.Apply uses,
+// for driving solve directly in tests.
+func cgOpticalPass(o *CGOp) (passFn, func()) {
+	fwd, adj := o.fwd.NewApplier(), o.adj.NewApplier()
+	apply := func(pm *oc.ProgrammedMatrix, dst, in []float64, seed int64) error {
+		if pm == o.fwd {
+			return fwd.ApplySeededInto(dst, in, seed)
+		}
+		return adj.ApplySeededInto(dst, in, seed)
+	}
+	return apply, func() {
+		fwd.Release()
+		adj.Release()
+	}
+}
+
+// TestCGResidualMonotone: the committed residual trace decreases
+// strictly monotonically — by construction (a non-improving iterate is
+// never committed), but this pins that the construction survives
+// refactors — in exact arithmetic and on the noisy optical path.
+func TestCGResidualMonotone(t *testing.T) {
+	// A tight tolerance and a generous cap force the loop to run until the
+	// no-progress rule fires, which is where monotonicity would break.
+	core := solverTestCore(t, 4, 4, oc.PhysicalNoisy)
+	o, err := NewReconstructCG(core, 4, 32, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply, release := cgOpticalPass(o)
+	defer release()
+	sc := o.getScratch()
+	defer sc.release()
+	for i, y := range []float64{1, 0.7, 0.31, 0.05} {
+		var trace []float64
+		if _, err := o.solve(y, sc, oc.DeriveSeed(99, i), apply, &trace); err != nil {
+			t.Fatal(err)
+		}
+		if len(trace) < 2 {
+			t.Fatalf("y=%g: no committed iterations (trace %v)", y, trace)
+		}
+		for j := 1; j < len(trace); j++ {
+			if !(trace[j] < trace[j-1]) {
+				t.Errorf("y=%g: residual trace not strictly decreasing at step %d: %v", y, j, trace)
+			}
+		}
+	}
+	// Exact arithmetic: the rank-1 system converges in exactly one
+	// iteration, to zero residual.
+	var trace []float64
+	if _, err := o.solve(0.8, sc, 0, o.exactPass, &trace); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 || trace[1] > 1e-12 {
+		t.Errorf("exact CGNR should converge in one iteration to zero residual, trace %v", trace)
+	}
+}
+
+// TestCGStoppingRule: a loose tolerance stops in fewer optical passes
+// than a tight one, the loose stop actually satisfies its tolerance, and
+// the iteration cap bounds the pass count when the tolerance is
+// unreachable.
+func TestCGStoppingRule(t *testing.T) {
+	core := solverTestCore(t, 4, 4, oc.PhysicalNoisy)
+	runOne := func(maxIters int, tol float64, y float64, seed int64) (passes int, trace []float64) {
+		t.Helper()
+		o, err := NewReconstructCG(core, 4, maxIters, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apply, release := cgOpticalPass(o)
+		defer release()
+		sc := o.getScratch()
+		defer sc.release()
+		passes, err = o.solve(y, sc, seed, apply, &trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return passes, trace
+	}
+	const y = 0.9
+	loosePasses, looseTrace := runOne(32, 0.5, y, 7)
+	tightPasses, tightTrace := runOne(32, 1e-12, y, 7)
+	if loosePasses >= tightPasses {
+		t.Errorf("loose tolerance used %d passes, tight used %d; loose must stop earlier", loosePasses, tightPasses)
+	}
+	if last := looseTrace[len(looseTrace)-1]; last > 0.5*y {
+		t.Errorf("loose stop at |r| = %g does not satisfy tol·|y| = %g", last, 0.5*y)
+	}
+	if lastT, lastL := tightTrace[len(tightTrace)-1], looseTrace[len(looseTrace)-1]; lastT > lastL {
+		t.Errorf("tight tolerance finished at residual %g, worse than loose %g", lastT, lastL)
+	}
+	// Cap: 1 initial adjoint + per iteration at most 2 forward + 1 adjoint.
+	capped, _ := runOne(2, 1e-12, y, 7)
+	if max := 1 + 2*3; capped > max {
+		t.Errorf("maxIters=2 ran %d passes, cap is %d", capped, max)
+	}
+	// Degenerate sample: y = 0 is solved exactly by x = 0, zero passes.
+	if passes, _ := runOne(4, 1e-3, 0, 7); passes != 0 {
+		t.Errorf("y=0 used %d optical passes, want 0", passes)
+	}
+}
+
+// TestCGHalvesLandweberPasses pins the acceptance criterion:
+// reconstruct-cg reaches reconstruct-iter's accuracy within at most half
+// of its optical passes (Landweber: 2·12 = 24 per sample, so CG must
+// average <= 12 — in practice it sits near 3).
+func TestCGHalvesLandweberPasses(t *testing.T) {
+	for _, fid := range []oc.Fidelity{oc.Ideal, oc.Physical, oc.PhysicalNoisy} {
+		core := solverTestCore(t, 8, 8, fid)
+		cg, err := NewReconstructCG(core, 4, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err := NewReconstructIter(core, 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		plane := sensor.NewImage(12, 12, 1)
+		for i := range plane.Pix {
+			plane.Pix[i] = rng.Float64()
+		}
+		exact, err := cg.Reference(plane)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxErr := func(img *sensor.Image) float64 {
+			max := 0.0
+			for i := range img.Pix {
+				if d := math.Abs(img.Pix[i] - exact.Pix[i]); d > max {
+					max = d
+				}
+			}
+			return max
+		}
+		cgOut, err := cg.Apply(plane, 0x5eed, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		itOut, err := it.Apply(plane, 0x5eed, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// "Reaches reconstruct-iter's accuracy": CG's error vs the exact
+		// least-squares solution is no worse than Landweber's (small slack
+		// for noise realizations drawn from different pass streams).
+		if ce, ie := maxErr(cgOut), maxErr(itOut); ce > ie*1.25+1e-9 {
+			t.Errorf("%v: CG error %g exceeds Landweber error %g + 25%%", fid, ce, ie)
+		}
+		passes, samples := cg.PassTotals()
+		if samples != uint64(len(plane.Pix)) {
+			t.Fatalf("%v: PassTotals samples = %d, want %d", fid, samples, len(plane.Pix))
+		}
+		itPasses, itSamples := it.(*IterOp).PassTotals()
+		if itSamples != samples || itPasses != samples*uint64(2*DefaultLandweberIters) {
+			t.Fatalf("%v: Landweber PassTotals = %d/%d, want %d/%d",
+				fid, itPasses, itSamples, samples*uint64(2*DefaultLandweberIters), samples)
+		}
+		if avg, half := float64(passes)/float64(samples), float64(DefaultLandweberIters); avg > half {
+			t.Errorf("%v: CG averaged %.2f optical passes per sample, acceptance bound is %.0f (half of Landweber's %d)",
+				fid, avg, half, 2*DefaultLandweberIters)
+		}
+	}
+}

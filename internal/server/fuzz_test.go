@@ -1,0 +1,167 @@
+// Native Go fuzz targets for the wire codecs and the server's JSON
+// decoding: malformed base64, dimension, and body payloads must come
+// back as errors (HTTP 4xx at the handler), never as panics. Seed
+// corpora live under testdata/fuzz/<FuzzName>/ and run as ordinary unit
+// cases during `go test`; `make fuzz` (and the ci.yml fuzz-smoke job)
+// runs each target through the coverage-guided fuzzer for a short burst.
+//
+// Like every server test this is package server_test: the process
+// target drives a real accelerator through the public facade. The
+// handler is invoked directly via httptest.NewRecorder — not through a
+// live listener — so a handler panic reaches the fuzzer instead of being
+// swallowed by net/http's connection-level recover.
+package server_test
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lightator"
+	"lightator/internal/server"
+)
+
+// FuzzDecodeImage: DecodeImage either rejects the wire form with an
+// error or produces an image that re-encodes to the same canonical wire
+// form (the codec is lossless, bit-for-bit, including NaN payloads).
+func FuzzDecodeImage(f *testing.F) {
+	valid := server.EncodeImage(testScene(1, 2, 3))
+	f.Add(valid.H, valid.W, valid.C, valid.Pix)
+	f.Add(0, 4, 1, "")                   // zero dim
+	f.Add(-1, 4, 3, valid.Pix)           // negative dim
+	f.Add(1<<20, 1<<20, 3, valid.Pix)    // dims beyond maxWireDim
+	f.Add(2, 3, 2, valid.Pix)            // invalid channel count
+	f.Add(2, 3, 1, "!!! not base64 !!!") // undecodable payload
+	f.Add(2, 3, 1, "AAAA")               // wrong payload length
+	f.Fuzz(func(t *testing.T, h, w, c int, pix string) {
+		im, err := server.DecodeImage(server.ImageWire{H: h, W: w, C: c, Pix: pix})
+		if err != nil {
+			return
+		}
+		if im.H != h || im.W != w || im.C != c || len(im.Pix) != h*w*c {
+			t.Fatalf("decoded image %dx%dx%d (%d samples) from wire %dx%dx%d", im.H, im.W, im.C, len(im.Pix), h, w, c)
+		}
+		back, err := server.DecodeImage(server.EncodeImage(im))
+		if err != nil {
+			t.Fatalf("re-encoded image failed to decode: %v", err)
+		}
+		for i := range im.Pix {
+			if math.Float64bits(back.Pix[i]) != math.Float64bits(im.Pix[i]) {
+				t.Fatalf("sample %d not bit-identical through the codec: %x vs %x",
+					i, math.Float64bits(back.Pix[i]), math.Float64bits(im.Pix[i]))
+			}
+		}
+	})
+}
+
+// FuzzDecodeFrame: same contract for the 4-bit frame codec.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(2, 2, "AAAA")              // 4 bytes decode to 3 — wrong length
+	f.Add(2, 3, "AAAAAAAA")          // 8 bytes decode to 6 codes: valid
+	f.Add(0, 2, "")                  // zero dim
+	f.Add(-3, -3, "AAAA")            // negative dims
+	f.Add(1<<20, 2, "AAAA")          // beyond maxWireDim
+	f.Add(2, 2, "not base64 at all") // undecodable payload
+	f.Fuzz(func(t *testing.T, rows, cols int, codes string) {
+		fr, err := server.DecodeFrame(server.FrameWire{Rows: rows, Cols: cols, Codes: codes})
+		if err != nil {
+			return
+		}
+		if fr.Rows != rows || fr.Cols != cols || len(fr.Codes) != rows*cols {
+			t.Fatalf("decoded frame %dx%d (%d codes) from wire %dx%d", fr.Rows, fr.Cols, len(fr.Codes), rows, cols)
+		}
+		again, err := server.DecodeFrame(server.EncodeFrame(fr))
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		for i := range fr.Codes {
+			if again.Codes[i] != fr.Codes[i] {
+				t.Fatalf("code %d changed through the codec: %d vs %d", i, again.Codes[i], fr.Codes[i])
+			}
+		}
+	})
+}
+
+// fuzzHandler lazily stands up one shared accelerator + server per
+// process for the process-endpoint target. No Drain: the fuzz process
+// exits with the server's goroutines still serving, which is fine — the
+// target never shuts the server down mid-run.
+var (
+	fuzzOnce    sync.Once
+	fuzzProcess http.Handler
+	fuzzErr     error
+)
+
+func fuzzProcessHandler() (http.Handler, error) {
+	fuzzOnce.Do(func() {
+		cfg := lightator.DefaultConfig()
+		cfg.SensorRows, cfg.SensorCols = 16, 16
+		acc, err := lightator.New(cfg)
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		srv, err := acc.NewServer(lightator.ServeOptions{
+			Workers: 1, BatchSize: 1, BatchDelay: time.Millisecond,
+			AgreementFrames: -1, CacheEntries: -1,
+		})
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		fuzzProcess = srv.Handler()
+	})
+	return fuzzProcess, fuzzErr
+}
+
+// FuzzProcessRequest throws arbitrary bodies at POST /v1/process: every
+// response must be a well-formed status < 500 — malformed JSON, bad
+// dimensions, undecodable pixels, and unknown kernels are all client
+// errors — and a 200 must carry a decodable ProcessResponse plane.
+func FuzzProcessRequest(f *testing.F) {
+	scene := server.EncodeImage(testScene(3, 16, 16))
+	for _, kernel := range []string{"reconstruct", "reconstruct-direct", "reconstruct-cg", "edge"} {
+		body, err := json.Marshal(server.ProcessRequest{Scene: scene, Kernel: kernel})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"scene":{"h":1,"w":1,"c":1,"pix_b64":"zzz"},"kernel":"edge"}`))
+	f.Add([]byte(`{"scene":{"h":-4,"w":70000,"c":3,"pix_b64":""},"kernel":"reconstruct"}`))
+	f.Add([]byte(`{"kernel":"no-such-kernel"}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		h, err := fuzzProcessHandler()
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v1/process", strings.NewReader(string(body)))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("server error %d for body %q: %s", rec.Code, body, rec.Body.String())
+		}
+		if rec.Code == http.StatusOK {
+			var resp server.ProcessResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 with undecodable body: %v", err)
+			}
+			if _, err := server.DecodeImage(resp.Plane); err != nil {
+				t.Fatalf("200 with undecodable plane: %v", err)
+			}
+		} else {
+			var resp server.ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.Error == "" {
+				t.Fatalf("non-200 (%d) without an ErrorResponse body: %q", rec.Code, rec.Body.String())
+			}
+		}
+	})
+}
