@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race linkcheck metricscheck fuzz paper bench bench-pipeline bench-kernels bench-infer bench-profile benchdiff serve
+.PHONY: check vet build test test-race linkcheck metricscheck wirecompat fuzz paper bench bench-pipeline bench-kernels bench-infer bench-stream bench-profile benchdiff serve
 
-check: vet build test-race linkcheck metricscheck
+check: vet build test-race linkcheck metricscheck wirecompat
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +39,12 @@ linkcheck:
 metricscheck:
 	$(GO) run ./cmd/metricscheck
 
+# Wire-compatibility gate: the committed golden bodies under
+# internal/server/testdata/wire/ must keep strict-decoding into the
+# current v1 types (docs/API.md#compatibility).
+wirecompat:
+	$(GO) test ./internal/server -run '^TestWireCompat$$' -count 1
+
 # Regenerate the continuously-verified paper-claims table (markdown;
 # exits non-zero on drift). CI uploads this as the paper-claims artifact.
 paper:
@@ -60,6 +66,11 @@ bench-kernels:
 # agreement (docs/INFER.md).
 bench-infer:
 	$(GO) run ./cmd/lightator-bench -batch 16 -infer
+
+# Streaming session vs per-frame baseline on a mostly-static scene
+# sequence: temporal delta reuse should win (docs/SERVER.md#sessions).
+bench-stream:
+	$(GO) run ./cmd/lightator-bench -stream
 
 # CPU + allocation profiles of the pipeline bench, so the next perf PR
 # starts from a pprof, not a guess (docs/PERF.md explains how to read

@@ -10,10 +10,12 @@
 //	lightator-bench -batch 64 -workers 4    # concurrent pipeline throughput
 //	lightator-bench -batch 64 -json         # machine-readable perf record
 //	lightator-bench -batch 16 -kernels      # + per-kernel compressed-domain sweep
+//	lightator-bench -stream -json           # streaming session vs per-frame baseline (delta reuse)
 //	lightator-bench -paper                  # continuously-verified paper claims (exit 1 on drift)
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -68,6 +70,30 @@ type benchReport struct {
 	// (-infer): one record per registered model, so BENCH_*.json tracks
 	// the /v1/infer hot path and its optical fidelity across PRs.
 	Infer []inferBenchRecord `json:"infer,omitempty"`
+	// Stream holds the streaming-session run (-stream): a mostly-static
+	// scene sequence through one /v1/session-style session with temporal
+	// delta reuse, against the per-frame calls the session's byte-identity
+	// contract quotes. New optional fields are safe: benchdiff ignores
+	// unknown baseline fields.
+	Stream *streamBenchRecord `json:"stream,omitempty"`
+}
+
+// streamBenchRecord compares a streaming session (persistent seed
+// chain + compressed-domain temporal delta reuse) against the
+// per-frame baseline producing byte-identical output.
+type streamBenchRecord struct {
+	Kernel string `json:"kernel"`
+	Frames int    `json:"frames"`
+	// FPS is the session's streamed throughput; PerFrameFPS is the same
+	// frames as independent per-frame calls with seed DeriveSeed(seed, i).
+	FPS         float64 `json:"fps"`
+	PerFrameFPS float64 `json:"per_frame_fps"`
+	Speedup     float64 `json:"speedup"`
+	// BlocksReusedFrac is the fraction of kernel windows the delta
+	// engine skipped — the temporal redundancy the session harvested.
+	BlocksTotal      int64   `json:"blocks_total"`
+	BlocksReused     int64   `json:"blocks_reused"`
+	BlocksReusedFrac float64 `json:"blocks_reused_frac"`
 }
 
 // kernelBenchRecord is one compressed-domain kernel's throughput record:
@@ -227,6 +253,97 @@ func runKernelSweep(acc *lightator.Accelerator, scenes []*lightator.Image, worke
 	return records, nil
 }
 
+// runStreamBench streams a mostly-static scene sequence (fixed
+// background, a bright square that jumps every few frames — the
+// near-sensor video workload sessions target) through one streaming
+// session, and through the equivalent per-frame calls, returning the
+// comparison record. Output bytes are identical by the session
+// contract; only the work differs.
+func runStreamBench(acc *lightator.Accelerator, frames, workers int, seed int64) (*streamBenchRecord, error) {
+	const kernel = "edge"
+	cfg := acc.Config()
+	rng := rand.New(rand.NewSource(seed))
+	base := lightator.NewImage(cfg.SensorRows, cfg.SensorCols, 3)
+	for i := range base.Pix {
+		base.Pix[i] = rng.Float64()
+	}
+	side := cfg.SensorRows / 8
+	scenes := make([]*lightator.Image, frames)
+	for f := range scenes {
+		s := base.Clone()
+		pos := ((f / 4) * side) % (cfg.SensorRows - side)
+		for y := pos; y < pos+side; y++ {
+			for x := pos; x < pos+side; x++ {
+				for c := 0; c < 3; c++ {
+					s.Pix[(y*cfg.SensorCols+x)*3+c] = 1
+				}
+			}
+		}
+		scenes[f] = s
+	}
+
+	// Per-frame baseline: independent calls with seed DeriveSeed(seed, i)
+	// — exactly what the streamed bytes are defined to match.
+	p, err := acc.NewPipeline(lightator.PipelineOptions{Workers: workers, Kernel: kernel})
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	for i, s := range scenes {
+		results, _, err := p.RunSeeded([]pipeline.SeededScene{{Seed: lightator.DeriveSeed(seed, i), Scene: s}})
+		if err != nil {
+			return nil, err
+		}
+		if results[0].Err != nil {
+			return nil, results[0].Err
+		}
+	}
+	perFrame := time.Since(t0)
+
+	sess, err := acc.NewSession(lightator.SessionOptions{Kind: "process", Kernel: kernel, Seed: &seed, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	in := make(chan *lightator.Image)
+	go func() {
+		defer close(in)
+		for _, s := range scenes {
+			in <- s
+		}
+	}()
+	got := 0
+	t1 := time.Now()
+	err = sess.Stream(context.Background(), in, func(fr lightator.SessionFrameResult) error {
+		if fr.Err != nil {
+			return fr.Err
+		}
+		got++
+		return nil
+	})
+	streamed := time.Since(t1)
+	if err != nil {
+		return nil, err
+	}
+	if got != frames {
+		return nil, fmt.Errorf("stream bench: %d results for %d frames", got, frames)
+	}
+	st := sess.Stats()
+	rec := &streamBenchRecord{
+		Kernel:           kernel,
+		Frames:           frames,
+		FPS:              float64(frames) / streamed.Seconds(),
+		PerFrameFPS:      float64(frames) / perFrame.Seconds(),
+		BlocksTotal:      st.BlocksTotal,
+		BlocksReused:     st.BlocksReused,
+		BlocksReusedFrac: st.ReusedFrac,
+	}
+	if rec.PerFrameFPS > 0 {
+		rec.Speedup = rec.FPS / rec.PerFrameFPS
+	}
+	return rec, nil
+}
+
 // measureMVMAllocs reports the steady-state heap allocations of one
 // seeded MVM into a caller-owned destination — the number the benchdiff
 // allocation gate pins at zero. PhysicalNoisy is the worst case: it
@@ -271,7 +388,7 @@ func measureMVMAllocs(seed int64) (float64, error) {
 // head) at the given worker count, printing measured aggregate FPS with
 // per-stage latency histograms, plus the modeled batch report from the
 // architecture simulator for the same frame count.
-func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep, inferSweep bool) error {
+func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep, inferSweep, streamBench bool) error {
 	cfg := lightator.DefaultConfig()
 	cfg.Seed = seed
 	acc, err := lightator.New(cfg)
@@ -341,6 +458,13 @@ func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep, infer
 			return err
 		}
 	}
+	var streamRecord *streamBenchRecord
+	if streamBench {
+		streamRecord, err = runStreamBench(acc, batch, workers, seed)
+		if err != nil {
+			return err
+		}
+	}
 
 	if asJSON {
 		allocs, err := measureMVMAllocs(seed)
@@ -361,6 +485,7 @@ func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep, infer
 			ModeledKFPSPerW:   kfpsPerW,
 			Kernels:           kernelRecords,
 			Infer:             inferRecords,
+			Stream:            streamRecord,
 		}
 		if out.NumCPU == 1 {
 			out.Caveat = "single-CPU host: worker parallelism cannot speed up this run; measured FPS understates multi-core throughput"
@@ -395,6 +520,12 @@ func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep, infer
 				time.Duration(r.Pipeline.Infer.P99NS).Round(time.Microsecond))
 		}
 	}
+	if streamRecord != nil {
+		fmt.Println("== streaming session (temporal delta reuse) ==")
+		fmt.Printf("%-18s session %8.1f frames/sec  per-frame %8.1f frames/sec  speedup %.2fx  windows reused %.1f%%\n",
+			streamRecord.Kernel, streamRecord.FPS, streamRecord.PerFrameFPS,
+			streamRecord.Speedup, 100*streamRecord.BlocksReusedFrac)
+	}
 	return nil
 }
 
@@ -414,6 +545,7 @@ func realMain() int {
 	asJSON := flag.Bool("json", false, "with -batch: emit a machine-readable report (FPS, per-stage p50/p99, CPU counts) for the BENCH_*.json perf trajectory")
 	kernelSweep := flag.Bool("kernels", false, "with -batch: additionally sweep every registered compressed-domain kernel and report per-kernel throughput")
 	inferSweep := flag.Bool("infer", false, "with -batch: additionally sweep every registered inference model and report per-model throughput and optical-vs-reference agreement")
+	streamBench := flag.Bool("stream", false, "run a streaming session with temporal delta reuse over a mostly-static scene sequence and report session vs per-frame FPS (implies -batch 48 when unset)")
 	paper := flag.Bool("paper", false, "regenerate the continuously-verified paper-claims table (training-free; markdown to stdout, exit 1 on drift)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (go tool pprof; docs/PERF.md)")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile of the run to this file (go tool pprof; docs/PERF.md)")
@@ -460,8 +592,11 @@ func realMain() int {
 		return 0
 	}
 
+	if *streamBench && *batch == 0 {
+		*batch = 48
+	}
 	if *batch > 0 {
-		if err := runPipelineBench(*batch, *workers, *seed, *asJSON, *kernelSweep, *inferSweep); err != nil {
+		if err := runPipelineBench(*batch, *workers, *seed, *asJSON, *kernelSweep, *inferSweep, *streamBench); err != nil {
 			fmt.Fprintf(os.Stderr, "lightator-bench: pipeline: %v\n", err)
 			return 1
 		}

@@ -2,6 +2,7 @@
 // /v1/capture, /v1/compress, /v1/process (compressed-domain kernels;
 // GET /v1/kernels lists the registry), /v1/matvec and /v1/simulate,
 // backed by a dynamic micro-batcher over the concurrent frame pipeline,
+// plus /v1/session streaming video sessions with temporal delta reuse,
 // with /metrics and /healthz for operations. See docs/SERVER.md and
 // docs/API.md.
 //
@@ -10,6 +11,7 @@
 //	lightator-serve -addr :8080
 //	lightator-serve -fidelity physical-noisy -batch 16 -batch-delay 5ms
 //	lightator-serve -rows 64 -cols 64 -capool 4 -queue 256
+//	lightator-serve -max-sessions 32 -session-idle 30s -session-window 4
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, new
 // work is rejected with 503, and in-flight micro-batches drain before the
@@ -48,6 +50,9 @@ func main() {
 	traceEntries := flag.Int("trace-entries", 256, "GET /debug/traces ring capacity (negative disables retention)")
 	debug := flag.Bool("debug", false, "mount the debug mux: /debug/pprof/ and /debug/runtime")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	maxSessions := flag.Int("max-sessions", 0, "concurrently open streaming sessions (0 = default 64)")
+	sessionIdle := flag.Duration("session-idle", 0, "idle expiry for streaming sessions (0 = default 60s, negative disables)")
+	sessionWindow := flag.Int("session-window", 0, "default in-flight frame window per session stream (0 = default 8)")
 	flag.Parse()
 
 	cfg := lightator.DefaultConfig()
@@ -89,6 +94,10 @@ func main() {
 		CacheEntries: *cache,
 		TraceEntries: *traceEntries,
 		Debug:        *debug,
+
+		MaxSessions:        *maxSessions,
+		SessionIdleTimeout: *sessionIdle,
+		SessionWindow:      *sessionWindow,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lightator-serve: %v\n", err)

@@ -95,15 +95,15 @@ func exercise(acc *lightator.Accelerator, base string) error {
 		scene.Pix[i] = rng.Float64()
 	}
 	wire := lightator.EncodeImage(scene)
-	if err := post(base+"/v1/capture", lightator.CaptureRequest{Scene: wire}); err != nil {
+	if err := post(base+"/v1/capture", lightator.NewCaptureRequest(wire, nil)); err != nil {
 		return err
 	}
-	if err := post(base+"/v1/compress", lightator.CompressRequest{Scene: wire}); err != nil {
+	if err := post(base+"/v1/compress", lightator.NewCompressRequest(wire, nil)); err != nil {
 		return err
 	}
 	kernels := acc.Kernels()
 	if len(kernels) > 0 {
-		if err := post(base+"/v1/process", lightator.ProcessRequest{Scene: wire, Kernel: kernels[0]}); err != nil {
+		if err := post(base+"/v1/process", lightator.NewProcessRequest(wire, kernels[0], nil)); err != nil {
 			return err
 		}
 	}

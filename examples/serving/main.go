@@ -66,7 +66,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			body, _ := json.Marshal(lightator.CompressRequest{Scene: lightator.EncodeImage(scenes[i])})
+			body, _ := json.Marshal(lightator.NewCompressRequest(lightator.EncodeImage(scenes[i]), nil))
 			resp, err := http.Post(base+"/v1/compress", "application/json", bytes.NewReader(body))
 			if err != nil {
 				log.Fatal(err)

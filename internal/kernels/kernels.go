@@ -262,6 +262,81 @@ func (o *LinOp) Apply(plane *sensor.Image, seed int64, workers int) (*sensor.Ima
 	return out, nil
 }
 
+// WindowedOp is the optional capability of kernels whose output
+// decomposes into independent windows with a local receptive field —
+// the hook the streaming session layer (internal/session) uses for
+// block-level temporal reuse: when consecutive compressed planes differ
+// only inside some blocks, only the windows whose receptive fields
+// touch those blocks need recomputing; every other window's output is
+// carried forward bit-exactly (window outputs depend only on their own
+// input rectangle, and deterministic fidelities are seed-independent).
+type WindowedOp interface {
+	Kernel
+	// Windows returns the window-grid dimensions for an h x w input
+	// plane; window (wy, wx) is index j = wy*ww + wx.
+	Windows(h, w int) (wh, ww int, err error)
+	// WindowInput returns the half-open input rectangle
+	// [y0, y1) x [x0, x1) window (wy, wx) reads. Padding may push the
+	// rectangle outside the plane; out-of-plane taps are zero and carry
+	// no content, so callers may clip freely.
+	WindowInput(wy, wx int) (y0, x0, y1, x1 int)
+	// ApplyWindows recomputes only the windows with sel[j] true into
+	// out (which must have the OutDims shape for plane), leaving every
+	// other output sample untouched. The noise derivation matches
+	// Apply exactly — window j draws from oc.DeriveSeed(seed, j) — so
+	// recomputed windows are bit-identical to a full Apply for any
+	// worker count.
+	ApplyWindows(out, plane *sensor.Image, seed int64, workers int, sel []bool) error
+}
+
+// Windows implements WindowedOp.
+func (o *LinOp) Windows(h, w int) (int, int, error) { return o.winDims(h, w) }
+
+// WindowInput implements WindowedOp.
+func (o *LinOp) WindowInput(wy, wx int) (y0, x0, y1, x1 int) {
+	y0 = wy*o.stride - o.pad
+	x0 = wx*o.stride - o.pad
+	return y0, x0, y0 + o.k, x0 + o.k
+}
+
+// ApplyWindows implements WindowedOp: the same sharded window walk as
+// Apply, skipping unselected windows.
+func (o *LinOp) ApplyWindows(out, plane *sensor.Image, seed int64, workers int, sel []bool) error {
+	if err := checkPlane(o.name, plane); err != nil {
+		return err
+	}
+	wh, ww, err := o.winDims(plane.H, plane.W)
+	if err != nil {
+		return err
+	}
+	if len(sel) != wh*ww {
+		return fmt.Errorf("kernels: %s: selection covers %d windows, plane has %d", o.name, len(sel), wh*ww)
+	}
+	if out == nil || out.C != 1 || out.H != wh*o.block || out.W != ww*o.block {
+		return fmt.Errorf("kernels: %s: output plane must be %dx%dx1", o.name, wh*o.block, ww*o.block)
+	}
+	return oc.ShardRange(wh*ww, workers, func(lo, hi int) error {
+		ap := o.pm.NewApplier()
+		defer ap.Release()
+		win := oc.GetScratch(o.k * o.k)
+		y := oc.GetScratch(o.pm.Rows())
+		defer oc.PutScratch(win)
+		defer oc.PutScratch(y)
+		for j := lo; j < hi; j++ {
+			if !sel[j] {
+				continue
+			}
+			wy, wx := j/ww, j%ww
+			o.window(plane, wy*o.stride-o.pad, wx*o.stride-o.pad, *win)
+			if err := ap.ApplySeededInto(*y, *win, oc.DeriveSeed(seed, j)); err != nil {
+				return fmt.Errorf("kernels: %s: window %d: %w", o.name, j, err)
+			}
+			o.place(out, wy, wx, *y, o.scale)
+		}
+		return nil
+	})
+}
+
 // Reference implements Kernel with the exact real-valued operator.
 func (o *LinOp) Reference(plane *sensor.Image) (*sensor.Image, error) {
 	if err := checkPlane(o.name, plane); err != nil {

@@ -69,11 +69,11 @@ func TestInferStageMatchesDirectComposition(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		small, err := ca.CompressSeeded(frame, oc.DeriveSeed(frameSeed, seedCompress))
+		small, err := ca.CompressSeeded(frame, StageSeed(frameSeed, StageCompress))
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := model.Apply(small, oc.DeriveSeed(frameSeed, seedInfer), 1)
+		want, err := model.Apply(small, StageSeed(frameSeed, StageInfer), 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -54,11 +54,11 @@ func TestKernelStageMatchesDirectComposition(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		small, err := ca.CompressSeeded(frame, oc.DeriveSeed(frameSeed, seedCompress))
+		small, err := ca.CompressSeeded(frame, StageSeed(frameSeed, StageCompress))
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := kern.Apply(small, oc.DeriveSeed(frameSeed, seedKernel), 1)
+		want, err := kern.Apply(small, StageSeed(frameSeed, StageKernel), 1)
 		if err != nil {
 			t.Fatal(err)
 		}

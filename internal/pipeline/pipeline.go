@@ -39,13 +39,24 @@ import (
 )
 
 // Stage seed tags: frame seed s yields DeriveSeed(s, stage) per stage, so
-// stages of one frame never share a noise stream.
+// stages of one frame never share a noise stream. Exported so a layer
+// that re-runs a stage outside the pipeline (the streaming session's
+// delta stage, internal/session) can reproduce a frame's exact stage
+// seed chain.
 const (
-	seedCompress = 1
-	seedMatVec   = 2
-	seedKernel   = 3
-	seedInfer    = 4
+	StageCompress = 1
+	StageMatVec   = 2
+	StageKernel   = 3
+	StageInfer    = 4
 )
+
+// FrameSeed maps a request-level seed to the frame seed RunSeeded (and
+// StreamSeeded) give that submission — the seed a streamed session frame
+// shares with its per-frame facade equivalent.
+func FrameSeed(requestSeed int64) int64 { return oc.DeriveSeed(requestSeed, 0) }
+
+// StageSeed derives one stage's noise seed from a frame seed.
+func StageSeed(frameSeed int64, stage int) int64 { return oc.DeriveSeed(frameSeed, stage) }
 
 // InferModel is the inference post-stage contract, implemented by
 // infer.Model: a compiled network that consumes the CA measurement plane
@@ -299,7 +310,7 @@ func (p *Pipeline) processFrame(arr *sensor.Array, idx int, frameSeed int64, sce
 	var activations []float64
 	if p.ca != nil {
 		t0 = time.Now()
-		small, err := p.ca.CompressSeeded(frame, oc.DeriveSeed(frameSeed, seedCompress))
+		small, err := p.ca.CompressSeeded(frame, StageSeed(frameSeed, StageCompress))
 		res.CompressTime = time.Since(t0)
 		st.Compress.Observe(res.CompressTime)
 		if err != nil {
@@ -315,7 +326,7 @@ func (p *Pipeline) processFrame(arr *sensor.Array, idx int, frameSeed int64, sce
 			// Workers is 1: frame-level parallelism already saturates the
 			// pool, and the kernel contract makes the worker count
 			// unobservable in the output anyway.
-			proc, err := p.cfg.Kernel.Apply(small, oc.DeriveSeed(frameSeed, seedKernel), 1)
+			proc, err := p.cfg.Kernel.Apply(small, StageSeed(frameSeed, StageKernel), 1)
 			res.KernelTime = time.Since(t0)
 			st.Kernel.Observe(res.KernelTime)
 			if err != nil {
@@ -331,7 +342,7 @@ func (p *Pipeline) processFrame(arr *sensor.Array, idx int, frameSeed int64, sce
 			// Workers is 1 for the same reason as the kernel stage:
 			// frame-level parallelism already saturates the pool, and the
 			// infer contract makes the worker count unobservable anyway.
-			logits, err := p.cfg.Infer.Apply(small, oc.DeriveSeed(frameSeed, seedInfer), 1)
+			logits, err := p.cfg.Infer.Apply(small, StageSeed(frameSeed, StageInfer), 1)
 			res.InferTime = time.Since(t0)
 			st.Infer.Observe(res.InferTime)
 			if err != nil {
@@ -355,7 +366,7 @@ func (p *Pipeline) processFrame(arr *sensor.Array, idx int, frameSeed int64, sce
 		// Destination-passing keeps the MVM stage's steady-state
 		// allocations to the one result slice that escapes into Result.
 		y := make([]float64, p.pm.Rows())
-		err := p.pm.ApplySeededInto(y, activations, oc.DeriveSeed(frameSeed, seedMatVec))
+		err := p.pm.ApplySeededInto(y, activations, StageSeed(frameSeed, StageMatVec))
 		res.MatVecTime = time.Since(t0)
 		st.MatVec.Observe(res.MatVecTime)
 		if err != nil {
@@ -469,7 +480,7 @@ func (p *Pipeline) RunSeeded(batch []SeededScene) ([]Result, *Stats, error) {
 	jobs := make(chan job, p.cfg.Queue)
 	go func() {
 		for i, s := range batch {
-			jobs <- job{idx: i, seed: oc.DeriveSeed(s.Seed, 0), scene: s.Scene}
+			jobs <- job{idx: i, seed: FrameSeed(s.Seed), scene: s.Scene}
 		}
 		close(jobs)
 	}()
@@ -491,6 +502,34 @@ func (p *Pipeline) Stream(in <-chan *sensor.Image) <-chan Result {
 		i := 0
 		for s := range in {
 			jobs <- job{idx: i, seed: oc.DeriveSeed(p.cfg.Seed, i), scene: s}
+			i++
+		}
+		close(jobs)
+	}()
+	go func() {
+		p.run(0, jobs, func(r Result) { out <- r })
+		close(out)
+	}()
+	return out
+}
+
+// StreamSeeded processes independently-seeded scenes from a channel,
+// emitting results as frames finish (unordered — Result.Index is the
+// submission position). It is the streaming form of RunSeeded: frame i's
+// output is bit-identical to RunSeeded on a batch containing only that
+// submission, regardless of stream composition or worker count. The
+// streaming session layer (internal/session) feeds each session frame i
+// with Seed = DeriveSeed(sessionSeed, i), making streamed bytes identical
+// to per-frame facade calls under that seed. Channel semantics match
+// Stream: the producer must close in, and the consumer must drain the
+// result channel fully to release the workers.
+func (p *Pipeline) StreamSeeded(in <-chan SeededScene) <-chan Result {
+	jobs := make(chan job, p.cfg.Queue)
+	out := make(chan Result, p.cfg.Queue)
+	go func() {
+		i := 0
+		for s := range in {
+			jobs <- job{idx: i, seed: FrameSeed(s.Seed), scene: s.Scene}
 			i++
 		}
 		close(jobs)

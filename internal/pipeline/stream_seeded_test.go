@@ -1,0 +1,65 @@
+package pipeline
+
+import (
+	"sort"
+	"testing"
+
+	"lightator/internal/oc"
+)
+
+// TestStreamSeededMatchesRunSeeded: the session-layer entry point must
+// produce exactly the per-frame results RunSeeded would for the same
+// seed list — at any worker count, in every fidelity, with the stream
+// arriving incrementally rather than as a batch.
+func TestStreamSeededMatchesRunSeeded(t *testing.T) {
+	const frames = 12
+	scenes := testScenes(frames, 16, 16)
+	for _, fid := range []oc.Fidelity{oc.Ideal, oc.Physical, oc.PhysicalNoisy} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fid.String(), func(t *testing.T) {
+				seeded := make([]SeededScene, frames)
+				for i := range seeded {
+					seeded[i] = SeededScene{Seed: oc.DeriveSeed(777, i), Scene: scenes[i]}
+				}
+				want, _, err := newTestPipeline(t, fid, 1).RunSeeded(seeded)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				p := newTestPipeline(t, fid, workers)
+				in := make(chan SeededScene)
+				go func() {
+					defer close(in)
+					for _, s := range seeded {
+						in <- s
+					}
+				}()
+				got := make([]Result, 0, frames)
+				for r := range p.StreamSeeded(in) {
+					got = append(got, r)
+				}
+				if len(got) != frames {
+					t.Fatalf("streamed %d results, want %d", len(got), frames)
+				}
+				sort.Slice(got, func(i, j int) bool { return got[i].Index < got[j].Index })
+				for i := range got {
+					if got[i].Index != i {
+						t.Fatalf("result %d has index %d", i, got[i].Index)
+					}
+					assertIdentical(t, want[i], got[i])
+				}
+			})
+		}
+	}
+}
+
+// TestStreamSeededEmpty: closing the input without feeding any frames
+// must close the output without deadlock.
+func TestStreamSeededEmpty(t *testing.T) {
+	p := newTestPipeline(t, oc.Ideal, 2)
+	in := make(chan SeededScene)
+	close(in)
+	if _, ok := <-p.StreamSeeded(in); ok {
+		t.Fatal("expected no results from an empty stream")
+	}
+}

@@ -1,7 +1,7 @@
 package server
 
 import (
-	"errors"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,12 +10,14 @@ import (
 	"lightator/internal/sensor"
 )
 
-// Admission-control sentinels the handlers translate to HTTP statuses.
+// Admission-control sentinels. They are typed apiErrors (compared by
+// pointer identity via errors.Is) so handlers get status and code along
+// with the sentinel.
 var (
 	// errOverloaded means the bounded submission queue was full (429).
-	errOverloaded = errors.New("server: overloaded, request queue full")
+	errOverloaded = apiErr(http.StatusTooManyRequests, CodeOverloaded, "overloaded, request queue full")
 	// errDraining means the server is shutting down (503).
-	errDraining = errors.New("server: draining, not accepting new work")
+	errDraining = apiErr(http.StatusServiceUnavailable, CodeDraining, "draining, not accepting new work")
 )
 
 // batchItem is one request's trip through the micro-batcher.

@@ -126,7 +126,7 @@ func fuzzProcessHandler() (http.Handler, error) {
 func FuzzProcessRequest(f *testing.F) {
 	scene := server.EncodeImage(testScene(3, 16, 16))
 	for _, kernel := range []string{"reconstruct", "reconstruct-direct", "reconstruct-cg", "edge"} {
-		body, err := json.Marshal(server.ProcessRequest{Scene: scene, Kernel: kernel})
+		body, err := json.Marshal(server.NewProcessRequest(scene, kernel, nil))
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -158,9 +158,15 @@ func FuzzProcessRequest(f *testing.F) {
 				t.Fatalf("200 with undecodable plane: %v", err)
 			}
 		} else {
+			// Every non-200 must carry the structured error shape: a
+			// non-empty stable code, a message, and the legacy "error"
+			// string old clients decode.
 			var resp server.ErrorResponse
-			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.Error == "" {
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 				t.Fatalf("non-200 (%d) without an ErrorResponse body: %q", rec.Code, rec.Body.String())
+			}
+			if resp.Code == "" || resp.Message == "" || resp.Error == "" {
+				t.Fatalf("non-200 (%d) with incomplete error shape %+v: %q", rec.Code, resp, rec.Body.String())
 			}
 		}
 	})

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lightator/internal/pipeline"
+	"lightator/internal/session"
 )
 
 // flushTrigger labels why a micro-batch left the collector.
@@ -177,6 +178,10 @@ type MetricsSnapshot struct {
 	// Infer holds the cumulative pipeline stats behind /v1/infer scene
 	// requests, keyed by model name (absent when inference is disabled).
 	Infer map[string]pipeline.StatsReport `json:"infer_pipelines,omitempty"`
+	// Sessions aggregates the streaming-session registry: open/lifetime
+	// counters plus per-open-session reuse accounting (absent when
+	// sessions are disabled).
+	Sessions *session.ManagerStats `json:"sessions,omitempty"`
 }
 
 // snapshot captures the counters; pipeline stats and gauges are filled in
@@ -305,5 +310,19 @@ func renderProm(snap MetricsSnapshot) string {
 		fmt.Fprintf(&b, "lightator_energy_j_per_request{pipeline=%q} %g\n", name, e.EnergyJPerRequest)
 		fmt.Fprintf(&b, "lightator_modeled_kfps_per_w{pipeline=%q} %g\n", name, e.ModeledKFPSPerW)
 	}
+	// Session series are always emitted (zero-valued when no sessions
+	// have existed, absent only when the subsystem is disabled — and even
+	// then a zero block keeps scrapes shape-stable).
+	var ss session.ManagerStats
+	if snap.Sessions != nil {
+		ss = *snap.Sessions
+	}
+	fmt.Fprintf(&b, "lightator_sessions_open %d\n", ss.Open)
+	fmt.Fprintf(&b, "lightator_sessions_opened_total %d\n", ss.Opened)
+	fmt.Fprintf(&b, "lightator_sessions_closed_total %d\n", ss.Closed)
+	fmt.Fprintf(&b, "lightator_sessions_expired_total %d\n", ss.Expired)
+	fmt.Fprintf(&b, "lightator_session_frames_total %d\n", ss.Frames)
+	fmt.Fprintf(&b, "lightator_session_blocks_total %d\n", ss.BlocksTotal)
+	fmt.Fprintf(&b, "lightator_session_blocks_reused_total %d\n", ss.BlocksReused)
 	return b.String()
 }

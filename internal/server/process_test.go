@@ -60,9 +60,7 @@ func TestConcurrentProcessMatchesFacade(t *testing.T) {
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					status, body := postJSON(t, ts.URL+"/v1/process", lightator.ProcessRequest{
-						Scene: lightator.EncodeImage(scenes[i]), Kernel: kernels[i],
-					}, nil)
+					status, body := postJSON(t, ts.URL+"/v1/process", lightator.NewProcessRequest(lightator.EncodeImage(scenes[i]), kernels[i], nil), nil)
 					if status != http.StatusOK {
 						t.Errorf("client %d (%s): status %d (%s)", i, kernels[i], status, body)
 						return
@@ -112,19 +110,19 @@ func TestKernelsEndpointAndProcessErrors(t *testing.T) {
 	// Unknown kernel: 400 with the registry hint.
 	scene := lightator.EncodeImage(testScene(3, 32, 32))
 	if status, body := postJSON(t, ts.URL+"/v1/process",
-		lightator.ProcessRequest{Scene: scene, Kernel: "nope"}, nil); status != http.StatusBadRequest {
+		lightator.NewProcessRequest(scene, "nope", nil), nil); status != http.StatusBadRequest {
 		t.Errorf("unknown kernel got %d (%s), want 400", status, body)
 	}
 
 	// Deterministic fidelity: the repeat is a cache hit with identical
 	// bytes, and the kernel name is part of the key (edge != denoise).
-	req := lightator.ProcessRequest{Scene: scene, Kernel: "edge"}
+	req := lightator.NewProcessRequest(scene, "edge", nil)
 	_, body1 := postJSON(t, ts.URL+"/v1/process", req, nil)
 	_, body2 := postJSON(t, ts.URL+"/v1/process", req, nil)
 	if !bytes.Equal(body1, body2) {
 		t.Error("cached process response differs from computed one")
 	}
-	_, body3 := postJSON(t, ts.URL+"/v1/process", lightator.ProcessRequest{Scene: scene, Kernel: "denoise"}, nil)
+	_, body3 := postJSON(t, ts.URL+"/v1/process", lightator.NewProcessRequest(scene, "denoise", nil), nil)
 	if bytes.Equal(body1, body3) {
 		t.Error("different kernels served identical bytes; kernel name must be in the cache key")
 	}
@@ -155,7 +153,7 @@ func TestKernelsEndpointAndProcessErrors(t *testing.T) {
 	}
 	_, ts2 := testServer(t, noCA, lightator.ServeOptions{BatchDelay: time.Millisecond})
 	if status, _ := postJSON(t, ts2.URL+"/v1/process",
-		lightator.ProcessRequest{Scene: scene, Kernel: "edge"}, nil); status != http.StatusNotImplemented {
+		lightator.NewProcessRequest(scene, "edge", nil), nil); status != http.StatusNotImplemented {
 		t.Errorf("CA-disabled process got %d, want 501", status)
 	}
 	resp, err = http.Get(ts2.URL + "/v1/kernels")
@@ -178,7 +176,7 @@ func TestKernelsEndpointAndProcessErrors(t *testing.T) {
 func TestProcessNoisyBypassesCacheButReproduces(t *testing.T) {
 	acc := testAccelerator(t, lightator.PhysicalNoisy)
 	srv, ts := testServer(t, acc, lightator.ServeOptions{Workers: 1, BatchDelay: time.Millisecond})
-	req := lightator.ProcessRequest{Scene: lightator.EncodeImage(testScene(17, 32, 32)), Kernel: "reconstruct"}
+	req := lightator.NewProcessRequest(lightator.EncodeImage(testScene(17, 32, 32)), "reconstruct", nil)
 	_, body1 := postJSON(t, ts.URL+"/v1/process", req, nil)
 	_, body2 := postJSON(t, ts.URL+"/v1/process", req, nil)
 	if !bytes.Equal(body1, body2) {

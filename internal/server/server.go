@@ -2,15 +2,19 @@
 // front-end over the accelerator that turns independent requests into
 // pipeline batches via dynamic micro-batching.
 //
-//	POST /v1/capture   one ADC-less sensor readout        (micro-batched)
-//	POST /v1/compress  capture + compressive acquisition  (micro-batched)
-//	POST /v1/process   capture + CA + compressed-domain kernel (micro-batched)
-//	POST /v1/matvec    one optical matrix-vector product
-//	POST /v1/simulate  architecture simulation of a named model
-//	GET  /v1/kernels   the compressed-domain kernel registry
-//	GET  /healthz      liveness (always 200 while the process runs)
-//	GET  /readyz       readiness (503 while draining)
-//	GET  /metrics      Prometheus text (or ?format=json snapshot)
+//	POST   /v1/capture             one ADC-less sensor readout        (micro-batched)
+//	POST   /v1/compress            capture + compressive acquisition  (micro-batched)
+//	POST   /v1/process             capture + CA + compressed-domain kernel (micro-batched)
+//	POST   /v1/matvec              one optical matrix-vector product
+//	POST   /v1/simulate            architecture simulation of a named model
+//	POST   /v1/session             open a streaming video session
+//	POST   /v1/session/{id}/frames NDJSON frames in, ordered results out
+//	GET    /v1/session/{id}        session reuse counters
+//	DELETE /v1/session/{id}        close a session (final counters)
+//	GET    /v1/kernels             the compressed-domain kernel registry
+//	GET    /healthz                liveness (always 200 while the process runs)
+//	GET    /readyz                 readiness (503 while draining)
+//	GET    /metrics                Prometheus text (or ?format=json snapshot)
 //
 // Three serving properties are load-bearing (docs/SERVER.md):
 //
@@ -41,10 +45,11 @@ import (
 
 	"lightator/internal/arch"
 	"lightator/internal/energy"
-	"lightator/internal/infer"
+	"lightator/internal/kernels"
 	"lightator/internal/oc"
 	"lightator/internal/pipeline"
 	"lightator/internal/sensor"
+	"lightator/internal/session"
 	"lightator/internal/trace"
 )
 
@@ -79,6 +84,13 @@ type Backend struct {
 	// measurement plane (the /v1/infer plane path, which bypasses the
 	// micro-batcher — there is no pipeline trip to coalesce).
 	InferPlane func(model string, plane *sensor.Image, seed int64) ([]float64, error)
+	// KernelObjects maps kernel names to their operators, for streaming
+	// sessions (which run the kernel stage themselves, after the delta
+	// diff). Keys mirror Process.
+	KernelObjects map[string]kernels.Kernel
+	// ModelObjects maps model names to their inference models, for
+	// streaming sessions. Keys mirror Infer.
+	ModelObjects map[string]pipeline.InferModel
 	// Core executes /v1/matvec.
 	Core *oc.Core
 	// Seed is the base noise seed a request without an explicit seed
@@ -127,6 +139,14 @@ type Config struct {
 	// /debug/pprof/ and the runtime snapshot at /debug/runtime.
 	// /debug/traces is always mounted.
 	Debug bool
+	// MaxSessions bounds concurrently open streaming sessions. Default 64.
+	MaxSessions int
+	// SessionIdleTimeout expires sessions with no activity. Default 60s;
+	// negative disables expiry.
+	SessionIdleTimeout time.Duration
+	// SessionWindow is the default per-stream in-flight frame window (the
+	// connection-level backpressure bound). Default 8.
+	SessionWindow int
 }
 
 // withDefaults resolves zero values.
@@ -170,6 +190,10 @@ type Server struct {
 	compressB *batcher
 	processB  map[string]*batcher // one micro-batcher per kernel
 	inferB    map[string]*batcher // one micro-batcher per model
+
+	// sessions is the streaming-session registry; nil when compressive
+	// acquisition is disabled (sessions stream the capture+CA pipeline).
+	sessions *session.Manager
 
 	inflight atomic.Int64
 	draining atomic.Bool
@@ -243,11 +267,21 @@ func New(b Backend, cfg Config) (*Server, error) {
 	for name, pipe := range b.Infer {
 		s.inferB[name] = newBatcher(pipe, cfg.BatchSize, cfg.Queue, cfg.MaxBatches, cfg.BatchDelay, s.m)
 	}
+	if b.Compress != nil {
+		s.sessions = session.NewManager(session.ManagerConfig{
+			MaxSessions: cfg.MaxSessions,
+			IdleTimeout: cfg.SessionIdleTimeout,
+		})
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/capture", s.instrument("/v1/capture", s.handleCapture))
-	mux.HandleFunc("POST /v1/compress", s.instrument("/v1/compress", s.handleCompress))
-	mux.HandleFunc("POST /v1/process", s.instrument("/v1/process", s.handleProcess))
-	mux.HandleFunc("POST /v1/infer", s.instrument("/v1/infer", s.handleInfer))
+	mux.HandleFunc("POST /v1/capture", s.instrument("/v1/capture", handleFrame[CaptureRequest](s, "/v1/capture", s.captureOp)))
+	mux.HandleFunc("POST /v1/compress", s.instrument("/v1/compress", handleFrame[CompressRequest](s, "/v1/compress", s.compressOp)))
+	mux.HandleFunc("POST /v1/process", s.instrument("/v1/process", handleFrame[ProcessRequest](s, "/v1/process", s.processOp)))
+	mux.HandleFunc("POST /v1/infer", s.instrument("/v1/infer", handleFrame[InferRequest](s, "/v1/infer", s.inferOp)))
+	mux.HandleFunc("POST /v1/session", s.instrument("/v1/session", s.handleSessionOpen))
+	mux.HandleFunc("POST /v1/session/{id}/frames", s.instrumentStream("/v1/session/frames", s.handleSessionFrames))
+	mux.HandleFunc("GET /v1/session/{id}", s.instrument("/v1/session", s.handleSessionStats))
+	mux.HandleFunc("DELETE /v1/session/{id}", s.instrument("/v1/session", s.handleSessionClose))
 	mux.HandleFunc("POST /v1/matvec", s.instrument("/v1/matvec", s.handleMatVec))
 	mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
 	mux.HandleFunc("GET /v1/kernels", s.handleKernels)
@@ -301,6 +335,10 @@ func (s *Server) Metrics() MetricsSnapshot {
 			snap.Infer[name] = st.Report()
 		}
 	}
+	if s.sessions != nil {
+		ss := s.sessions.Stats()
+		snap.Sessions = &ss
+	}
 	return snap
 }
 
@@ -339,6 +377,12 @@ func (s *Server) queueSnapshots() map[string]QueueSnapshot {
 func (s *Server) Drain(ctx context.Context) error {
 	if s.draining.CompareAndSwap(false, true) {
 		go func() {
+			// Sessions first: active streams stop feeding, finish their
+			// in-flight frames, and report ErrClosed to the client before
+			// the batchers flush.
+			if s.sessions != nil {
+				s.sessions.Drain()
+			}
 			s.captureB.close()
 			if s.compressB != nil {
 				s.compressB.close()
@@ -422,7 +466,7 @@ func writeJSON(w http.ResponseWriter, status int, body []byte) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	body, _ := json.Marshal(ErrorResponse{Error: err.Error()})
+	body, _ := json.Marshal(errorBody(status, err))
 	writeJSON(w, status, body)
 }
 
@@ -475,11 +519,11 @@ func (s *Server) submitFrame(r *http.Request, b *batcher, seed int64, scene *sen
 		if res.Err != nil {
 			// Frame-level errors are bad inputs (e.g. scene/sensor size
 			// mismatch), surfaced per-frame by the pipeline.
-			return pipeline.Result{}, http.StatusBadRequest, res.Err
+			return pipeline.Result{}, http.StatusBadRequest, wrapErr(http.StatusBadRequest, CodeFrameFailed, "frame failed", res.Err)
 		}
 		return res, http.StatusOK, nil
 	case <-r.Context().Done():
-		return pipeline.Result{}, statusClientClosed, fmt.Errorf("server: client went away: %w", r.Context().Err())
+		return pipeline.Result{}, statusClientClosed, wrapErr(statusClientClosed, CodeClientClosed, "client went away", r.Context().Err())
 	}
 }
 
@@ -510,200 +554,6 @@ func (s *Server) respond(w http.ResponseWriter, endpoint string, start time.Time
 	}
 	writeJSON(w, http.StatusOK, body)
 	return http.StatusOK, nil
-}
-
-// handleCapture serves one ADC-less readout. Capture has no analog noise,
-// so responses cache in every fidelity.
-func (s *Server) handleCapture(w http.ResponseWriter, r *http.Request) (int, error) {
-	start := time.Now()
-	var req CaptureRequest
-	if err := decodeBody(r, &req); err != nil {
-		return decodeStatus(err), err
-	}
-	rawPix, err := validateImageWire(req.Scene)
-	if err != nil {
-		return http.StatusBadRequest, err
-	}
-	// The key deliberately omits the seed: capture is noise-free, so the
-	// same scene hits regardless of the requested seed.
-	var key cacheKey
-	if s.cache != nil {
-		key = hashRequest("capture", 0, rawPix, dimBytes(req.Scene.H, req.Scene.W, req.Scene.C))
-	}
-	return s.respond(w, "/v1/capture", start, s.cache != nil, key, func() ([]byte, int, error) {
-		scene := imageFromRaw(req.Scene, rawPix)
-		res, status, err := s.submitFrame(r, s.captureB, s.effectiveSeed(req.Seed), scene)
-		if err != nil {
-			return nil, status, err
-		}
-		s.traceFrame(w, "/v1/capture", "", start, res)
-		body, err := json.Marshal(CaptureResponse{Frame: EncodeFrame(res.Frame)})
-		if err != nil {
-			return nil, http.StatusInternalServerError, err
-		}
-		return body, http.StatusOK, nil
-	})
-}
-
-// handleCompress serves capture + compressive acquisition. Caching is
-// gated on deterministic fidelity: in PhysicalNoisy the response depends
-// on the seeded noise streams and the cache stays out of the path.
-func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) (int, error) {
-	start := time.Now()
-	if s.compressB == nil {
-		return http.StatusNotImplemented, fmt.Errorf("server: compressive acquisition disabled (CAPool = 0)")
-	}
-	var req CompressRequest
-	if err := decodeBody(r, &req); err != nil {
-		return decodeStatus(err), err
-	}
-	rawPix, err := validateImageWire(req.Scene)
-	if err != nil {
-		return http.StatusBadRequest, err
-	}
-	// Cacheable implies a noise-free fidelity, where the seed cannot
-	// influence the output — the key omits it so equal scenes hit across
-	// seeds.
-	cacheable := s.cache != nil && s.backend.Deterministic
-	var key cacheKey
-	if cacheable {
-		key = hashRequest("compress", 0, rawPix, dimBytes(req.Scene.H, req.Scene.W, req.Scene.C))
-	}
-	return s.respond(w, "/v1/compress", start, cacheable, key, func() ([]byte, int, error) {
-		scene := imageFromRaw(req.Scene, rawPix)
-		res, status, err := s.submitFrame(r, s.compressB, s.effectiveSeed(req.Seed), scene)
-		if err != nil {
-			return nil, status, err
-		}
-		s.traceFrame(w, "/v1/compress", "", start, res)
-		body, err := json.Marshal(CompressResponse{Image: EncodeImage(res.Compressed)})
-		if err != nil {
-			return nil, http.StatusInternalServerError, err
-		}
-		return body, http.StatusOK, nil
-	})
-}
-
-// handleProcess serves capture + compressive acquisition + one
-// registered compressed-domain kernel. Each kernel has its own
-// micro-batcher, so concurrent requests for the same kernel coalesce
-// into shared pipeline batches; the per-frame seeding keeps every
-// response bit-identical to the direct facade ProcessCompressed call.
-// Caching follows the compress policy: deterministic fidelities only,
-// with the kernel name folded into the content hash.
-func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) (int, error) {
-	start := time.Now()
-	if len(s.processB) == 0 {
-		return http.StatusNotImplemented, fmt.Errorf("server: compressed-domain kernels disabled (CAPool = 0)")
-	}
-	var req ProcessRequest
-	if err := decodeBody(r, &req); err != nil {
-		return decodeStatus(err), err
-	}
-	b, ok := s.processB[req.Kernel]
-	if !ok {
-		return http.StatusBadRequest, fmt.Errorf("server: unknown kernel %q (GET /v1/kernels lists the registry)", req.Kernel)
-	}
-	rawPix, err := validateImageWire(req.Scene)
-	if err != nil {
-		return http.StatusBadRequest, err
-	}
-	// Same policy as compress: cacheable implies a noise-free fidelity,
-	// where the seed cannot influence the output — the key carries the
-	// kernel name plus the scene content.
-	cacheable := s.cache != nil && s.backend.Deterministic
-	var key cacheKey
-	if cacheable {
-		key = hashRequest("process", 0, []byte(req.Kernel), rawPix, dimBytes(req.Scene.H, req.Scene.W, req.Scene.C))
-	}
-	return s.respond(w, "/v1/process", start, cacheable, key, func() ([]byte, int, error) {
-		scene := imageFromRaw(req.Scene, rawPix)
-		res, status, err := s.submitFrame(r, b, s.effectiveSeed(req.Seed), scene)
-		if err != nil {
-			return nil, status, err
-		}
-		s.traceFrame(w, "/v1/process", req.Kernel, start, res)
-		body, err := json.Marshal(ProcessResponse{Plane: EncodeImage(res.Processed)})
-		if err != nil {
-			return nil, http.StatusInternalServerError, err
-		}
-		return body, http.StatusOK, nil
-	})
-}
-
-// handleInfer serves compressed-domain CNN inference by a registered
-// model. Scene requests run the full capture + CA + inference pipeline
-// through the model's own micro-batcher, so concurrent requests for the
-// same model coalesce into shared pipeline batches; the per-frame
-// seeding keeps every response bit-identical to the direct facade Infer
-// call. Plane requests feed a pre-compressed measurement plane straight
-// to the model (no pipeline trip, no batching), matching InferPlane.
-// Caching follows the compress policy: deterministic fidelities only,
-// with the model name and input kind folded into the content hash.
-func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) (int, error) {
-	start := time.Now()
-	if len(s.inferB) == 0 {
-		return http.StatusNotImplemented, fmt.Errorf("server: compressed-domain inference disabled (CAPool = 0)")
-	}
-	var req InferRequest
-	if err := decodeBody(r, &req); err != nil {
-		return decodeStatus(err), err
-	}
-	b, ok := s.inferB[req.Model]
-	if !ok {
-		return http.StatusBadRequest, fmt.Errorf("server: unknown model %q (GET /v1/models lists the registry)", req.Model)
-	}
-	if (req.Scene == nil) == (req.Plane == nil) {
-		return http.StatusBadRequest, fmt.Errorf("server: infer needs exactly one of scene (full pipeline) or plane (pre-compressed)")
-	}
-	input := req.Scene
-	kind := "infer-scene"
-	if req.Plane != nil {
-		input = req.Plane
-		kind = "infer-plane"
-	}
-	rawPix, err := validateImageWire(*input)
-	if err != nil {
-		return http.StatusBadRequest, err
-	}
-	// Same policy as compress: cacheable implies a noise-free fidelity,
-	// where the seed cannot influence the output — the key carries the
-	// model name, the input kind, and the input content.
-	cacheable := s.cache != nil && s.backend.Deterministic
-	var key cacheKey
-	if cacheable {
-		key = hashRequest(kind, 0, []byte(req.Model), rawPix, dimBytes(input.H, input.W, input.C))
-	}
-	return s.respond(w, "/v1/infer", start, cacheable, key, func() ([]byte, int, error) {
-		var logits []float64
-		if req.Scene != nil {
-			scene := imageFromRaw(*req.Scene, rawPix)
-			res, status, err := s.submitFrame(r, b, s.effectiveSeed(req.Seed), scene)
-			if err != nil {
-				return nil, status, err
-			}
-			s.traceFrame(w, "/v1/infer", req.Model, start, res)
-			logits = res.Logits
-		} else {
-			if s.draining.Load() {
-				return nil, http.StatusServiceUnavailable, errDraining
-			}
-			plane := imageFromRaw(*req.Plane, rawPix)
-			var err error
-			logits, err = s.backend.InferPlane(req.Model, plane, s.effectiveSeed(req.Seed))
-			if err != nil {
-				return nil, http.StatusBadRequest, err
-			}
-			// Plane requests skip capture+CA; the model's op counts are
-			// the infer stage of its pipeline's static profile.
-			s.traceSpan(w, "/v1/infer", req.Model, "infer", start, s.backend.Infer[req.Model].FrameOps().Infer)
-		}
-		body, err := json.Marshal(InferResponse{Model: req.Model, Logits: logits, Class: infer.Argmax(logits)})
-		if err != nil {
-			return nil, http.StatusInternalServerError, err
-		}
-		return body, http.StatusOK, nil
-	})
 }
 
 // handleModels lists the compressed-domain inference model registry. The

@@ -123,7 +123,7 @@ func TestConcurrentCompressMatchesDirect(t *testing.T) {
 					defer wg.Done()
 					var resp lightator.CompressResponse
 					status, body := postJSON(t, ts.URL+"/v1/compress",
-						lightator.CompressRequest{Scene: lightator.EncodeImage(scenes[i])}, &resp)
+						lightator.NewCompressRequest(lightator.EncodeImage(scenes[i]), nil), &resp)
 					if status != http.StatusOK {
 						t.Errorf("client %d: status %d (%s)", i, status, body)
 						return
@@ -183,7 +183,7 @@ func TestBatcherFlushTriggers(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			status, body := postJSON(t, ts.URL+"/v1/compress",
-				lightator.CompressRequest{Scene: lightator.EncodeImage(testScene(int64(i), 32, 32))}, nil)
+				lightator.NewCompressRequest(lightator.EncodeImage(testScene(int64(i), 32, 32)), nil), nil)
 			if status != http.StatusOK {
 				t.Errorf("status %d (%s)", status, body)
 			}
@@ -206,7 +206,7 @@ func TestBatcherFlushTriggers(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			status, body := postJSON(t, ts2.URL+"/v1/compress",
-				lightator.CompressRequest{Scene: lightator.EncodeImage(testScene(int64(i), 32, 32))}, nil)
+				lightator.NewCompressRequest(lightator.EncodeImage(testScene(int64(i), 32, 32)), nil), nil)
 			if status != http.StatusOK {
 				t.Errorf("status %d (%s)", status, body)
 			}
@@ -238,7 +238,7 @@ func TestOverloadReturns429(t *testing.T) {
 			defer wg.Done()
 			// Distinct scenes so no two requests could ever be conflated.
 			statuses[i], _ = postJSON(t, ts.URL+"/v1/compress",
-				lightator.CompressRequest{Scene: lightator.EncodeImage(testScene(int64(i), 32, 32))}, nil)
+				lightator.NewCompressRequest(lightator.EncodeImage(testScene(int64(i), 32, 32)), nil), nil)
 		}(i)
 	}
 	wg.Wait()
@@ -287,7 +287,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			statuses[i], _ = postJSON(t, ts.URL+"/v1/compress",
-				lightator.CompressRequest{Scene: lightator.EncodeImage(testScene(int64(i), 32, 32))}, nil)
+				lightator.NewCompressRequest(lightator.EncodeImage(testScene(int64(i), 32, 32)), nil), nil)
 		}(i)
 	}
 	// Let the burst reach the batcher; with a 30s deadline and batch size
@@ -315,7 +315,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	// liveness stays 200 (a failing liveness probe would get the process
 	// killed mid-drain).
 	status, _ := postJSON(t, ts.URL+"/v1/compress",
-		lightator.CompressRequest{Scene: lightator.EncodeImage(testScene(99, 32, 32))}, nil)
+		lightator.NewCompressRequest(lightator.EncodeImage(testScene(99, 32, 32)), nil), nil)
 	if status != http.StatusServiceUnavailable {
 		t.Errorf("post-drain request got %d, want 503", status)
 	}
@@ -352,7 +352,7 @@ func TestCaptureMatchesDirect(t *testing.T) {
 	}
 	var resp lightator.CaptureResponse
 	status, body := postJSON(t, ts.URL+"/v1/capture",
-		lightator.CaptureRequest{Scene: lightator.EncodeImage(scene)}, &resp)
+		lightator.NewCaptureRequest(lightator.EncodeImage(scene), nil), &resp)
 	if status != http.StatusOK {
 		t.Fatalf("status %d (%s)", status, body)
 	}
@@ -481,7 +481,7 @@ func TestCompressCacheDeterministicOnly(t *testing.T) {
 	scene := testScene(11, 32, 32)
 	acc := testAccelerator(t, lightator.Physical)
 	srv, ts := testServer(t, acc, lightator.ServeOptions{Workers: 1, BatchDelay: time.Millisecond})
-	req := lightator.CompressRequest{Scene: lightator.EncodeImage(scene)}
+	req := lightator.NewCompressRequest(lightator.EncodeImage(scene), nil)
 	_, body1 := postJSON(t, ts.URL+"/v1/compress", req, nil)
 	_, body2 := postJSON(t, ts.URL+"/v1/compress", req, nil)
 	if !bytes.Equal(body1, body2) {
@@ -521,20 +521,20 @@ func TestBadRequests(t *testing.T) {
 	// Image payload length inconsistent with dims.
 	bad := lightator.EncodeImage(testScene(1, 16, 16))
 	bad.H = 32
-	if status, _ := postJSON(t, ts.URL+"/v1/compress", lightator.CompressRequest{Scene: bad}, nil); status != http.StatusBadRequest {
+	if status, _ := postJSON(t, ts.URL+"/v1/compress", lightator.NewCompressRequest(bad, nil), nil); status != http.StatusBadRequest {
 		t.Errorf("inconsistent image got %d, want 400", status)
 	}
 
 	// Overflow-crafted dims (h*w*c*8 wraps): must 400, not panic the
 	// handler on allocation.
 	huge := lightator.ImageWire{H: 1 << 31, W: 1 << 30, C: 1}
-	if status, _ := postJSON(t, ts.URL+"/v1/capture", lightator.CaptureRequest{Scene: huge}, nil); status != http.StatusBadRequest {
+	if status, _ := postJSON(t, ts.URL+"/v1/capture", lightator.NewCaptureRequest(huge, nil), nil); status != http.StatusBadRequest {
 		t.Errorf("overflow dims got %d, want 400", status)
 	}
 
 	// Scene that doesn't match the sensor: a per-frame pipeline error.
 	if status, _ := postJSON(t, ts.URL+"/v1/compress",
-		lightator.CompressRequest{Scene: lightator.EncodeImage(testScene(1, 16, 16))}, nil); status != http.StatusBadRequest {
+		lightator.NewCompressRequest(lightator.EncodeImage(testScene(1, 16, 16)), nil), nil); status != http.StatusBadRequest {
 		t.Errorf("mismatched scene got %d, want 400", status)
 	}
 
@@ -564,7 +564,7 @@ func TestBadRequests(t *testing.T) {
 	}
 	_, ts2 := testServer(t, noCA, lightator.ServeOptions{BatchDelay: time.Millisecond})
 	if status, _ := postJSON(t, ts2.URL+"/v1/compress",
-		lightator.CompressRequest{Scene: lightator.EncodeImage(testScene(1, 32, 32))}, nil); status != http.StatusNotImplemented {
+		lightator.NewCompressRequest(lightator.EncodeImage(testScene(1, 32, 32)), nil), nil); status != http.StatusNotImplemented {
 		t.Errorf("CA-disabled compress got %d, want 501", status)
 	}
 }

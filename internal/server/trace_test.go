@@ -52,7 +52,7 @@ func TestTraceHeadersAndDebugTraces(t *testing.T) {
 	_, ts := testServer(t, acc, lightator.ServeOptions{Workers: 1, CacheEntries: -1})
 
 	scene := testScene(42, 32, 32)
-	resp := postRaw(t, ts.URL+"/v1/compress", lightator.CompressRequest{Scene: lightator.EncodeImage(scene)})
+	resp := postRaw(t, ts.URL+"/v1/compress", lightator.NewCompressRequest(lightator.EncodeImage(scene), nil))
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("compress status %d", resp.StatusCode)
@@ -136,7 +136,7 @@ func TestTraceCacheHit(t *testing.T) {
 	acc := testAccelerator(t, lightator.Physical)
 	_, ts := testServer(t, acc, lightator.ServeOptions{Workers: 1, CacheEntries: 8})
 
-	req := lightator.CaptureRequest{Scene: lightator.EncodeImage(testScene(7, 32, 32))}
+	req := lightator.NewCaptureRequest(lightator.EncodeImage(testScene(7, 32, 32)), nil)
 	first := postRaw(t, ts.URL+"/v1/capture", req)
 	io.Copy(io.Discard, first.Body)
 	first.Body.Close()
@@ -172,7 +172,7 @@ func TestMetricsGauges(t *testing.T) {
 	srv, ts := testServer(t, acc, lightator.ServeOptions{Workers: 1, CacheEntries: 8})
 
 	// One request so counters are warm.
-	resp := postRaw(t, ts.URL+"/v1/compress", lightator.CompressRequest{Scene: lightator.EncodeImage(testScene(3, 32, 32))})
+	resp := postRaw(t, ts.URL+"/v1/compress", lightator.NewCompressRequest(lightator.EncodeImage(testScene(3, 32, 32)), nil))
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 
@@ -270,7 +270,7 @@ func TestTraceRetentionDisabled(t *testing.T) {
 	acc := testAccelerator(t, lightator.Physical)
 	_, ts := testServer(t, acc, lightator.ServeOptions{Workers: 1, TraceEntries: -1})
 
-	resp := postRaw(t, ts.URL+"/v1/compress", lightator.CompressRequest{Scene: lightator.EncodeImage(testScene(5, 32, 32))})
+	resp := postRaw(t, ts.URL+"/v1/compress", lightator.NewCompressRequest(lightator.EncodeImage(testScene(5, 32, 32)), nil))
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.Header.Get("X-Lightator-Trace-Id") == "" {
@@ -338,7 +338,7 @@ func TestTraceRingEviction(t *testing.T) {
 	_, ts := testServer(t, acc, lightator.ServeOptions{Workers: 1, TraceEntries: 2, CacheEntries: -1})
 
 	for i := 0; i < 4; i++ {
-		resp := postRaw(t, ts.URL+"/v1/capture", lightator.CaptureRequest{Scene: lightator.EncodeImage(testScene(int64(i), 32, 32))})
+		resp := postRaw(t, ts.URL+"/v1/capture", lightator.NewCaptureRequest(lightator.EncodeImage(testScene(int64(i), 32, 32)), nil))
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}

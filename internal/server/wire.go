@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"lightator/internal/sensor"
+	"lightator/internal/session"
 )
 
 // ImageWire is the transport form of a sensor.Image.
@@ -116,13 +117,34 @@ func DecodeFrame(w FrameWire) (*sensor.Frame, error) {
 	return &sensor.Frame{Rows: w.Rows, Cols: w.Cols, Codes: raw}, nil
 }
 
-// CaptureRequest asks for one ADC-less sensor readout of a scene.
-type CaptureRequest struct {
+// Envelope is the shared request envelope of the v1 compute endpoints:
+// the scene and the optional per-request seed every frame endpoint
+// decodes through one path. It is embedded (flattened by encoding/json),
+// so the wire field names are unchanged from the pre-envelope API —
+// back-compat pinned by the golden fixtures under testdata/wire.
+type Envelope struct {
+	// Scene is the RGB input frame.
 	Scene ImageWire `json:"scene"`
 	// Seed overrides the server's base noise seed for this request when
-	// non-nil. Capture itself is noise-free; the field exists so every
-	// endpoint shares one request shape.
+	// non-nil.
 	Seed *int64 `json:"seed,omitempty"`
+}
+
+// env exposes the envelope to the generic frame-endpoint constructor
+// (endpoint.go) via method promotion.
+func (e *Envelope) env() *Envelope { return e }
+
+// CaptureRequest asks for one ADC-less sensor readout of a scene.
+// Capture itself is noise-free; the envelope seed exists so every
+// endpoint shares one request shape.
+type CaptureRequest struct {
+	Envelope
+}
+
+// NewCaptureRequest builds the request (the composite-literal form
+// changed when the shared envelope landed; seed may be nil).
+func NewCaptureRequest(scene ImageWire, seed *int64) CaptureRequest {
+	return CaptureRequest{Envelope{Scene: scene, Seed: seed}}
 }
 
 // CaptureResponse carries the 4-bit frame readout.
@@ -135,8 +157,12 @@ type CaptureResponse struct {
 // a single-scene batch under the effective seed, no matter how the server
 // micro-batches the request.
 type CompressRequest struct {
-	Scene ImageWire `json:"scene"`
-	Seed  *int64    `json:"seed,omitempty"`
+	Envelope
+}
+
+// NewCompressRequest builds the request; seed may be nil.
+func NewCompressRequest(scene ImageWire, seed *int64) CompressRequest {
+	return CompressRequest{Envelope{Scene: scene, Seed: seed}}
 }
 
 // CompressResponse carries the compressed activation plane.
@@ -162,9 +188,13 @@ type MatVecResponse struct {
 // The response is bit-identical to the facade's ProcessCompressed under
 // the effective seed, no matter how the server micro-batches the request.
 type ProcessRequest struct {
-	Scene  ImageWire `json:"scene"`
-	Kernel string    `json:"kernel"`
-	Seed   *int64    `json:"seed,omitempty"`
+	Envelope
+	Kernel string `json:"kernel"`
+}
+
+// NewProcessRequest builds the request; seed may be nil.
+func NewProcessRequest(scene ImageWire, kernel string, seed *int64) ProcessRequest {
+	return ProcessRequest{Envelope: Envelope{Scene: scene, Seed: seed}, Kernel: kernel}
 }
 
 // ProcessResponse carries the kernel's output plane. Samples may lie
@@ -182,10 +212,14 @@ type ProcessResponse struct {
 // under the effective seed, no matter how the server micro-batches the
 // request; Plane responses match InferPlane.
 type InferRequest struct {
+	// The embedded envelope supplies the seed; its Scene field is
+	// shadowed by the optional pointer below (encoding/json resolves
+	// the name conflict in favour of the shallower field, keeping the
+	// wire shape identical to the pre-envelope API).
+	Envelope
 	Scene *ImageWire `json:"scene,omitempty"`
 	Plane *ImageWire `json:"plane,omitempty"`
 	Model string     `json:"model"`
-	Seed  *int64     `json:"seed,omitempty"`
 }
 
 // InferResponse carries the logits and the top-1 class.
@@ -236,7 +270,111 @@ type SimulateRequest struct {
 	Model string `json:"model"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response and the shape of
+// in-stream session error records: a stable machine-readable code (see
+// the table in docs/API.md), a human message, and optional detail. The
+// legacy "error" string (the pre-v1 body) mirrors message+detail so old
+// clients keep decoding.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Detail  string `json:"detail,omitempty"`
+	Error   string `json:"error"`
+}
+
+// SessionRequest opens a streaming session (POST /v1/session): a
+// persistent seed chain plus per-frame compute configuration. Frame i
+// of the session is processed exactly as a per-frame request with seed
+// DeriveSeed(seed, i) — see docs/API.md#sessions.
+type SessionRequest struct {
+	// Kind selects the per-frame computation: "compress", "process" or
+	// "infer".
+	Kind string `json:"kind"`
+	// Kernel names the compressed-domain kernel (kind "process").
+	Kernel string `json:"kernel,omitempty"`
+	// Model names the inference model (kind "infer").
+	Model string `json:"model,omitempty"`
+	// Seed overrides the server's base seed as the session seed.
+	Seed *int64 `json:"seed,omitempty"`
+	// Delta tunes temporal reuse; nil takes the defaults.
+	Delta *DeltaWire `json:"delta,omitempty"`
+	// Window overrides the in-flight frame window (backpressure bound).
+	Window int `json:"window,omitempty"`
+	// IdleTimeoutMS overrides the server's idle expiry for this session.
+	IdleTimeoutMS int64 `json:"idle_timeout_ms,omitempty"`
+}
+
+// DeltaWire is the wire form of the temporal-reuse configuration.
+type DeltaWire struct {
+	// Disable turns reuse off (it is also off automatically in noisy
+	// fidelity, where stale results would not be bit-identical).
+	Disable bool `json:"disable,omitempty"`
+	// Block is the diff-grid block side over the compressed plane
+	// (default 8).
+	Block int `json:"block,omitempty"`
+	// Threshold is the per-sample absolute change that marks a block
+	// dirty. 0 (the default) reuses only bit-identical blocks and keeps
+	// streamed bytes exactly equal to per-frame recompute; larger values
+	// are lossy.
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// SessionResponse describes an opened session with every knob resolved.
+type SessionResponse struct {
+	ID            string    `json:"id"`
+	Kind          string    `json:"kind"`
+	Kernel        string    `json:"kernel,omitempty"`
+	Model         string    `json:"model,omitempty"`
+	Seed          int64     `json:"seed"`
+	Window        int       `json:"window"`
+	IdleTimeoutMS int64     `json:"idle_timeout_ms"`
+	Delta         DeltaWire `json:"delta"`
+	// DeltaActive reports whether temporal reuse is actually on (false
+	// in noisy fidelity or for compress sessions even when not disabled).
+	DeltaActive bool `json:"delta_active"`
+}
+
+// SessionFrame is one input line of the NDJSON frame stream
+// (POST /v1/session/{id}/frames).
+type SessionFrame struct {
+	Scene ImageWire `json:"scene"`
+}
+
+// SessionResult is one output line of the NDJSON frame stream, emitted
+// in frame order. Exactly one payload field is set per the session
+// kind; its bytes are identical to the corresponding per-frame endpoint
+// response under seed DeriveSeed(sessionSeed, index). A stream-fatal
+// condition (drain, session closed, malformed input line) is reported
+// as a final record carrying only Error, then the stream ends.
+type SessionResult struct {
+	Index int `json:"index"`
+	// Image is the CA measurement plane (kind "compress").
+	Image *ImageWire `json:"image,omitempty"`
+	// Plane is the kernel output (kind "process").
+	Plane *ImageWire `json:"plane,omitempty"`
+	// Logits and Class are the inference output (kind "infer").
+	Logits []float64 `json:"logits,omitempty"`
+	Class  *int      `json:"class,omitempty"`
+	// BlocksTotal and BlocksReused are the frame's compute-unit count
+	// and how many were carried forward from the previous frame.
+	BlocksTotal  int `json:"blocks_total"`
+	BlocksReused int `json:"blocks_reused"`
+	// Error is set on per-frame failures (the frame still consumed its
+	// seed-chain index) and on stream-fatal records (index -1).
+	Error *ErrorResponse `json:"error,omitempty"`
+}
+
+// SessionSummary is the trailing NDJSON record of a cleanly-finished
+// frame stream.
+type SessionSummary struct {
+	Done  bool          `json:"done"`
+	Stats session.Stats `json:"stats"`
+}
+
+// SessionStatsResponse reports a session's cumulative counters
+// (GET /v1/session/{id}, and the DELETE response).
+type SessionStatsResponse struct {
+	ID    string        `json:"id"`
+	Kind  string        `json:"kind"`
+	Stats session.Stats `json:"stats"`
 }

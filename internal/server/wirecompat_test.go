@@ -1,0 +1,185 @@
+// Wire-compatibility gate: the golden fixtures under testdata/wire/
+// are committed request and response bodies from released wire shapes.
+// Every fixture must keep strict-decoding (DisallowUnknownFields) into
+// the current v1 types — renaming or dropping a wire field turns the
+// old name into an unknown field and fails this test, which CI runs on
+// every change (make wirecompat). New wire shapes get a fixture here
+// the moment they ship.
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lightator/internal/server"
+)
+
+// wireFixtures maps each golden body to a fresh decode target plus a
+// spot check that load-bearing fields actually landed (a renamed field
+// with a stale json tag would otherwise decode to a zero value).
+var wireFixtures = map[string]struct {
+	target func() any
+	check  func(t *testing.T, v any)
+}{
+	"capture_request.json": {
+		target: func() any { return &server.CaptureRequest{} },
+		check: func(t *testing.T, v any) {
+			r := v.(*server.CaptureRequest)
+			if r.Scene.H != 2 || r.Scene.C != 3 || r.Seed == nil || *r.Seed != 7 {
+				t.Errorf("capture request lost fields: %+v", r)
+			}
+		},
+	},
+	"compress_request.json": {
+		target: func() any { return &server.CompressRequest{} },
+		check: func(t *testing.T, v any) {
+			r := v.(*server.CompressRequest)
+			if r.Scene.H != 2 || r.Seed == nil || *r.Seed != 7 {
+				t.Errorf("compress request lost fields: %+v", r)
+			}
+		},
+	},
+	"process_request.json": {
+		target: func() any { return &server.ProcessRequest{} },
+		check: func(t *testing.T, v any) {
+			r := v.(*server.ProcessRequest)
+			if r.Scene.H != 2 || r.Kernel != "edge" || r.Seed == nil || *r.Seed != 7 {
+				t.Errorf("process request lost fields: %+v", r)
+			}
+		},
+	},
+	"infer_scene_request.json": {
+		target: func() any { return &server.InferRequest{} },
+		check: func(t *testing.T, v any) {
+			r := v.(*server.InferRequest)
+			if r.Scene == nil || r.Scene.H != 2 || r.Model != "tiny-cnn" || r.Seed == nil || *r.Seed != 7 {
+				t.Errorf("infer scene request lost fields: %+v", r)
+			}
+		},
+	},
+	"infer_plane_request.json": {
+		target: func() any { return &server.InferRequest{} },
+		check: func(t *testing.T, v any) {
+			r := v.(*server.InferRequest)
+			if r.Plane == nil || r.Plane.C != 1 || r.Scene != nil || r.Model != "tiny-cnn" {
+				t.Errorf("infer plane request lost fields: %+v", r)
+			}
+		},
+	},
+	"matvec_request.json": {
+		target: func() any { return &server.MatVecRequest{} },
+		check: func(t *testing.T, v any) {
+			r := v.(*server.MatVecRequest)
+			if len(r.Weights) != 2 || len(r.Activations) != 2 || r.Seed == nil || *r.Seed != 3 {
+				t.Errorf("matvec request lost fields: %+v", r)
+			}
+		},
+	},
+	"session_request.json": {
+		target: func() any { return &server.SessionRequest{} },
+		check: func(t *testing.T, v any) {
+			r := v.(*server.SessionRequest)
+			if r.Kind != "process" || r.Kernel != "edge" || r.Seed == nil || *r.Seed != 11 ||
+				r.Delta == nil || r.Delta.Block != 8 || r.Delta.Threshold != 0.5 ||
+				r.Window != 4 || r.IdleTimeoutMS != 30000 {
+				t.Errorf("session request lost fields: %+v", r)
+			}
+		},
+	},
+	"session_frame.json": {
+		target: func() any { return &server.SessionFrame{} },
+		check: func(t *testing.T, v any) {
+			if f := v.(*server.SessionFrame); f.Scene.H != 2 {
+				t.Errorf("session frame lost fields: %+v", f)
+			}
+		},
+	},
+	"capture_response.json": {
+		target: func() any { return &server.CaptureResponse{} },
+		check: func(t *testing.T, v any) {
+			if r := v.(*server.CaptureResponse); r.Frame.Rows != 2 || r.Frame.Codes == "" {
+				t.Errorf("capture response lost fields: %+v", r)
+			}
+		},
+	},
+	"compress_response.json": {
+		target: func() any { return &server.CompressResponse{} },
+		check: func(t *testing.T, v any) {
+			if r := v.(*server.CompressResponse); r.Image.H != 2 || r.Image.Pix == "" {
+				t.Errorf("compress response lost fields: %+v", r)
+			}
+		},
+	},
+	"process_response.json": {
+		target: func() any { return &server.ProcessResponse{} },
+		check: func(t *testing.T, v any) {
+			if r := v.(*server.ProcessResponse); r.Plane.H != 2 || r.Plane.Pix == "" {
+				t.Errorf("process response lost fields: %+v", r)
+			}
+		},
+	},
+	"infer_response.json": {
+		target: func() any { return &server.InferResponse{} },
+		check: func(t *testing.T, v any) {
+			if r := v.(*server.InferResponse); r.Model != "tiny-cnn" || len(r.Logits) != 2 || r.Class != 1 {
+				t.Errorf("infer response lost fields: %+v", r)
+			}
+		},
+	},
+	"error_response.json": {
+		target: func() any { return &server.ErrorResponse{} },
+		check: func(t *testing.T, v any) {
+			r := v.(*server.ErrorResponse)
+			if r.Code != "bad_request" || r.Message == "" || r.Detail == "" || r.Error == "" {
+				t.Errorf("error response lost fields: %+v", r)
+			}
+		},
+	},
+	"error_response_legacy.json": {
+		// The pre-structured shape: just {"error": "..."} — old bodies
+		// (and old clients' expectations) must survive the new fields.
+		target: func() any { return &server.ErrorResponse{} },
+		check: func(t *testing.T, v any) {
+			if r := v.(*server.ErrorResponse); r.Error == "" {
+				t.Errorf("legacy error response lost fields: %+v", r)
+			}
+		},
+	},
+}
+
+func TestWireCompat(t *testing.T) {
+	dir := filepath.Join("testdata", "wire")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		fix, ok := wireFixtures[e.Name()]
+		if !ok {
+			t.Errorf("fixture %s has no registered decode target", e.Name())
+			continue
+		}
+		seen[e.Name()] = true
+		body, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := fix.target()
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(v); err != nil {
+			t.Errorf("%s no longer decodes against the current wire types: %v", e.Name(), err)
+			continue
+		}
+		fix.check(t, v)
+	}
+	for name := range wireFixtures {
+		if !seen[name] {
+			t.Errorf("registered fixture %s is missing from %s", name, dir)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package session
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrLimit means the registry is at its open-session cap.
+var ErrLimit = errors.New("session: open-session limit reached")
+
+// ManagerConfig tunes the session registry.
+type ManagerConfig struct {
+	// MaxSessions bounds concurrently open sessions (default 64).
+	MaxSessions int
+	// IdleTimeout expires sessions with no activity (default 60s);
+	// per-session Config.IdleTimeout overrides it. Negative disables
+	// expiry.
+	IdleTimeout time.Duration
+	// SweepEvery is the expiry check period (default IdleTimeout/4,
+	// clamped to [10ms, 5s]).
+	SweepEvery time.Duration
+}
+
+// withDefaults resolves zero values.
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 60 * time.Second
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = c.IdleTimeout / 4
+		if c.SweepEvery < 10*time.Millisecond {
+			c.SweepEvery = 10 * time.Millisecond
+		}
+		if c.SweepEvery > 5*time.Second {
+			c.SweepEvery = 5 * time.Second
+		}
+	}
+	return c
+}
+
+// ManagerStats is the registry's cumulative accounting, aggregated over
+// open and already-closed sessions.
+type ManagerStats struct {
+	Open         int64 `json:"open"`
+	Opened       int64 `json:"opened_total"`
+	Closed       int64 `json:"closed_total"`
+	Expired      int64 `json:"expired_total"`
+	Frames       int64 `json:"frames_total"`
+	BlocksTotal  int64 `json:"blocks_total"`
+	BlocksReused int64 `json:"blocks_reused_total"`
+	// PerSession carries each open session's reuse counters, keyed by id.
+	PerSession map[string]Stats `json:"per_session,omitempty"`
+}
+
+// Manager owns the live session registry: id allocation, the session
+// cap, idle expiry, and drain.
+type Manager struct {
+	cfg ManagerConfig
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	draining bool
+	// retired accumulates counters of sessions that have closed, so the
+	// aggregate series in /metrics never go backwards.
+	retired struct {
+		frames, blocksTotal, blocksReused int64
+	}
+	opened, closed, expired int64
+
+	stopSweep chan struct{}
+	sweepDone chan struct{}
+}
+
+// NewManager starts the registry and its idle sweeper.
+func NewManager(cfg ManagerConfig) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:       cfg,
+		sessions:  make(map[string]*Session),
+		stopSweep: make(chan struct{}),
+		sweepDone: make(chan struct{}),
+	}
+	go m.sweep()
+	return m
+}
+
+// newID mints an unguessable session handle.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to a
+		// constant-prefix counter would risk collisions, so panic loudly.
+		panic(fmt.Sprintf("session: id entropy unavailable: %v", err))
+	}
+	return "s-" + hex.EncodeToString(b[:])
+}
+
+// Open validates cfg, assigns an id, and registers the session.
+func (m *Manager) Open(cfg Config) (*Session, error) {
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = m.cfg.IdleTimeout
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrClosed
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		return nil, fmt.Errorf("session: limit of %d open sessions reached: %w", m.cfg.MaxSessions, ErrLimit)
+	}
+	id := newID()
+	for m.sessions[id] != nil {
+		id = newID()
+	}
+	s, err := New(id, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.sessions[id] = s
+	m.opened++
+	return s, nil
+}
+
+// Get returns the open session with the given id.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// Close closes and deregisters a session, returning it (for final
+// stats) when it was open.
+func (m *Manager) Close(id string) (*Session, bool) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+		m.closed++
+		m.retire(s)
+	}
+	m.mu.Unlock()
+	if ok {
+		s.Close()
+	}
+	return s, ok
+}
+
+// retire folds a departing session's counters into the aggregate;
+// caller holds mu.
+func (m *Manager) retire(s *Session) {
+	st := s.Stats()
+	m.retired.frames += st.Frames
+	m.retired.blocksTotal += st.BlocksTotal
+	m.retired.blocksReused += st.BlocksReused
+}
+
+// sweep expires idle sessions until Drain.
+func (m *Manager) sweep() {
+	defer close(m.sweepDone)
+	t := time.NewTicker(m.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopSweep:
+			return
+		case now := <-t.C:
+			var expired []*Session
+			m.mu.Lock()
+			for id, s := range m.sessions {
+				idle := s.Config().IdleTimeout
+				if idle < 0 {
+					continue
+				}
+				if s.Idle(now, idle) {
+					delete(m.sessions, id)
+					m.expired++
+					m.retire(s)
+					expired = append(expired, s)
+				}
+			}
+			m.mu.Unlock()
+			for _, s := range expired {
+				s.Close()
+			}
+		}
+	}
+}
+
+// Drain closes every session, refuses new ones, and waits for active
+// streams to finish their in-flight frames. Idempotent.
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		<-m.sweepDone
+		return
+	}
+	m.draining = true
+	open := make([]*Session, 0, len(m.sessions))
+	for id, s := range m.sessions {
+		delete(m.sessions, id)
+		m.closed++
+		m.retire(s)
+		open = append(open, s)
+	}
+	m.mu.Unlock()
+	close(m.stopSweep)
+	for _, s := range open {
+		s.Close()
+	}
+	for _, s := range open {
+		s.streams.Wait()
+	}
+	<-m.sweepDone
+}
+
+// Stats aggregates the registry's counters: open-session counters are
+// sampled live, closed ones come from the retirement tally.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	open := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		open = append(open, s)
+	}
+	st := ManagerStats{
+		Open:         int64(len(open)),
+		Opened:       m.opened,
+		Closed:       m.closed,
+		Expired:      m.expired,
+		Frames:       m.retired.frames,
+		BlocksTotal:  m.retired.blocksTotal,
+		BlocksReused: m.retired.blocksReused,
+	}
+	m.mu.Unlock()
+	if len(open) > 0 {
+		st.PerSession = make(map[string]Stats, len(open))
+	}
+	for _, s := range open {
+		ss := s.Stats()
+		st.PerSession[s.ID()] = ss
+		st.Frames += ss.Frames
+		st.BlocksTotal += ss.BlocksTotal
+		st.BlocksReused += ss.BlocksReused
+	}
+	return st
+}

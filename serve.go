@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"time"
 
+	"lightator/internal/kernels"
+	"lightator/internal/pipeline"
 	"lightator/internal/server"
 )
 
@@ -59,8 +61,37 @@ type (
 	MatVecResponse = server.MatVecResponse
 	// SimulateRequest is the /v1/simulate request ({"model": "lenet"}).
 	SimulateRequest = server.SimulateRequest
-	// ServerError is the body of every non-2xx server response.
+	// ServerError is the body of every non-2xx server response
+	// ({"code","message","detail"} plus the legacy "error" string).
 	ServerError = server.ErrorResponse
+	// Envelope is the request fields every frame endpoint shares (scene
+	// + optional seed override).
+	Envelope = server.Envelope
+	// SessionRequest opens a streaming session (POST /v1/session).
+	SessionRequest = server.SessionRequest
+	// SessionResponse describes an opened session.
+	SessionResponse = server.SessionResponse
+	// SessionFrame is one NDJSON input line of a session frame stream.
+	SessionFrame = server.SessionFrame
+	// SessionResult is one NDJSON output line of a session frame stream.
+	SessionResult = server.SessionResult
+	// SessionSummary is the trailing NDJSON record of a clean stream.
+	SessionSummary = server.SessionSummary
+	// SessionStatsResponse reports a session's cumulative counters.
+	SessionStatsResponse = server.SessionStatsResponse
+	// DeltaWire is the wire form of the temporal-reuse configuration.
+	DeltaWire = server.DeltaWire
+)
+
+// Wire-request constructors (the composite-literal forms changed when
+// the shared envelope landed).
+var (
+	// NewCaptureRequest builds a /v1/capture body; seed may be nil.
+	NewCaptureRequest = server.NewCaptureRequest
+	// NewCompressRequest builds a /v1/compress body; seed may be nil.
+	NewCompressRequest = server.NewCompressRequest
+	// NewProcessRequest builds a /v1/process body; seed may be nil.
+	NewProcessRequest = server.NewProcessRequest
 )
 
 // EncodeImage converts an image to its wire form.
@@ -113,6 +144,15 @@ type ServeOptions struct {
 	// default — profiling endpoints do not belong on an unauthenticated
 	// production surface.
 	Debug bool
+	// MaxSessions bounds concurrently open streaming sessions
+	// (default 64).
+	MaxSessions int
+	// SessionIdleTimeout expires streaming sessions with no activity
+	// (default 60s; negative disables expiry).
+	SessionIdleTimeout time.Duration
+	// SessionWindow is the default per-stream in-flight frame window —
+	// the connection-level backpressure bound (default 8).
+	SessionWindow int
 }
 
 // NewServer builds the HTTP serving layer over this accelerator. The
@@ -139,27 +179,36 @@ func (a *Accelerator) NewServer(opts ServeOptions) (*Server, error) {
 	}
 	var compress *Pipeline
 	process := make(map[string]*Pipeline)
-	kernels := []KernelInfo{}
+	kernelInfos := []KernelInfo{}
+	kernelObjs := make(map[string]kernels.Kernel)
 	inferPipes := make(map[string]*Pipeline)
 	modelInfos := []ModelInfo{}
+	modelObjs := make(map[string]pipeline.InferModel)
 	if a.ca != nil {
 		compress, err = a.NewPipeline(PipelineOptions{Workers: opts.Workers})
 		if err != nil {
 			return nil, err
 		}
 		// One capture+CA+kernel pipeline per registered kernel, each with
-		// its own micro-batcher in the serving layer.
+		// its own micro-batcher in the serving layer. The bare operator
+		// rides along for the session layer, which runs the kernel stage
+		// itself after the temporal-delta diff.
 		for _, name := range a.Kernels() {
 			p, err := a.NewPipeline(PipelineOptions{Workers: opts.Workers, Kernel: name})
 			if err != nil {
 				return nil, err
 			}
 			process[name] = p
+			k, err := a.eng.Kernel(name)
+			if err != nil {
+				return nil, err
+			}
+			kernelObjs[name] = k
 			desc, err := a.KernelDescription(name)
 			if err != nil {
 				return nil, err
 			}
-			kernels = append(kernels, KernelInfo{Name: name, Description: desc})
+			kernelInfos = append(kernelInfos, KernelInfo{Name: name, Description: desc})
 		}
 		// Likewise one capture+CA+infer pipeline per registered model.
 		// Models registered after NewServer are not served — register
@@ -174,6 +223,7 @@ func (a *Accelerator) NewServer(opts ServeOptions) (*Server, error) {
 			if err != nil {
 				return nil, err
 			}
+			modelObjs[name] = m
 			h, w := m.InputDims()
 			info := ModelInfo{
 				Name: name, Description: m.Description(),
@@ -190,12 +240,14 @@ func (a *Accelerator) NewServer(opts ServeOptions) (*Server, error) {
 		}
 	}
 	return server.New(server.Backend{
-		Capture:  capture,
-		Compress: compress,
-		Process:  process,
-		Kernels:  kernels,
-		Infer:    inferPipes,
-		Models:   modelInfos,
+		Capture:       capture,
+		Compress:      compress,
+		Process:       process,
+		Kernels:       kernelInfos,
+		Infer:         inferPipes,
+		Models:        modelInfos,
+		KernelObjects: kernelObjs,
+		ModelObjects:  modelObjs,
 		// Plane requests bypass the pipeline, so the worker bound is
 		// applied here; the infer determinism contract keeps the worker
 		// count unobservable in the response bytes.
@@ -219,12 +271,15 @@ func (a *Accelerator) NewServer(opts ServeOptions) (*Server, error) {
 		Energy: a.params,
 		WBits:  a.cfg.Precision.WBits,
 	}, server.Config{
-		BatchSize:    opts.BatchSize,
-		BatchDelay:   opts.BatchDelay,
-		Queue:        opts.Queue,
-		MaxBatches:   opts.MaxBatches,
-		CacheEntries: opts.CacheEntries,
-		TraceEntries: opts.TraceEntries,
-		Debug:        opts.Debug,
+		BatchSize:          opts.BatchSize,
+		BatchDelay:         opts.BatchDelay,
+		Queue:              opts.Queue,
+		MaxBatches:         opts.MaxBatches,
+		CacheEntries:       opts.CacheEntries,
+		TraceEntries:       opts.TraceEntries,
+		Debug:              opts.Debug,
+		MaxSessions:        opts.MaxSessions,
+		SessionIdleTimeout: opts.SessionIdleTimeout,
+		SessionWindow:      opts.SessionWindow,
 	})
 }

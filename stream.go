@@ -1,0 +1,99 @@
+package lightator
+
+import (
+	"fmt"
+
+	"lightator/internal/oc"
+	"lightator/internal/session"
+)
+
+// DeriveSeed is the SplitMix64 seed derivation the streaming contract
+// is stated in terms of: session frame i is processed exactly as a
+// per-frame call with request seed DeriveSeed(sessionSeed, i).
+func DeriveSeed(seed int64, i int) int64 { return oc.DeriveSeed(seed, i) }
+
+// Streaming video sessions: the facade form of the serving layer's
+// /v1/session API. A session carries a persistent seed chain — frame i
+// is processed exactly as the corresponding per-frame call with seed
+// DeriveSeed(sessionSeed, i) — and exploits inter-frame redundancy in
+// the compressed domain: consecutive CA measurement planes are diffed
+// on a block grid and kernel/inference work runs only where
+// measurements changed (bit-identically at the default exact
+// threshold). See docs/API.md#sessions and docs/SERVER.md.
+type (
+	// StreamSession is one streaming video session.
+	StreamSession = session.Session
+	// SessionStats is a session's cumulative reuse accounting.
+	SessionStats = session.Stats
+	// SessionFrameResult is one ordered frame's session output.
+	SessionFrameResult = session.FrameResult
+	// DeltaOptions tunes temporal delta reuse.
+	DeltaOptions = session.DeltaConfig
+)
+
+// SessionOptions configure a streaming session. Zero values take the
+// documented defaults.
+type SessionOptions struct {
+	// Kind selects the per-frame computation: "compress", "process" or
+	// "infer".
+	Kind string
+	// Kernel names the compressed-domain kernel (kind "process").
+	Kernel string
+	// Model names the inference model (kind "infer").
+	Model string
+	// Seed overrides the accelerator's Config.Seed as the session seed
+	// when non-nil.
+	Seed *int64
+	// Workers bounds per-batch pipeline concurrency and the kernel/infer
+	// stage parallelism; 0 means runtime.NumCPU(). The determinism
+	// contract keeps the count unobservable in output bytes.
+	Workers int
+	// Window bounds in-flight frames per stream (default 8).
+	Window int
+	// Delta tunes temporal reuse; the zero value is the exact-threshold
+	// default (bit-identical reuse).
+	Delta DeltaOptions
+}
+
+// NewSession opens a streaming session over this accelerator. The
+// returned session's Stream method consumes scenes from a channel and
+// emits ordered frame results; output bytes are identical to the
+// corresponding per-frame facade calls (AcquireCompressed /
+// ProcessCompressed / Infer with seed DeriveSeed(sessionSeed, i)) at
+// any worker count. Close the session when done.
+func (a *Accelerator) NewSession(opts SessionOptions) (*StreamSession, error) {
+	if a.ca == nil {
+		return nil, fmt.Errorf("lightator: sessions need compressive acquisition (CAPool = 0)")
+	}
+	pipe, err := a.NewPipeline(PipelineOptions{Workers: opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	seed := a.cfg.Seed
+	if opts.Seed != nil {
+		seed = *opts.Seed
+	}
+	cfg := session.Config{
+		Kind:          session.Kind(opts.Kind),
+		Pipe:          pipe,
+		Seed:          seed,
+		Workers:       opts.Workers,
+		Window:        opts.Window,
+		Delta:         opts.Delta,
+		Deterministic: a.cfg.Fidelity != PhysicalNoisy,
+		// Facade sessions have no manager sweeping them; expiry is the
+		// caller's concern.
+		IdleTimeout: -1,
+	}
+	switch cfg.Kind {
+	case session.KindProcess:
+		if cfg.Kernel, err = a.eng.Kernel(opts.Kernel); err != nil {
+			return nil, err
+		}
+	case session.KindInfer:
+		if cfg.Model, err = a.inf.Model(opts.Model); err != nil {
+			return nil, err
+		}
+	}
+	return session.New("local", cfg)
+}
