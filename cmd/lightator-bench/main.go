@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -76,6 +77,22 @@ type benchReport struct {
 	// contract quotes. New optional fields are safe: benchdiff ignores
 	// unknown baseline fields.
 	Stream *streamBenchRecord `json:"stream,omitempty"`
+	// ABFT compares the hot MVM apply with checksum verification on
+	// (the default everywhere in this report) against a NoABFT core, so
+	// BENCH_*.json records the fault-detection overhead the kernel/infer
+	// FPS above already pay (docs/FAULTS.md#overhead). New optional
+	// fields are safe: benchdiff ignores unknown baseline fields.
+	ABFT *abftBenchRecord `json:"abft,omitempty"`
+}
+
+// abftBenchRecord is the measured cost of ABFT checksum verification on
+// one seeded MVM apply (PhysicalNoisy, the worst case: the checksum row
+// burns an extra readout plus a full noise stream).
+type abftBenchRecord struct {
+	NSPerOpOn  float64 `json:"ns_per_op_abft_on"`
+	NSPerOpOff float64 `json:"ns_per_op_abft_off"`
+	// OverheadFrac is (on-off)/off — the ISSUE budget caps it at 0.10.
+	OverheadFrac float64 `json:"overhead_frac"`
 }
 
 // streamBenchRecord compares a streaming session (persistent seed
@@ -383,6 +400,152 @@ func measureMVMAllocs(seed int64) (float64, error) {
 	}), nil
 }
 
+// measureABFTOverhead times one seeded MVM apply with checksum
+// verification on versus a NoABFT core over the same 32x64 matrix
+// (stride 1: every apply checked — the worst case), taking the best of
+// three reps each to shed scheduler noise.
+func measureABFTOverhead(seed int64) (*abftBenchRecord, error) {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([][]float64, 32)
+	for r := range w {
+		w[r] = make([]float64, 64)
+		for c := range w[r] {
+			w[r][c] = rng.Float64()*2 - 1
+		}
+	}
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	time1 := func(noABFT bool) (float64, error) {
+		core, err := oc.NewCore(4, 4, oc.PhysicalNoisy)
+		if err != nil {
+			return 0, err
+		}
+		core.NoABFT = noABFT
+		pm, err := core.Program(w)
+		if err != nil {
+			return 0, err
+		}
+		y := make([]float64, pm.Rows())
+		if err := pm.ApplySeededInto(y, x, seed); err != nil { // warm pools
+			return 0, err
+		}
+		const iters = 2000
+		best := math.Inf(1)
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := pm.ApplySeededInto(y, x, oc.DeriveSeed(seed, i)); err != nil {
+					return 0, err
+				}
+			}
+			if ns := float64(time.Since(t0).Nanoseconds()) / iters; ns < best {
+				best = ns
+			}
+		}
+		return best, nil
+	}
+	on, err := time1(false)
+	if err != nil {
+		return nil, err
+	}
+	off, err := time1(true)
+	if err != nil {
+		return nil, err
+	}
+	return &abftBenchRecord{NSPerOpOn: on, NSPerOpOff: off, OverheadFrac: (on - off) / off}, nil
+}
+
+// runChaosSmoke is the -chaos mode: a short fault-plan run through the
+// capture+CA+kernel pipeline (the CI chaos smoke step). It verifies the
+// fault-tolerance machinery end to end on real serving paths — every
+// frame completes, ABFT detects the persistent faults within the run,
+// and the recovery ladder resolves each one (recalibration or retirement
+// to the digital fallback; unrecovered checks fail the smoke) — and
+// prints the per-component health table.
+func runChaosSmoke(workers int, seed int64) error {
+	cfg := lightator.DefaultConfig()
+	cfg.SensorRows, cfg.SensorCols = 64, 64
+	cfg.Seed = seed
+	cfg.FaultPlan = &lightator.FaultPlan{Name: "bench-chaos", Faults: []lightator.Fault{
+		// Absorbable drift on the CA bank: recalibration tier.
+		{Kind: "drift_coeff", Target: "ca", Row: 0, Col: 1, Value: 0.03},
+		// Hard-stuck kernel coefficient: retire + digital fallback tier.
+		{Kind: "stuck_coeff", Target: "kernel:edge", Row: 0, Col: 0, Value: 0.95},
+		// Windowed readout spike on every bank: bounded-retry tier.
+		{Kind: "bit_flip", Target: "*", Row: 0, Value: 0.4,
+			Window: lightator.FaultWindow{Period: 8, Duty: 1, Salt: 9}},
+	}}
+	acc, err := lightator.New(cfg)
+	if err != nil {
+		return err
+	}
+	p, err := acc.NewPipeline(lightator.PipelineOptions{Workers: workers, Kernel: "edge"})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scenes := make([]*lightator.Image, 16)
+	for i := range scenes {
+		s := lightator.NewImage(cfg.SensorRows, cfg.SensorCols, 3)
+		for j := range s.Pix {
+			s.Pix[j] = rng.Float64()
+		}
+		scenes[i] = s
+	}
+	results, stats, err := p.Run(scenes)
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("frame %d failed: %w", i, r.Err)
+		}
+	}
+	fmt.Printf("== chaos smoke (%d frames, plan %s) ==\n", len(scenes), cfg.FaultPlan.Name)
+	fmt.Printf("%-16s %8s %10s %8s %8s %8s %11s\n",
+		"component", "checks", "detections", "retried", "recals", "retired", "unrecovered")
+	var detections, unrecovered int64
+	for _, h := range acc.Health() {
+		fmt.Printf("%-16s %8d %10d %8d %8d %8d %11d\n",
+			h.Label, h.Checks, h.Detections, h.RetrySuccesses, h.Recalibrations, h.RetiredRows, h.Unrecovered)
+		detections += h.Detections
+		unrecovered += h.Unrecovered
+	}
+	fmt.Printf("throughput under chaos: %.1f frames/sec, degraded=%v\n", stats.Report().FPS, acc.Degraded())
+	if detections == 0 {
+		return fmt.Errorf("no ABFT detections — the plan never fired")
+	}
+	// Unrecovered checks are a legitimate terminal tier (the response is
+	// flagged degraded, never silently corrupted), but they should be the
+	// rare triple-coincidence tail, not the norm.
+	if unrecovered*10 > detections {
+		return fmt.Errorf("%d of %d detections left unrecovered — ladder not converging", unrecovered, detections)
+	}
+	for _, want := range []struct {
+		label string
+		check func(h lightator.ComponentHealth) bool
+		desc  string
+	}{
+		{"ca", func(h lightator.ComponentHealth) bool { return h.Recalibrations > 0 && h.RetiredRows == 0 },
+			"absorbable drift must recalibrate, not retire"},
+		{"kernel:edge", func(h lightator.ComponentHealth) bool { return h.RetiredRows > 0 },
+			"hard-stuck coefficient must retire its row"},
+	} {
+		ok := false
+		for _, h := range acc.Health() {
+			if h.Label == want.label && want.check(h) {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%s: %s", want.label, want.desc)
+		}
+	}
+	return nil
+}
+
 // runPipelineBench streams `batch` synthetic 256x256 scenes through the
 // concurrent pipeline (capture + compressive acquisition + a small MVM
 // head) at the given worker count, printing measured aggregate FPS with
@@ -471,6 +634,10 @@ func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep, infer
 		if err != nil {
 			return err
 		}
+		abft, err := measureABFTOverhead(seed)
+		if err != nil {
+			return err
+		}
 		j, kfpsPerW := modeledEnergy(p, energy.Default(), cfg.Precision.WBits)
 		out := benchReport{
 			Batch:             batch,
@@ -486,6 +653,7 @@ func runPipelineBench(batch, workers int, seed int64, asJSON, kernelSweep, infer
 			Kernels:           kernelRecords,
 			Infer:             inferRecords,
 			Stream:            streamRecord,
+			ABFT:              abft,
 		}
 		if out.NumCPU == 1 {
 			out.Caveat = "single-CPU host: worker parallelism cannot speed up this run; measured FPS understates multi-core throughput"
@@ -547,6 +715,7 @@ func realMain() int {
 	inferSweep := flag.Bool("infer", false, "with -batch: additionally sweep every registered inference model and report per-model throughput and optical-vs-reference agreement")
 	streamBench := flag.Bool("stream", false, "run a streaming session with temporal delta reuse over a mostly-static scene sequence and report session vs per-frame FPS (implies -batch 48 when unset)")
 	paper := flag.Bool("paper", false, "regenerate the continuously-verified paper-claims table (training-free; markdown to stdout, exit 1 on drift)")
+	chaos := flag.Bool("chaos", false, "run a short fault-plan chaos smoke through the serving pipeline and verify detection + recovery (exit 1 on any miss; docs/FAULTS.md)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (go tool pprof; docs/PERF.md)")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile of the run to this file (go tool pprof; docs/PERF.md)")
 	flag.Parse()
@@ -587,6 +756,14 @@ func realMain() int {
 		}
 		fmt.Print(res.Render())
 		if len(res.Failing()) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	if *chaos {
+		if err := runChaosSmoke(*workers, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "lightator-bench: chaos: %v\n", err)
 			return 1
 		}
 		return 0

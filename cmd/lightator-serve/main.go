@@ -12,6 +12,7 @@
 //	lightator-serve -fidelity physical-noisy -batch 16 -batch-delay 5ms
 //	lightator-serve -rows 64 -cols 64 -capool 4 -queue 256
 //	lightator-serve -max-sessions 32 -session-idle 30s -session-window 4
+//	lightator-serve -fault-plan plan.json -reject-degraded -request-timeout 2s
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, new
 // work is rejected with 503, and in-flight micro-batches drain before the
@@ -53,6 +54,14 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "concurrently open streaming sessions (0 = default 64)")
 	sessionIdle := flag.Duration("session-idle", 0, "idle expiry for streaming sessions (0 = default 60s, negative disables)")
 	sessionWindow := flag.Int("session-window", 0, "default in-flight frame window per session stream (0 = default 8)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline, 504 on expiry (0 disables)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 0, "HTTP header read deadline (0 = default 10s, negative disables)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "HTTP keep-alive idle deadline (0 = default 120s, negative disables)")
+	rejectDegraded := flag.Bool("reject-degraded", false, "answer 503 degraded_unavailable instead of degraded-flagged 200s")
+	shedCacheMiss := flag.Float64("shed-cache-miss", 0, "queue occupancy shedding uncached compute (0 = default 0.75, negative disables)")
+	shedNonSession := flag.Float64("shed-non-session", 0, "queue occupancy shedding all non-session compute (0 = default 0.90, negative disables)")
+	shedAll := flag.Float64("shed-all", 0, "queue occupancy shedding everything incl. sessions (0 = default 0.98, negative disables)")
+	faultPlanPath := flag.String("fault-plan", "", "JSON fault-injection plan activating chaos mode (see docs/FAULTS.md)")
 	flag.Parse()
 
 	cfg := lightator.DefaultConfig()
@@ -79,6 +88,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lightator-serve: unknown fidelity %q\n", *fidelity)
 		os.Exit(1)
 	}
+	if *faultPlanPath != "" {
+		data, err := os.ReadFile(*faultPlanPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lightator-serve: fault plan: %v\n", err)
+			os.Exit(1)
+		}
+		plan, err := lightator.ParseFaultPlan(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lightator-serve: fault plan %s: %v\n", *faultPlanPath, err)
+			os.Exit(1)
+		}
+		cfg.FaultPlan = plan
+	}
 
 	acc, err := lightator.New(cfg)
 	if err != nil {
@@ -98,6 +120,14 @@ func main() {
 		MaxSessions:        *maxSessions,
 		SessionIdleTimeout: *sessionIdle,
 		SessionWindow:      *sessionWindow,
+
+		RequestTimeout:    *requestTimeout,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
+		RejectDegraded:    *rejectDegraded,
+		ShedCacheMiss:     *shedCacheMiss,
+		ShedNonSession:    *shedNonSession,
+		ShedAll:           *shedAll,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lightator-serve: %v\n", err)
@@ -109,9 +139,13 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(*addr) }()
-	fmt.Printf("lightator-serve: %s sensor %dx%d %s, micro-batch %d@%v, %d compressed-domain kernels, listening on %s\n",
+	chaos := ""
+	if cfg.FaultPlan != nil {
+		chaos = fmt.Sprintf(", CHAOS MODE (%d faults, cache off)", len(cfg.FaultPlan.Faults))
+	}
+	fmt.Printf("lightator-serve: %s sensor %dx%d %s, micro-batch %d@%v, %d compressed-domain kernels%s, listening on %s\n",
 		cfg.Fidelity, cfg.SensorRows, cfg.SensorCols,
-		cfg.Precision.Name(), *batch, *batchDelay, len(acc.Kernels()), *addr)
+		cfg.Precision.Name(), *batch, *batchDelay, len(acc.Kernels()), chaos, *addr)
 
 	select {
 	case err := <-errCh:

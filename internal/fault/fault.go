@@ -1,0 +1,259 @@
+// Package fault models deterministic hardware fault injection for the
+// optical core (docs/FAULTS.md). A Plan is a declarative list of faults —
+// stuck or drifting MR coefficients, laser power droop over a row range,
+// transient measurement bit-flips, comparator stuck-ats in the ADC-less
+// readout — each with an optional activation window. Plans are pure data:
+// the consuming layers (internal/oc for coefficient/readout faults,
+// internal/pipeline for comparator faults) compile them into injection
+// hooks behind a zero-cost no-op default.
+//
+// Determinism contract: whether a fault is active during a given apply is
+// a pure function of the apply's derived seed and the fault's window (a
+// SplitMix64 hash, not wall time or call order), so chaos runs are
+// reproducible byte-for-byte at any worker count — the same property every
+// other seeded path in this repo holds.
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Kind names one fault mechanism.
+type Kind string
+
+const (
+	// StuckCoeff forces one programmed MR coefficient (Target, Row, Col)
+	// to Value — the ring no longer responds to tuning (e.g. a heater
+	// driver stuck at a rail). Persistent by default.
+	StuckCoeff Kind = "stuck_coeff"
+	// DriftCoeff offsets one programmed MR coefficient by Value — thermal
+	// drift pulling the ring off its programmed level.
+	DriftCoeff Kind = "drift_coeff"
+	// LaserDroop scales the readout of rows [Row, RowEnd] by (1-Value) —
+	// power droop on one laser distribution branch feeding a bank group.
+	// Value is the fractional power loss in (0, 1).
+	LaserDroop Kind = "laser_droop"
+	// BitFlip adds a transient spike of magnitude Value (sign derived from
+	// the activation hash) to row Row's measurement — a corrupted readout
+	// sample. Meaningful only with a Window; a persistent bit-flip is a
+	// stuck measurement.
+	BitFlip Kind = "bit_flip"
+	// ComparatorStuck pins CRC comparator Col of the sensor readout to a
+	// rail: Value > 0 sticks it on (+1 on codes it should not join),
+	// Value <= 0 sticks it off (-1 on codes it should join). Applied on
+	// the capture path (Target "sensor"), before the optical core — ABFT
+	// cannot see it (the corruption is in the input, not the MVM), which
+	// is exactly why it is part of the taxonomy. Row/RowEnd, when set,
+	// bound the affected sensor rows.
+	ComparatorStuck Kind = "comparator_stuck"
+)
+
+// TargetSensor is the Target naming the sensor readout (comparator
+// faults); optical-core faults target a programmed matrix label such as
+// "ca", "kernel:edge", "model:lenet/0", "mvm", or "*" for every labelled
+// matrix.
+const TargetSensor = "sensor"
+
+// Window gates a fault in time. The fault is active during an apply iff
+// hash(applySeed, Salt) mod Period < Duty; the zero Window (Period 0) is
+// always active — a persistent fault. Because the predicate hashes the
+// apply's derived seed, activation is identical at any worker count.
+type Window struct {
+	// Period is the modulus of the activation hash; 0 means persistent.
+	Period uint32 `json:"period,omitempty"`
+	// Duty is how many residues out of Period are active.
+	Duty uint32 `json:"duty,omitempty"`
+	// Salt decorrelates windows of faults sharing a period.
+	Salt uint32 `json:"salt,omitempty"`
+}
+
+// Persistent reports whether the window is always active.
+func (w Window) Persistent() bool { return w.Period == 0 }
+
+// Active reports whether the window is open for an apply with the given
+// derived seed.
+func (w Window) Active(seed int64) bool {
+	if w.Period == 0 {
+		return true
+	}
+	return uint32(hash64(uint64(seed)^(uint64(w.Salt)+0x9e3779b97f4a7c15))%uint64(w.Period)) < w.Duty
+}
+
+// hash64 is the SplitMix64 finalizer — the same mixer oc.DeriveSeed uses,
+// so window activation inherits its avalanche quality.
+func hash64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Spike returns the signed magnitude of a BitFlip fault for a given apply
+// seed: |Value| with a hash-derived sign, so repeated transients do not
+// all push the same way.
+func Spike(value float64, seed int64, salt uint32) float64 {
+	if value < 0 {
+		value = -value
+	}
+	if hash64(uint64(seed)+uint64(salt)*0x2545f4914f6cdd1d)&1 == 1 {
+		return -value
+	}
+	return value
+}
+
+// Fault is one injected hardware defect.
+type Fault struct {
+	Kind   Kind   `json:"kind"`
+	Target string `json:"target"`
+	// Row is the affected programmed row (or first sensor row for
+	// comparator faults over a range).
+	Row int `json:"row,omitempty"`
+	// RowEnd is the inclusive last row for range kinds (LaserDroop,
+	// ComparatorStuck); 0 means Row only.
+	RowEnd int `json:"row_end,omitempty"`
+	// Col is the affected column (coefficient kinds) or comparator index
+	// (ComparatorStuck).
+	Col int `json:"col,omitempty"`
+	// Value is kind-specific: the forced coefficient (StuckCoeff), the
+	// coefficient offset (DriftCoeff), the fractional power loss
+	// (LaserDroop), the spike magnitude (BitFlip), or the stuck rail sign
+	// (ComparatorStuck).
+	Value  float64 `json:"value"`
+	Window Window  `json:"window,omitempty"`
+}
+
+// LastRow returns the inclusive end of the fault's row range.
+func (f Fault) LastRow() int {
+	if f.RowEnd > f.Row {
+		return f.RowEnd
+	}
+	return f.Row
+}
+
+// Matches reports whether the fault targets a matrix with the given
+// label. The sensor target never matches a matrix; "*" matches every
+// labelled matrix.
+func (f Fault) Matches(label string) bool {
+	if label == "" || f.Target == TargetSensor {
+		return false
+	}
+	return f.Target == "*" || f.Target == label
+}
+
+// validate checks one fault's fields.
+func (f Fault) validate(i int) error {
+	switch f.Kind {
+	case StuckCoeff:
+		if f.Value < -1 || f.Value > 1 {
+			return fmt.Errorf("fault %d: stuck_coeff value %g outside [-1,1]", i, f.Value)
+		}
+	case DriftCoeff:
+		if f.Value < -2 || f.Value > 2 {
+			return fmt.Errorf("fault %d: drift_coeff value %g outside [-2,2]", i, f.Value)
+		}
+	case LaserDroop:
+		if f.Value <= 0 || f.Value >= 1 {
+			return fmt.Errorf("fault %d: laser_droop value %g outside (0,1)", i, f.Value)
+		}
+	case BitFlip:
+		if f.Value == 0 {
+			return fmt.Errorf("fault %d: bit_flip needs a non-zero magnitude", i)
+		}
+	case ComparatorStuck:
+		if f.Target != TargetSensor {
+			return fmt.Errorf("fault %d: comparator_stuck targets %q, want %q", i, f.Target, TargetSensor)
+		}
+	default:
+		return fmt.Errorf("fault %d: unknown kind %q", i, f.Kind)
+	}
+	if f.Target == "" {
+		return fmt.Errorf("fault %d: empty target", i)
+	}
+	if f.Row < 0 || f.Col < 0 || f.RowEnd < 0 {
+		return fmt.Errorf("fault %d: negative row/col", i)
+	}
+	if f.RowEnd != 0 && f.RowEnd < f.Row {
+		return fmt.Errorf("fault %d: row_end %d before row %d", i, f.RowEnd, f.Row)
+	}
+	if f.Window.Period != 0 && f.Window.Duty > f.Window.Period {
+		return fmt.Errorf("fault %d: duty %d exceeds period %d", i, f.Window.Duty, f.Window.Period)
+	}
+	return nil
+}
+
+// Plan is a named, committed set of faults — the unit chaos suites and
+// the -chaos bench flag consume.
+type Plan struct {
+	Name   string  `json:"name"`
+	Faults []Fault `json:"faults"`
+}
+
+// Validate checks every fault in the plan.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, f := range p.Faults {
+		if err := f.validate(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForLabel returns the plan's faults matching a matrix label (nil when
+// none match — the common, zero-cost case).
+func (p *Plan) ForLabel(label string) []Fault {
+	if p == nil {
+		return nil
+	}
+	var out []Fault
+	for _, f := range p.Faults {
+		if f.Matches(label) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Sensor returns the plan's comparator faults (Target "sensor").
+func (p *Plan) Sensor() []Fault {
+	if p == nil {
+		return nil
+	}
+	var out []Fault
+	for _, f := range p.Faults {
+		if f.Kind == ComparatorStuck && f.Target == TargetSensor {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ParsePlan decodes and validates a JSON plan. Unknown fields are
+// rejected so committed chaos plans cannot silently rot.
+func ParsePlan(data []byte) (*Plan, error) {
+	var p Plan
+	if err := strictUnmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("fault: parse plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	return &p, nil
+}
+
+// Encode renders the plan as indented JSON (the committed-plan format).
+func (p *Plan) Encode() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func validPlan() *Plan {
+	return &Plan{
+		Name: "unit",
+		Faults: []Fault{
+			{Kind: StuckCoeff, Target: "ca", Row: 0, Col: 2, Value: 0.75},
+			{Kind: DriftCoeff, Target: "kernel:edge", Row: 1, Col: 0, Value: 0.05,
+				Window: Window{Period: 8, Duty: 2, Salt: 3}},
+			{Kind: LaserDroop, Target: "*", Row: 0, RowEnd: 3, Value: 0.1},
+			{Kind: BitFlip, Target: "mvm", Row: 2, Value: 0.5,
+				Window: Window{Period: 16, Duty: 1}},
+			{Kind: ComparatorStuck, Target: TargetSensor, Col: 7, Value: 1,
+				Window: Window{Period: 4, Duty: 4}},
+		},
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	p := validPlan()
+	data, err := p.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	q, err := ParsePlan(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	a, _ := json.Marshal(p)
+	b, _ := json.Marshal(q)
+	if string(a) != string(b) {
+		t.Fatalf("round trip drift:\n%s\n%s", a, b)
+	}
+}
+
+func TestParsePlanRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"name":"x","faults":[],"bogus":1}`,
+		"unknown kind":  `{"faults":[{"kind":"melt","target":"ca","value":1}]}`,
+		"empty target":  `{"faults":[{"kind":"drift_coeff","target":"","value":0.1}]}`,
+		"stuck range":   `{"faults":[{"kind":"stuck_coeff","target":"ca","value":1.5}]}`,
+		"droop range":   `{"faults":[{"kind":"laser_droop","target":"ca","value":1}]}`,
+		"zero flip":     `{"faults":[{"kind":"bit_flip","target":"ca","value":0}]}`,
+		"cmp target":    `{"faults":[{"kind":"comparator_stuck","target":"ca","value":1}]}`,
+		"neg row":       `{"faults":[{"kind":"drift_coeff","target":"ca","row":-1,"value":0.1}]}`,
+		"bad range":     `{"faults":[{"kind":"laser_droop","target":"ca","row":4,"row_end":2,"value":0.1}]}`,
+		"duty overflow": `{"faults":[{"kind":"drift_coeff","target":"ca","value":0.1,"window":{"period":4,"duty":5}}]}`,
+	}
+	for name, body := range cases {
+		if _, err := ParsePlan([]byte(body)); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+}
+
+func TestWindowDeterminismAndDuty(t *testing.T) {
+	w := Window{Period: 8, Duty: 2, Salt: 5}
+	active := 0
+	for seed := int64(0); seed < 8000; seed++ {
+		a := w.Active(seed)
+		if a != w.Active(seed) {
+			t.Fatalf("non-deterministic at seed %d", seed)
+		}
+		if a {
+			active++
+		}
+	}
+	// Duty 2/8 => ~25% open; the hash should land well within 3x bounds.
+	if active < 1000 || active > 4000 {
+		t.Fatalf("duty 2/8 opened %d/8000 windows", active)
+	}
+	if !(Window{}).Active(42) || !(Window{}).Persistent() {
+		t.Fatal("zero window must be persistent")
+	}
+	if (Window{Period: 8, Duty: 0}).Active(42) {
+		t.Fatal("zero duty must never open")
+	}
+}
+
+func TestMatchesAndSelectors(t *testing.T) {
+	p := validPlan()
+	if got := len(p.ForLabel("ca")); got != 2 { // ca + "*"
+		t.Fatalf("ForLabel(ca) = %d faults, want 2", got)
+	}
+	if got := len(p.ForLabel("unrelated")); got != 1 { // "*" only
+		t.Fatalf("ForLabel(unrelated) = %d faults, want 1", got)
+	}
+	if p.ForLabel("") != nil {
+		t.Fatal("empty label must match nothing")
+	}
+	if got := len(p.Sensor()); got != 1 {
+		t.Fatalf("Sensor() = %d faults, want 1", got)
+	}
+	var nilPlan *Plan
+	if nilPlan.ForLabel("ca") != nil || nilPlan.Sensor() != nil || nilPlan.Validate() != nil {
+		t.Fatal("nil plan must be a quiet no-op")
+	}
+}
+
+func TestSpikeSignBalance(t *testing.T) {
+	pos := 0
+	for seed := int64(0); seed < 1000; seed++ {
+		v := Spike(0.5, seed, 9)
+		if v != 0.5 && v != -0.5 {
+			t.Fatalf("spike magnitude drifted: %g", v)
+		}
+		if v > 0 {
+			pos++
+		}
+	}
+	if pos < 300 || pos > 700 {
+		t.Fatalf("spike sign imbalance: %d/1000 positive", pos)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	h := r.Component("ca")
+	if h != r.Component("ca") {
+		t.Fatal("Component must be stable per label")
+	}
+	h.Checks.Add(3)
+	h.Detections.Add(1)
+	if r.Degraded() {
+		t.Fatal("detections alone are not degradation")
+	}
+	h.RetiredRows.Add(1)
+	r.Component("mvm").Unrecovered.Add(2)
+	if !r.Degraded() {
+		t.Fatal("retired rows must degrade")
+	}
+	failing := r.Failing()
+	if len(failing) != 2 || failing[0] != "ca" || failing[1] != "mvm" {
+		t.Fatalf("Failing() = %v", failing)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Label != "ca" || snap[0].Checks != 3 || !snap[0].Degraded {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// FuzzFaultPlan fuzzes the plan codec: any accepted input must re-encode
+// and re-parse to an equivalent plan (round-trip stability), and Validate
+// must hold on the reparse — the same contract the wire codecs keep.
+func FuzzFaultPlan(f *testing.F) {
+	seed, err := validPlan().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"name":"","faults":[]}`))
+	f.Add([]byte(`{"faults":[{"kind":"laser_droop","target":"*","row_end":2,"value":0.5}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePlan(data)
+		if err != nil {
+			return
+		}
+		enc, err := p.Encode()
+		if err != nil {
+			t.Fatalf("accepted plan failed to encode: %v", err)
+		}
+		q, err := ParsePlan(enc)
+		if err != nil {
+			t.Fatalf("re-parse of encoded plan failed: %v\n%s", err, enc)
+		}
+		enc2, err := q.Encode()
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatalf("round trip not stable:\n%s\n%s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Health is the live fault-tolerance state of one component (a labelled
+// programmed matrix, or the sensor readout). Counters are cumulative
+// since process start; all methods are safe for concurrent use.
+type Health struct {
+	label string
+	// Checks counts ABFT checksum verifications run.
+	Checks atomic.Int64
+	// Detections counts checks that failed — a fault (or, in noisy
+	// fidelity, an out-of-tolerance excursion) was observed.
+	Detections atomic.Int64
+	// RetrySuccesses counts detections cleared by the bounded-retry tier
+	// (transient faults).
+	RetrySuccesses atomic.Int64
+	// Recalibrations counts rows whose drift was absorbed by
+	// recalibration (the defect-calibration tier).
+	Recalibrations atomic.Int64
+	// RetiredRows counts rows retired to the digital fallback path.
+	RetiredRows atomic.Int64
+	// Unrecovered counts checks that still failed after the full ladder
+	// ran (the response is flagged degraded).
+	Unrecovered atomic.Int64
+}
+
+// Label names the component.
+func (h *Health) Label() string { return h.label }
+
+// Degraded reports whether the component is serving degraded output:
+// any row retired to the digital fallback, or any unrecovered detection.
+func (h *Health) Degraded() bool {
+	return h.RetiredRows.Load() > 0 || h.Unrecovered.Load() > 0
+}
+
+// HealthSnapshot is a point-in-time copy of a component's counters.
+type HealthSnapshot struct {
+	Label          string `json:"label"`
+	Checks         int64  `json:"abft_checks"`
+	Detections     int64  `json:"detections"`
+	RetrySuccesses int64  `json:"retry_successes"`
+	Recalibrations int64  `json:"recalibrations"`
+	RetiredRows    int64  `json:"retired_rows"`
+	Unrecovered    int64  `json:"unrecovered"`
+	Degraded       bool   `json:"degraded"`
+}
+
+// Registry tracks per-component health for one accelerator core. The
+// zero value is unusable; use NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	byLabel map[string]*Health
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byLabel: make(map[string]*Health)}
+}
+
+// Component returns (creating if needed) the health record for a label.
+func (r *Registry) Component(label string) *Health {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.byLabel[label]
+	if !ok {
+		h = &Health{label: label}
+		r.byLabel[label] = h
+	}
+	return h
+}
+
+// Snapshot copies every component's counters, sorted by label.
+func (r *Registry) Snapshot() []HealthSnapshot {
+	r.mu.Lock()
+	hs := make([]*Health, 0, len(r.byLabel))
+	for _, h := range r.byLabel {
+		hs = append(hs, h)
+	}
+	r.mu.Unlock()
+	out := make([]HealthSnapshot, 0, len(hs))
+	for _, h := range hs {
+		out = append(out, HealthSnapshot{
+			Label:          h.label,
+			Checks:         h.Checks.Load(),
+			Detections:     h.Detections.Load(),
+			RetrySuccesses: h.RetrySuccesses.Load(),
+			Recalibrations: h.Recalibrations.Load(),
+			RetiredRows:    h.RetiredRows.Load(),
+			Unrecovered:    h.Unrecovered.Load(),
+			Degraded:       h.Degraded(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// Degraded reports whether any component is degraded.
+func (r *Registry) Degraded() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, h := range r.byLabel {
+		if h.Degraded() {
+			return true
+		}
+	}
+	return false
+}
+
+// Failing lists the labels of degraded components, sorted.
+func (r *Registry) Failing() []string {
+	r.mu.Lock()
+	var out []string
+	for l, h := range r.byLabel {
+		if h.Degraded() {
+			out = append(out, l)
+		}
+	}
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}

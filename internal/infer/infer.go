@@ -143,6 +143,10 @@ func Compile(core *oc.Core, name, desc string, net *nn.Sequential, inH, inW int)
 			}
 			st.kind = stageConv
 			st.conv = layer
+			// Every optical stage is a health component: fault plans target
+			// it as "model:<model>/<layer>" and its ABFT/recovery counters
+			// surface under that label.
+			st.pm.SetLabel("model:" + name + "/" + layer.Name())
 			m.stages = append(m.stages, st)
 			optical++
 		case *nn.Dense:
@@ -151,6 +155,7 @@ func Compile(core *oc.Core, name, desc string, net *nn.Sequential, inH, inW int)
 				return nil, fmt.Errorf("infer: %s: %w", name, err)
 			}
 			st.kind = stageDense
+			st.pm.SetLabel("model:" + name + "/" + layer.Name())
 			m.stages = append(m.stages, st)
 			optical++
 		case *nn.ActQuant:
@@ -235,6 +240,18 @@ func (m *Model) InputDims() (h, w int) { return m.inH, m.inW }
 
 // Classes returns the logit width.
 func (m *Model) Classes() int { return m.classes }
+
+// Degraded reports whether any optical stage is serving degraded output
+// (rows retired to the digital fallback, or unrecovered ABFT
+// detections).
+func (m *Model) Degraded() bool {
+	for i := range m.stages {
+		if pm := m.stages[i].pm; pm != nil && pm.Degraded() {
+			return true
+		}
+	}
+	return false
+}
 
 // checkPlane rejects inputs the compiled geometry would misread.
 func (m *Model) checkPlane(plane *sensor.Image) error {
@@ -509,6 +526,7 @@ func (m *Model) countOps() (trace.OpCounts, error) {
 			ops.DACSettles += patches * rows * cols
 			ops.ADCConversions += patches * rows
 			ops.MRCoeffHolds += patches * rows * cols
+			ops.ABFTChecks += st.pm.ABFTChecksPer(patches)
 			x = nn.NewTensor(x.Shape[0], c.OutC, oh, ow)
 		case stageDense:
 			if len(x.Shape) != 2 {
@@ -520,6 +538,7 @@ func (m *Model) countOps() (trace.OpCounts, error) {
 			ops.DACSettles += batch * rows * cols
 			ops.ADCConversions += batch * rows
 			ops.MRCoeffHolds += batch * rows * cols
+			ops.ABFTChecks += st.pm.ABFTChecksPer(batch)
 			x = nn.NewTensor(x.Shape[0], st.pm.Rows())
 		}
 	}

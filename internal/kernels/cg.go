@@ -122,6 +122,9 @@ func NewReconstructCG(core *oc.Core, poolN, maxIters int, tol float64) (*CGOp, e
 	if err != nil {
 		return nil, err
 	}
+	// Separate health components per pass, mirroring reconstruct-iter.
+	fwd.SetLabel("kernel:reconstruct-cg/fwd")
+	adj.SetLabel("kernel:reconstruct-cg/adj")
 	return &CGOp{
 		name: "reconstruct-cg",
 		desc: fmt.Sprintf("conjugate-gradient (CGNR) least-squares reconstruction: adaptive optical forward/adjoint passes per %dx%d block, residual stopping at %g relative (cap %d iterations)", poolN, poolN, tol, maxIters),
@@ -143,6 +146,10 @@ func (o *CGOp) Name() string { return o.name }
 
 // Description implements Kernel.
 func (o *CGOp) Description() string { return o.desc }
+
+// Degraded reports whether either programmed bank is serving degraded
+// output (retired rows or unrecovered ABFT detections).
+func (o *CGOp) Degraded() bool { return o.fwd.Degraded() || o.adj.Degraded() }
 
 // OutDims implements Kernel.
 func (o *CGOp) OutDims(h, w int) (int, int, error) {
@@ -171,6 +178,7 @@ func (o *CGOp) Ops(h, w int) (trace.OpCounts, error) {
 		DACSettles:     (adjPasses + fwdPasses) * n2,
 		ADCConversions: adjPasses*n2 + fwdPasses,
 		MRCoeffHolds:   (adjPasses + fwdPasses) * n2,
+		ABFTChecks:     o.fwd.ABFTChecksPer(fwdPasses) + o.adj.ABFTChecksPer(adjPasses),
 	}, nil
 }
 

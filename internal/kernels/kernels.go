@@ -131,6 +131,10 @@ func NewLinOp(core *oc.Core, name, desc string, op [][]float64, k, stride, pad, 
 	if err != nil {
 		return nil, fmt.Errorf("kernels: %s: %w", name, err)
 	}
+	// Each kernel's programmed bank is a health component: fault plans
+	// target it as "kernel:<name>" and its ABFT/recovery counters surface
+	// under that label.
+	pm.SetLabel("kernel:" + name)
 	return &LinOp{
 		name: name, desc: desc,
 		k: k, stride: stride, pad: pad, block: block,
@@ -143,6 +147,11 @@ func (o *LinOp) Name() string { return o.name }
 
 // Description implements Kernel.
 func (o *LinOp) Description() string { return o.desc }
+
+// Degraded reports whether the kernel's programmed bank is serving
+// degraded output (rows retired to the digital fallback, or unrecovered
+// ABFT detections).
+func (o *LinOp) Degraded() bool { return o.pm.Degraded() }
 
 // winDims returns the window-grid dimensions for an h x w plane.
 func (o *LinOp) winDims(h, w int) (int, int, error) {
@@ -179,6 +188,7 @@ func (o *LinOp) Ops(h, w int) (trace.OpCounts, error) {
 		DACSettles:     windows * rows * cols,
 		ADCConversions: windows * rows,
 		MRCoeffHolds:   windows * rows * cols,
+		ABFTChecks:     o.pm.ABFTChecksPer(windows),
 	}, nil
 }
 

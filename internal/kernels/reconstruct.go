@@ -118,6 +118,10 @@ func NewReconstructIter(core *oc.Core, poolN, iters int) (Kernel, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The two banks are separate health components so a fault plan (and
+	// the recovery ladder) can address each pass independently.
+	fwd.SetLabel("kernel:reconstruct-iter/fwd")
+	adj.SetLabel("kernel:reconstruct-iter/adj")
 	return &IterOp{
 		name: "reconstruct-iter",
 		desc: fmt.Sprintf("Landweber least-squares reconstruction: %d alternating optical forward/adjoint passes per %dx%d block", iters, poolN, poolN),
@@ -132,6 +136,10 @@ func (o *IterOp) Name() string { return o.name }
 
 // Description implements Kernel.
 func (o *IterOp) Description() string { return o.desc }
+
+// Degraded reports whether either programmed bank is serving degraded
+// output (retired rows or unrecovered ABFT detections).
+func (o *IterOp) Degraded() bool { return o.fwd.Degraded() || o.adj.Degraded() }
 
 // OutDims implements Kernel.
 func (o *IterOp) OutDims(h, w int) (int, int, error) {
@@ -157,6 +165,7 @@ func (o *IterOp) Ops(h, w int) (trace.OpCounts, error) {
 		DACSettles:     passes * 2 * n2,
 		ADCConversions: passes * (1 + n2),
 		MRCoeffHolds:   passes * 2 * n2,
+		ABFTChecks:     o.fwd.ABFTChecksPer(passes) + o.adj.ABFTChecksPer(passes),
 	}, nil
 }
 

@@ -1,0 +1,31 @@
+//go:build !race
+
+// Steady-state allocation pin for the ABFT-enabled hot path (the race
+// detector instruments allocations; see alloc_test.go).
+package oc
+
+import "testing"
+
+// TestABFTZeroAllocHotPath keeps the PR 5 contract with checksum
+// verification enabled: the steady-state seeded apply allocates nothing.
+func TestABFTZeroAllocHotPath(t *testing.T) {
+	for _, fid := range []Fidelity{Physical, PhysicalNoisy} {
+		_, pm := abftTestMatrix(t, fid, nil, "m")
+		x := abftTestInput(pm.Cols())
+		dst := make([]float64, pm.Rows())
+		// Warm the pools.
+		if err := pm.ApplySeededInto(dst, x, 1); err != nil {
+			t.Fatal(err)
+		}
+		seed := int64(0)
+		allocs := testing.AllocsPerRun(200, func() {
+			seed++
+			if err := pm.ApplySeededInto(dst, x, seed); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%v: ApplySeededInto allocates %.1f/op with ABFT on", fid, allocs)
+		}
+	}
+}

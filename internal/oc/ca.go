@@ -96,8 +96,20 @@ func NewAcquisitor(core *Core, poolN int) (*Acquisitor, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The CA is a first-class health component: fault plans target it as
+	// "ca" and its ABFT/recovery counters surface under that label.
+	pm.SetLabel("ca")
 	return &Acquisitor{PoolN: poolN, core: core, pm: pm}, nil
 }
+
+// Degraded reports whether the CA's programmed bank is serving degraded
+// output (rows retired to the digital fallback, or unrecovered ABFT
+// detections).
+func (a *Acquisitor) Degraded() bool { return a.pm.Degraded() }
+
+// ABFTChecksPer models how many checksum verifications n pooled-window
+// applies trigger (see ProgrammedMatrix.ABFTChecksPer).
+func (a *Acquisitor) ABFTChecksPer(applies int64) int64 { return a.pm.ABFTChecksPer(applies) }
 
 // Compress runs the fused grayscale + average pooling over a raw Bayer
 // frame readout, producing a single-channel activation plane of size
@@ -179,7 +191,9 @@ func (a *Acquisitor) CompressSeeded(f *sensor.Frame, seed int64) (*sensor.Image,
 				}
 				q = *xq
 			}
-			a.pm.applySeededRangeNS(q, *y, 0, 1, DeriveSeed(seed, oy*outW+ox), ns)
+			wseed := DeriveSeed(seed, oy*outW+ox)
+			a.pm.applySeededRangeNS(q, *y, 0, 1, wseed, ns)
+			a.pm.abftVerify(q, (*y)[:1], wseed, ns)
 			out.Set(oy, ox, 0, (*y)[0])
 		}
 	}

@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
+	"lightator/internal/fault"
 	"lightator/internal/mapping"
 	"lightator/internal/photonics"
 )
@@ -68,9 +70,21 @@ type Core struct {
 	ABits int
 	// Fidelity of the analog simulation.
 	Fidelity Fidelity
+	// NoABFT disables checksum-row derivation for matrices programmed
+	// after it is set (benchmarks isolating the ABFT overhead, and tests
+	// pinning the unprotected path). The default — ABFT on — is the
+	// serving configuration.
+	NoABFT bool
 
 	bank  *photonics.BankModel
 	noise *photonics.NoiseSource
+	// faultPlan is the active fault-injection plan; matrices compile it
+	// at SetLabel time. Nil (the default) injects nothing.
+	faultPlan *fault.Plan
+	// health is the per-component fault-tolerance registry, created
+	// lazily on first use.
+	health     *fault.Registry
+	healthOnce sync.Once
 	// noiseSigma is the output-referred RMS noise of one arm readout in
 	// normalised MAC units, derived from the BPD device models.
 	noiseSigma float64
@@ -128,6 +142,22 @@ func deriveArmNoiseSigma() float64 {
 // ArmNoiseSigma exposes the derived per-arm noise in normalised MAC units
 // (ablation benches report it).
 func (c *Core) ArmNoiseSigma() float64 { return c.noiseSigma }
+
+// SetFaultPlan activates a fault-injection plan on this core. Matrices
+// compile the plan when they are labelled (SetLabel), so the plan must be
+// set before the accelerator programs its matrices — the facade does this
+// at construction. A nil plan (the default) injects nothing and costs
+// nothing on the hot path.
+func (c *Core) SetFaultPlan(p *fault.Plan) { c.faultPlan = p }
+
+// FaultPlan returns the active fault plan (nil when none).
+func (c *Core) FaultPlan() *fault.Plan { return c.faultPlan }
+
+// Health returns the core's per-component fault-tolerance registry.
+func (c *Core) Health() *fault.Registry {
+	c.healthOnce.Do(func() { c.health = fault.NewRegistry() })
+	return c.health
+}
 
 // SnapWeight maps a normalised weight in [-1,1] onto the signed bank
 // level grid — the exact coefficient the tuned MR realises in Ideal
@@ -195,6 +225,19 @@ type ProgrammedMatrix struct {
 	// Ideal fidelity the effective coefficients are the grid weights and
 	// every κ_r is exactly 0.
 	rowDefect []float64
+
+	// Fault-tolerance state (abft.go). abft is the checksum-row state
+	// derived at Program time (nil when Core.NoABFT); label/health name
+	// the matrix as a component; inj is the compiled fault injector (nil
+	// — the zero-cost default — unless a plan targets this label); ov is
+	// the copy-on-write recovery overlay (retired rows, recalibrated
+	// adjustments) behind an atomic pointer, written under mu.
+	abft   *abftState
+	label  string
+	health *fault.Health
+	inj    *injector
+	ov     atomic.Pointer[overlay]
+	mu     sync.Mutex
 }
 
 // Program quantizes and maps a weight matrix with entries in [-1, 1].
@@ -255,6 +298,11 @@ func (c *Core) Program(w [][]float64) (*ProgrammedMatrix, error) {
 			sum += c.bank.LevelToWeight(pm.levels[base+i]) - pm.coeffs[base+i]
 		}
 		pm.rowDefect[r] = sum / float64(cols)
+	}
+	if !c.NoABFT {
+		if err := pm.initABFT(); err != nil {
+			return nil, err
+		}
 	}
 	return pm, nil
 }
@@ -408,6 +456,7 @@ func (pm *ProgrammedMatrix) ApplySeededInto(dst, x []float64, seed int64) error 
 		return err
 	}
 	pm.applySeededRange(*xq, dst, 0, pm.rows, seed)
+	pm.abftVerify(*xq, dst, seed, nil)
 	return nil
 }
 
@@ -443,6 +492,7 @@ func (pm *ProgrammedMatrix) ApplySeededCalibratedInto(dst, x []float64, seed int
 		return err
 	}
 	pm.applySeededRange(*xq, dst, 0, pm.rows, seed)
+	pm.abftVerify(*xq, dst, seed, nil)
 	pm.addDefect(dst, *xq)
 	return nil
 }
@@ -505,11 +555,21 @@ func (pm *ProgrammedMatrix) applySeededRangeNS(xq, y []float64, lo, hi int, seed
 		for r := lo; r < hi; r++ {
 			y[r] = pm.applyRow(xq, r, nil)
 		}
-		return
+	} else {
+		for r := lo; r < hi; r++ {
+			ns.Reseed(DeriveSeed(seed, r))
+			y[r] = pm.applyRow(xq, r, ns)
+		}
 	}
-	for r := lo; r < hi; r++ {
-		ns.Reseed(DeriveSeed(seed, r))
-		y[r] = pm.applyRow(xq, r, ns)
+	// Fault-injection tail (abft.go): both branches are the zero-cost
+	// no-op default — inj is nil without an active plan, the overlay
+	// pointer is nil until the recovery ladder retires or recalibrates a
+	// row.
+	if inj := pm.inj; inj != nil {
+		inj.perturb(pm, y, xq, lo, hi, seed)
+	}
+	if ov := pm.ov.Load(); ov != nil {
+		ov.fix(pm, y, xq, lo, hi)
 	}
 }
 
@@ -563,6 +623,7 @@ func (ap *Applier) ApplySeededInto(dst, x []float64, seed int64) error {
 		return err
 	}
 	pm.applySeededRangeNS(*ap.xq, dst, 0, pm.rows, seed, ap.ns)
+	pm.abftVerify(*ap.xq, dst, seed, ap.ns)
 	return nil
 }
 
@@ -578,6 +639,7 @@ func (ap *Applier) ApplySeededCalibratedInto(dst, x []float64, seed int64) error
 		return err
 	}
 	pm.applySeededRangeNS(*ap.xq, dst, 0, pm.rows, seed, ap.ns)
+	pm.abftVerify(*ap.xq, dst, seed, ap.ns)
 	pm.addDefect(dst, *ap.xq)
 	return nil
 }
@@ -613,6 +675,7 @@ func (pm *ProgrammedMatrix) ApplyParallel(x []float64, workers int, seed int64) 
 		}(lo, hi)
 	}
 	wg.Wait()
+	pm.abftVerify(*xq, y, seed, nil)
 	return y, nil
 }
 
@@ -833,6 +896,10 @@ func (c *Core) MatVecBatch(w [][]float64, xs [][]float64, workers int, seed int6
 	if err != nil {
 		return nil, err
 	}
+	// Runtime-driven matrices share the "mvm" health component: fault
+	// plans target them as one population, and their ABFT counters
+	// aggregate under that label.
+	pm.SetLabel("mvm")
 	ys := make([][]float64, len(xs))
 	for i, x := range xs {
 		y, err := pm.ApplyParallel(x, workers, DeriveSeed(seed, i))

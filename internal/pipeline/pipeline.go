@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"lightator/internal/analog"
+	"lightator/internal/fault"
 	"lightator/internal/kernels"
 	"lightator/internal/oc"
 	"lightator/internal/sensor"
@@ -44,6 +45,7 @@ import (
 // delta stage, internal/session) can reproduce a frame's exact stage
 // seed chain.
 const (
+	StageCapture  = 0
 	StageCompress = 1
 	StageMatVec   = 2
 	StageKernel   = 3
@@ -105,6 +107,12 @@ type Config struct {
 	// (preserving its device models); its dimensions override Rows/Cols.
 	// When nil a default array of Rows x Cols is built.
 	Array *sensor.Array
+	// FaultPlan, when non-nil, is the chaos plan whose sensor-side
+	// comparator faults the capture stage injects (optical-core faults
+	// are compiled by the core itself — see oc.Core.SetFaultPlan). Nil
+	// inherits the Core's plan, so configuring the core once covers both
+	// sides.
+	FaultPlan *fault.Plan
 }
 
 // Result is one frame's trip through the pipeline. Stages that were not
@@ -128,6 +136,12 @@ type Result struct {
 	// Err is the first stage error; later stages are skipped. A frame
 	// error does not abort the run — other frames keep flowing.
 	Err error
+	// Degraded reports that at least one optical stage this frame passed
+	// through is serving degraded output — rows retired to the digital
+	// fallback or unrecovered ABFT detections (see docs/FAULTS.md). The
+	// result is still well-formed; the flag propagates to the wire so
+	// clients can decide whether degraded answers are acceptable.
+	Degraded bool
 	// CaptureTime, CompressTime, KernelTime, InferTime and MatVecTime are
 	// per-stage latencies.
 	CaptureTime, CompressTime, KernelTime, InferTime, MatVecTime time.Duration
@@ -151,6 +165,10 @@ type Pipeline struct {
 	ca    *oc.Acquisitor
 	pm    *oc.ProgrammedMatrix
 	proto *sensor.Array
+	// sensorFaults are the chaos plan's comparator stuck-ats, applied to
+	// the captured frame codes before any optical stage (nil in the
+	// common no-chaos case — a zero-cost branch per frame).
+	sensorFaults []fault.Fault
 	// ops is the per-frame op-count profile, fixed by the configured
 	// geometry at construction (every frame of a pipeline does identical
 	// modeled analog work).
@@ -218,8 +236,16 @@ func New(cfg Config) (*Pipeline, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The MVM stage shares the "mvm" health component with the serving
+		// layer's mat-vec path — both are the paper's runtime-driven bank.
+		pm.SetLabel("mvm")
 		p.pm = pm
 	}
+	plan := cfg.FaultPlan
+	if plan == nil && cfg.Core != nil {
+		plan = cfg.Core.FaultPlan()
+	}
+	p.sensorFaults = plan.Sensor()
 	if err := p.profileOps(); err != nil {
 		return nil, err
 	}
@@ -247,6 +273,7 @@ func (p *Pipeline) profileOps() error {
 			// Pre-set bank: coefficients tuned once at programming time, so
 			// the windows hold MRs without runtime DAC settles.
 			MRCoeffHolds: windows * taps,
+			ABFTChecks:   p.ca.ABFTChecksPer(windows),
 		}
 	}
 	if cfg.Kernel != nil {
@@ -277,6 +304,7 @@ func (p *Pipeline) profileOps() error {
 			DACSettles:     rows * cols,
 			ADCConversions: rows,
 			MRCoeffHolds:   rows * cols,
+			ABFTChecks:     p.pm.ABFTChecksPer(1),
 		}
 	}
 	return nil
@@ -289,12 +317,70 @@ func (p *Pipeline) FrameOps() trace.StageOps { return p.ops }
 // Config returns the effective (defaulted) configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
 
+// degraded reports whether any optical stage of this pipeline is
+// currently serving degraded output — a handful of atomic loads, cheap
+// enough to evaluate per frame.
+func (p *Pipeline) degraded() bool {
+	if p.ca != nil && p.ca.Degraded() {
+		return true
+	}
+	if p.pm != nil && p.pm.Degraded() {
+		return true
+	}
+	if d, ok := p.cfg.Kernel.(interface{ Degraded() bool }); ok && d.Degraded() {
+		return true
+	}
+	if d, ok := p.cfg.Infer.(interface{ Degraded() bool }); ok && d.Degraded() {
+		return true
+	}
+	return false
+}
+
+// injectSensorFaults applies the chaos plan's comparator stuck-ats to a
+// captured frame's CRC codes, before any optical stage reads them. A
+// thermometer code c means comparators 0..c-1 fired; sticking comparator
+// k on adds a rung to codes with k >= c, sticking it off removes one
+// from codes with k < c. Activation hashes the frame's capture-stage
+// seed, so injection is bit-identical at any worker count. A fault with
+// Row == RowEnd == 0 covers the whole frame; otherwise [Row, RowEnd]
+// bounds the affected sensor rows.
+func (p *Pipeline) injectSensorFaults(f *sensor.Frame, frameSeed int64) {
+	seed := StageSeed(frameSeed, StageCapture)
+	for _, flt := range p.sensorFaults {
+		if flt.Col >= analog.NumComparators || !flt.Window.Active(seed) {
+			continue
+		}
+		lo, hi := flt.Row, flt.LastRow()
+		if flt.Row == 0 && flt.RowEnd == 0 || hi >= f.Rows {
+			hi = f.Rows - 1
+		}
+		k := uint8(flt.Col)
+		stuckOn := flt.Value > 0
+		for y := lo; y <= hi; y++ {
+			row := f.Codes[y*f.Cols : (y+1)*f.Cols]
+			for x, c := range row {
+				if stuckOn {
+					if c <= k && int(c) < analog.NumComparators {
+						row[x] = c + 1
+					}
+				} else if c > k {
+					row[x] = c - 1
+				}
+			}
+		}
+	}
+}
+
 // processFrame runs every enabled stage for one frame on one worker.
 // frameSeed is the frame's top-level noise seed; stages derive children
 // from it.
-func (p *Pipeline) processFrame(arr *sensor.Array, idx int, frameSeed int64, scene *sensor.Image, st *Stats) Result {
-	res := Result{Index: idx, Ops: p.ops}
+func (p *Pipeline) processFrame(arr *sensor.Array, idx int, frameSeed int64, scene *sensor.Image, st *Stats) (res Result) {
+	res = Result{Index: idx, Ops: p.ops}
 	st.Frames++
+	// The degraded flag reflects component health after this frame's own
+	// stages ran — a frame whose ABFT check trips and retires a row
+	// reports the degradation it caused.
+	defer func() { res.Degraded = p.degraded() }()
 
 	t0 := time.Now()
 	frame, err := arr.Capture(scene)
@@ -306,6 +392,9 @@ func (p *Pipeline) processFrame(arr *sensor.Array, idx int, frameSeed int64, sce
 		return res
 	}
 	res.Frame = frame
+	if p.sensorFaults != nil {
+		p.injectSensorFaults(frame, frameSeed)
+	}
 
 	var activations []float64
 	if p.ca != nil {

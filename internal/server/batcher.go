@@ -192,6 +192,9 @@ func (b *batcher) dispatch(batch []batchItem, trigger flushTrigger) {
 // queueDepth gauges admitted-but-uncollected frames (channel backlog).
 func (b *batcher) queueDepth() int { return len(b.in) }
 
+// load gauges queue fullness in [0,1] — the tiered shedder's input.
+func (b *batcher) load() float64 { return float64(len(b.in)) / float64(cap(b.in)) }
+
 // inflightBatches gauges pipeline batches currently executing.
 func (b *batcher) inflightBatches() int { return len(b.slots) }
 

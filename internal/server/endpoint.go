@@ -61,14 +61,21 @@ func handleFrame[Req any, P envelopeRequest[Req]](s *Server, endpoint string, re
 		if err != nil {
 			return errStatus(err, http.StatusBadRequest), err
 		}
+		// Tier-2/3 sheds and the degraded policy reject before the cache
+		// probe (tier-1, which spares cache hits, lives in submitFrame).
+		if err := s.admitCompute(); err != nil {
+			return errStatus(err, http.StatusServiceUnavailable), err
+		}
 		rawPix, err := validateImageWire(*op.input)
 		if err != nil {
 			return http.StatusBadRequest, wrapErr(http.StatusBadRequest, CodeInvalidImage, "invalid image", err)
 		}
 		// Cacheable in noisy fidelity only when the endpoint is
 		// noise-free (cacheAll); keys omit the seed because noise-free
-		// output is seed-independent.
-		cacheable := s.cache != nil && (op.cacheAll || s.backend.Deterministic)
+		// output is seed-independent. An active fault plan disables
+		// caching outright — injected faults are seed- and
+		// ladder-state-dependent, which the key does not capture.
+		cacheable := s.cache != nil && !s.chaos && (op.cacheAll || s.backend.Deterministic)
 		var key cacheKey
 		if cacheable {
 			parts := make([][]byte, 0, len(op.parts)+2)
@@ -86,6 +93,9 @@ func handleFrame[Req any, P envelopeRequest[Req]](s *Server, endpoint string, re
 					return nil, status, err
 				}
 				s.traceFrame(w, endpoint, op.target, start, res)
+				if res.Degraded {
+					s.flagDegraded(w)
+				}
 				if payload, err = op.encode(res); err != nil {
 					return nil, http.StatusInternalServerError, err
 				}
@@ -109,7 +119,7 @@ func (s *Server) captureOp(req *CaptureRequest) (frameOp, error) {
 	return frameOp{
 		tag: "capture", cacheAll: true, input: &req.Scene, b: s.captureB,
 		encode: func(res pipeline.Result) (any, error) {
-			return CaptureResponse{Frame: EncodeFrame(res.Frame)}, nil
+			return CaptureResponse{Frame: EncodeFrame(res.Frame), Degraded: res.Degraded}, nil
 		},
 	}, nil
 }
@@ -122,7 +132,7 @@ func (s *Server) compressOp(req *CompressRequest) (frameOp, error) {
 	return frameOp{
 		tag: "compress", input: &req.Scene, b: s.compressB,
 		encode: func(res pipeline.Result) (any, error) {
-			return CompressResponse{Image: EncodeImage(res.Compressed)}, nil
+			return CompressResponse{Image: EncodeImage(res.Compressed), Degraded: res.Degraded}, nil
 		},
 	}, nil
 }
@@ -141,7 +151,7 @@ func (s *Server) processOp(req *ProcessRequest) (frameOp, error) {
 		target: req.Kernel, tag: "process", parts: [][]byte{[]byte(req.Kernel)},
 		input: &req.Envelope.Scene, b: b,
 		encode: func(res pipeline.Result) (any, error) {
-			return ProcessResponse{Plane: EncodeImage(res.Processed)}, nil
+			return ProcessResponse{Plane: EncodeImage(res.Processed), Degraded: res.Degraded}, nil
 		},
 	}, nil
 }
@@ -166,7 +176,7 @@ func (s *Server) inferOp(req *InferRequest) (frameOp, error) {
 			target: model, tag: "infer-scene", parts: [][]byte{[]byte(model)},
 			input: req.Scene, b: b,
 			encode: func(res pipeline.Result) (any, error) {
-				return InferResponse{Model: model, Logits: res.Logits, Class: infer.Argmax(res.Logits)}, nil
+				return InferResponse{Model: model, Logits: res.Logits, Class: infer.Argmax(res.Logits), Degraded: res.Degraded}, nil
 			},
 		}, nil
 	}
@@ -184,7 +194,12 @@ func (s *Server) inferOp(req *InferRequest) (frameOp, error) {
 			// Plane requests skip capture+CA; the model's op counts are
 			// the infer stage of its pipeline's static profile.
 			s.traceSpan(w, "/v1/infer", model, "infer", start, s.backend.Infer[model].FrameOps().Infer)
-			return InferResponse{Model: model, Logits: logits, Class: infer.Argmax(logits)}, nil
+			resp := InferResponse{Model: model, Logits: logits, Class: infer.Argmax(logits)}
+			if d, ok := s.backend.ModelObjects[model].(interface{ Degraded() bool }); ok && d.Degraded() {
+				s.flagDegraded(w)
+				resp.Degraded = true
+			}
+			return resp, nil
 		},
 	}, nil
 }

@@ -29,6 +29,17 @@ const (
 	CodeSessionLimit    = "session_limit"
 	CodeFrameFailed     = "frame_failed"
 	CodeInternal        = "internal"
+	// CodeDeadlineExceeded means the request outlived the configured
+	// per-request deadline (504): the work may still complete in its
+	// batch, but the response is gone.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeDegradedUnavailable means the accelerator is serving degraded
+	// output (retired rows / unrecovered ABFT detections) and the server
+	// is configured to reject rather than flag (503 + Retry-After).
+	CodeDegradedUnavailable = "degraded_unavailable"
+	// CodeShedOverload means the tiered load shedder dropped the request
+	// (429 for tier-1/2 sheds, 503 when everything is being shed).
+	CodeShedOverload = "shed_overload"
 )
 
 // apiError is the typed error handlers return; writeError projects it
@@ -64,6 +75,8 @@ func wrapErr(status int, code, msg string, err error) *apiError {
 // reach writeError untyped.
 func codeForStatus(status int) string {
 	switch status {
+	case http.StatusGatewayTimeout:
+		return CodeDeadlineExceeded
 	case http.StatusRequestEntityTooLarge:
 		return CodePayloadTooLarge
 	case http.StatusTooManyRequests:

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"lightator/internal/fault"
 	"lightator/internal/pipeline"
 	"lightator/internal/session"
 )
@@ -42,6 +43,12 @@ type metrics struct {
 	flushes   map[flushTrigger]int64
 	frames    int64 // frames that went through a micro-batch
 	maxBatch  int
+	// sheds counts tiered-shedder drops by tier; deadlines counts 504s
+	// from the per-request deadline; degraded counts responses served
+	// with the degraded flag set.
+	sheds     map[string]int64
+	deadlines int64
+	degraded  int64
 }
 
 func newMetrics() *metrics {
@@ -49,6 +56,7 @@ func newMetrics() *metrics {
 		start:     time.Now(),
 		endpoints: make(map[string]*epCounters),
 		flushes:   make(map[flushTrigger]int64),
+		sheds:     make(map[string]int64),
 	}
 }
 
@@ -92,6 +100,27 @@ func (m *metrics) cache(endpoint string, hit bool) {
 	} else {
 		c.cacheMiss++
 	}
+}
+
+// shed records one tiered-shedder drop.
+func (m *metrics) shed(tier string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sheds[tier]++
+}
+
+// deadline records one per-request deadline expiry (504).
+func (m *metrics) deadline() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.deadlines++
+}
+
+// degradedResp records one response served with the degraded flag set.
+func (m *metrics) degradedResp() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.degraded++
 }
 
 // flush records one micro-batch dispatch.
@@ -182,6 +211,19 @@ type MetricsSnapshot struct {
 	// counters plus per-open-session reuse accounting (absent when
 	// sessions are disabled).
 	Sessions *session.ManagerStats `json:"sessions,omitempty"`
+	// Sheds counts tiered-shedder drops by tier (cache_miss, non_session,
+	// all).
+	Sheds map[string]int64 `json:"sheds"`
+	// DeadlineTimeouts counts requests that outlived the per-request
+	// deadline (504 deadline_exceeded).
+	DeadlineTimeouts int64 `json:"deadline_timeouts"`
+	// DegradedResponses counts responses served with the degraded flag
+	// set; Degraded is the live gauge (any component degraded now).
+	DegradedResponses int64 `json:"degraded_responses"`
+	Degraded          bool  `json:"degraded"`
+	// Health is the per-component fault-tolerance state (ABFT checks,
+	// detections, ladder outcomes), sorted by component label.
+	Health []fault.HealthSnapshot `json:"health,omitempty"`
 }
 
 // snapshot captures the counters; pipeline stats and gauges are filled in
@@ -190,8 +232,11 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	snap := MetricsSnapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Endpoints:     make(map[string]EndpointSnapshot, len(m.endpoints)),
+		UptimeSeconds:     time.Since(m.start).Seconds(),
+		Endpoints:         make(map[string]EndpointSnapshot, len(m.endpoints)),
+		Sheds:             make(map[string]int64, len(m.sheds)),
+		DeadlineTimeouts:  m.deadlines,
+		DegradedResponses: m.degraded,
 		Batcher: BatcherSnapshot{
 			SizeFlushes:     m.flushes[flushSize],
 			DeadlineFlushes: m.flushes[flushDeadline],
@@ -199,6 +244,9 @@ func (m *metrics) snapshot() MetricsSnapshot {
 			BatchedFrames:   m.frames,
 			MaxBatch:        m.maxBatch,
 		},
+	}
+	for tier, n := range m.sheds {
+		snap.Sheds[tier] = n
 	}
 	for name, c := range m.endpoints {
 		snap.Endpoints[name] = EndpointSnapshot{
@@ -324,5 +372,30 @@ func renderProm(snap MetricsSnapshot) string {
 	fmt.Fprintf(&b, "lightator_session_frames_total %d\n", ss.Frames)
 	fmt.Fprintf(&b, "lightator_session_blocks_total %d\n", ss.BlocksTotal)
 	fmt.Fprintf(&b, "lightator_session_blocks_reused_total %d\n", ss.BlocksReused)
+	// Overload and degradation series. Tiers render in fixed severity
+	// order and every series is emitted unconditionally (zero-valued on a
+	// healthy idle server) so scrapes stay shape-stable and the
+	// metricscheck gate can verify the catalogue against a live server.
+	for _, tier := range []string{"cache_miss", "non_session", "all"} {
+		fmt.Fprintf(&b, "lightator_shed_total{tier=%q} %d\n", tier, snap.Sheds[tier])
+	}
+	fmt.Fprintf(&b, "lightator_deadline_timeouts_total %d\n", snap.DeadlineTimeouts)
+	fmt.Fprintf(&b, "lightator_degraded_responses_total %d\n", snap.DegradedResponses)
+	degraded := 0
+	if snap.Degraded {
+		degraded = 1
+	}
+	fmt.Fprintf(&b, "lightator_degraded %d\n", degraded)
+	// Per-component fault-tolerance counters (snapshot is label-sorted).
+	// Components register at construction, so a fault-free server still
+	// emits its full zero-valued component set.
+	for _, h := range snap.Health {
+		fmt.Fprintf(&b, "lightator_abft_checks_total{component=%q} %d\n", h.Label, h.Checks)
+		fmt.Fprintf(&b, "lightator_fault_detections_total{component=%q} %d\n", h.Label, h.Detections)
+		fmt.Fprintf(&b, "lightator_fault_retry_successes_total{component=%q} %d\n", h.Label, h.RetrySuccesses)
+		fmt.Fprintf(&b, "lightator_fault_recalibrations_total{component=%q} %d\n", h.Label, h.Recalibrations)
+		fmt.Fprintf(&b, "lightator_fault_retired_rows{component=%q} %d\n", h.Label, h.RetiredRows)
+		fmt.Fprintf(&b, "lightator_fault_unrecovered_total{component=%q} %d\n", h.Label, h.Unrecovered)
+	}
 	return b.String()
 }

@@ -147,6 +147,29 @@ type Config struct {
 	// SessionWindow is the default per-stream in-flight frame window (the
 	// connection-level backpressure bound). Default 8.
 	SessionWindow int
+	// RequestTimeout bounds each compute request's wall time; a request
+	// that outlives it gets 504 deadline_exceeded (its frame may still
+	// complete inside the batch). 0 disables; negative also disables.
+	RequestTimeout time.Duration
+	// ReadHeaderTimeout and IdleTimeout harden the HTTP listener against
+	// slow-loris clients and idle keep-alive pile-ups. Defaults 10s and
+	// 120s; negative disables.
+	ReadHeaderTimeout time.Duration
+	IdleTimeout       time.Duration
+	// RejectDegraded turns degraded service into refusal: while any
+	// optical component is degraded (retired rows, unrecovered ABFT
+	// detections), compute requests get 503 degraded_unavailable instead
+	// of a flagged 200 (docs/FAULTS.md#the-wire-contract).
+	RejectDegraded bool
+	// ShedCacheMiss, ShedNonSession and ShedAll are the tiered load
+	// shedder's queue-occupancy thresholds in (0,1]: at ShedCacheMiss the
+	// server sheds cache-miss bulk compute, at ShedNonSession all
+	// non-session compute (cache hits included), at ShedAll everything
+	// (session opens and streams too). Defaults 0.75 / 0.90 / 0.98;
+	// negative disables that tier.
+	ShedCacheMiss  float64
+	ShedNonSession float64
+	ShedAll        float64
 }
 
 // withDefaults resolves zero values.
@@ -168,6 +191,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceEntries == 0 {
 		c.TraceEntries = 256
+	}
+	if c.ReadHeaderTimeout == 0 {
+		c.ReadHeaderTimeout = 10 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 120 * time.Second
+	}
+	if c.ShedCacheMiss == 0 {
+		c.ShedCacheMiss = 0.75
+	}
+	if c.ShedNonSession == 0 {
+		c.ShedNonSession = 0.90
+	}
+	if c.ShedAll == 0 {
+		c.ShedAll = 0.98
 	}
 	return c
 }
@@ -194,6 +232,12 @@ type Server struct {
 	// sessions is the streaming-session registry; nil when compressive
 	// acquisition is disabled (sessions stream the capture+CA pipeline).
 	sessions *session.Manager
+
+	// chaos reports an active fault-injection plan on the core. The
+	// response cache is disabled under chaos: injected faults make
+	// outputs depend on per-request seeds and on the recovery ladder's
+	// live state, neither of which the content-hash key captures.
+	chaos bool
 
 	inflight atomic.Int64
 	draining atomic.Bool
@@ -230,6 +274,7 @@ func New(b Backend, cfg Config) (*Server, error) {
 		m:       newMetrics(),
 		cache:   newResponseCache(cfg.CacheEntries),
 		traces:  trace.NewRing(cfg.TraceEntries),
+		chaos:   b.Core.FaultPlan() != nil,
 		stopped: make(chan struct{}),
 	}
 	// Per-series energy gauges are fixed by the pipelines' geometry;
@@ -253,8 +298,15 @@ func New(b Backend, cfg Config) (*Server, error) {
 		addGauge("infer:"+name, pipe)
 	}
 	// Built here, not in Serve, so Shutdown never races a concurrent
-	// Serve call on the field.
+	// Serve call on the field. Header/idle timeouts bound slow-loris
+	// clients and keep-alive pile-ups (negative config disables).
 	s.httpSrv = &http.Server{}
+	if cfg.ReadHeaderTimeout > 0 {
+		s.httpSrv.ReadHeaderTimeout = cfg.ReadHeaderTimeout
+	}
+	if cfg.IdleTimeout > 0 {
+		s.httpSrv.IdleTimeout = cfg.IdleTimeout
+	}
 	s.captureB = newBatcher(b.Capture, cfg.BatchSize, cfg.Queue, cfg.MaxBatches, cfg.BatchDelay, s.m)
 	if b.Compress != nil {
 		s.compressB = newBatcher(b.Compress, cfg.BatchSize, cfg.Queue, cfg.MaxBatches, cfg.BatchDelay, s.m)
@@ -339,6 +391,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 		ss := s.sessions.Stats()
 		snap.Sessions = &ss
 	}
+	reg := s.backend.Core.Health()
+	snap.Degraded = reg.Degraded()
+	snap.Health = reg.Snapshot()
 	return snap
 }
 
@@ -436,12 +491,123 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // alerts.
 const statusClientClosed = 499
 
-// instrument wraps a handler with inflight/latency/error accounting.
+// Shed tiers, ordered by severity. The tiered shedder replaces the old
+// single full-queue gate: load sheds the cheapest-to-refuse traffic
+// first (uncached bulk compute), then all non-session compute, and only
+// at the last tier the session streams (docs/FAULTS.md#load-shedding).
+const (
+	shedNone = iota
+	shedTierCacheMiss
+	shedTierNonSession
+	shedTierAll
+)
+
+// Shed sentinels, typed like the admission-control ones.
+var (
+	errShedCacheMiss = apiErr(http.StatusTooManyRequests, CodeShedOverload,
+		"overloaded, shedding uncached compute")
+	errShedNonSession = apiErr(http.StatusTooManyRequests, CodeShedOverload,
+		"overloaded, shedding non-session requests")
+	errShedAll = apiErr(http.StatusServiceUnavailable, CodeShedOverload,
+		"overloaded, shedding all requests")
+	errDegraded = apiErr(http.StatusServiceUnavailable, CodeDegradedUnavailable,
+		"accelerator degraded, rejecting requests per policy")
+)
+
+// shedLevel maps the worst batched-endpoint queue occupancy onto a shed
+// tier. Reading channel lengths is a few atomic loads — cheap enough per
+// request. Health endpoints (/healthz, /readyz, /metrics) are never
+// shed; they are exactly what an operator needs during an overload.
+func (s *Server) shedLevel() int {
+	load := s.captureB.load()
+	if s.compressB != nil {
+		load = max(load, s.compressB.load())
+	}
+	for _, b := range s.processB {
+		load = max(load, b.load())
+	}
+	for _, b := range s.inferB {
+		load = max(load, b.load())
+	}
+	cfg := s.cfg
+	switch {
+	case cfg.ShedAll > 0 && load >= cfg.ShedAll:
+		return shedTierAll
+	case cfg.ShedNonSession > 0 && load >= cfg.ShedNonSession:
+		return shedTierNonSession
+	case cfg.ShedCacheMiss > 0 && load >= cfg.ShedCacheMiss:
+		return shedTierCacheMiss
+	default:
+		return shedNone
+	}
+}
+
+// degraded reports whether any optical component registered on the core
+// is serving degraded output (docs/FAULTS.md#degradation).
+func (s *Server) degraded() bool { return s.backend.Core.Health().Degraded() }
+
+// shedGate applies the tier-2 and tier-3 sheds (non-session traffic).
+func (s *Server) shedGate() error {
+	switch lvl := s.shedLevel(); {
+	case lvl >= shedTierAll:
+		s.m.shed("all")
+		return errShedAll
+	case lvl >= shedTierNonSession:
+		s.m.shed("non_session")
+		return errShedNonSession
+	}
+	return nil
+}
+
+// admitCompute applies the shed tiers and the degraded policy for
+// non-session compute endpoints, before any cache probe (tier-2 sheds
+// refuse even cache hits — at that point the queue backlog, not compute,
+// is the bottleneck).
+func (s *Server) admitCompute() error {
+	if err := s.shedGate(); err != nil {
+		return err
+	}
+	if s.cfg.RejectDegraded && s.degraded() {
+		return errDegraded
+	}
+	return nil
+}
+
+// flagDegraded marks a response as served while its optical components
+// were degraded — the header twin of the body's "degraded" field, so
+// proxies and clients that never decode bodies still see the state.
+func (s *Server) flagDegraded(w http.ResponseWriter) {
+	w.Header().Set("X-Lightator-Degraded", "true")
+	s.m.degradedResp()
+}
+
+// admitSession is the session-traffic gate: streams and opens survive
+// until the last shed tier.
+func (s *Server) admitSession() error {
+	if s.shedLevel() >= shedTierAll {
+		s.m.shed("all")
+		return errShedAll
+	}
+	if s.cfg.RejectDegraded && s.degraded() {
+		return errDegraded
+	}
+	return nil
+}
+
+// instrument wraps a handler with inflight/latency/error accounting and
+// the per-request deadline (RequestTimeout): the handler's context is
+// bounded, so a frame stuck behind a backlog returns 504 instead of
+// holding its connection indefinitely.
 func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request) (int, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		start := time.Now()
 		status, err := h(w, r)
 		if err != nil {
@@ -450,6 +616,9 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 		switch status {
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			s.m.reject(endpoint)
+		case http.StatusGatewayTimeout:
+			s.m.deadline()
+			s.m.observe(endpoint, time.Since(start), true)
 		default:
 			s.m.observe(endpoint, time.Since(start), status >= 400 && status != statusClientClosed)
 		}
@@ -506,6 +675,13 @@ func (s *Server) submitFrame(r *http.Request, b *batcher, seed int64, scene *sen
 	if s.draining.Load() {
 		return pipeline.Result{}, http.StatusServiceUnavailable, errDraining
 	}
+	// Tier-1 shed: reaching here means the cache did not answer, so this
+	// is exactly the uncached bulk compute the first tier refuses.
+	// (Tier-2/3 loads were already rejected at admission.)
+	if s.shedLevel() >= shedTierCacheMiss {
+		s.m.shed("cache_miss")
+		return pipeline.Result{}, http.StatusTooManyRequests, errShedCacheMiss
+	}
 	it := batchItem{seed: seed, scene: scene, done: make(chan pipeline.Result, 1)}
 	if err := b.submit(it); err != nil {
 		status := http.StatusTooManyRequests
@@ -523,6 +699,12 @@ func (s *Server) submitFrame(r *http.Request, b *batcher, seed int64, scene *sen
 		}
 		return res, http.StatusOK, nil
 	case <-r.Context().Done():
+		if errors.Is(r.Context().Err(), context.DeadlineExceeded) {
+			// The per-request deadline fired, not the client: the frame
+			// still completes inside its batch, only the response is gone.
+			return pipeline.Result{}, http.StatusGatewayTimeout,
+				wrapErr(http.StatusGatewayTimeout, CodeDeadlineExceeded, "request deadline exceeded", r.Context().Err())
+		}
 		return pipeline.Result{}, statusClientClosed, wrapErr(statusClientClosed, CodeClientClosed, "client went away", r.Context().Err())
 	}
 }
@@ -594,9 +776,13 @@ func (s *Server) handleMatVec(w http.ResponseWriter, r *http.Request) (int, erro
 	if len(req.Weights) == 0 || len(req.Activations) == 0 {
 		return http.StatusBadRequest, fmt.Errorf("server: matvec needs weights and activations")
 	}
+	if err := s.admitCompute(); err != nil {
+		return errStatus(err, http.StatusServiceUnavailable), err
+	}
 	// Seed omitted for the same reason as compress: cacheable means
-	// noise-free, so the result is seed-independent.
-	cacheable := s.cache != nil && s.backend.Deterministic
+	// noise-free, so the result is seed-independent. Chaos/degraded
+	// states disable caching (see the chaos field).
+	cacheable := s.cache != nil && s.backend.Deterministic && !s.chaos && !s.degraded()
 	var key cacheKey
 	if cacheable {
 		parts := make([][]byte, 0, len(req.Weights)+1)
@@ -623,7 +809,11 @@ func (s *Server) handleMatVec(w http.ResponseWriter, r *http.Request) (int, erro
 			ADCConversions: rows,
 			MRCoeffHolds:   rows * cols,
 		})
-		body, err := json.Marshal(MatVecResponse{Output: ys[0]})
+		degraded := s.backend.Core.Health().Component("mvm").Degraded()
+		if degraded {
+			s.flagDegraded(w)
+		}
+		body, err := json.Marshal(MatVecResponse{Output: ys[0], Degraded: degraded})
 		if err != nil {
 			return nil, http.StatusInternalServerError, err
 		}
@@ -641,6 +831,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (int, er
 	}
 	if req.Model == "" {
 		return http.StatusBadRequest, fmt.Errorf("server: simulate needs a model name")
+	}
+	// Simulation is purely digital, so the degraded policy does not apply
+	// — only the shed tiers do.
+	if err := s.shedGate(); err != nil {
+		return errStatus(err, http.StatusServiceUnavailable), err
 	}
 	var key cacheKey
 	if s.cache != nil {
@@ -666,18 +861,27 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (int, er
 }
 
 // handleHealthz reports liveness: always 200 while the process runs, even
-// mid-drain — a liveness probe that fails during drain would get the
-// process killed before its in-flight work finishes. Routing decisions
-// belong to /readyz.
+// mid-drain or degraded — a liveness probe that fails then would get the
+// process killed while it can still serve (degraded output is flagged,
+// not dead). Routing decisions belong to /readyz; the degraded detail
+// here is for operators and the chaos suite.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	reg := s.backend.Core.Health()
+	degraded := reg.Degraded()
 	state := "ok"
+	if degraded {
+		state = "degraded"
+	}
 	if s.draining.Load() {
 		state = "draining"
 	}
-	body, _ := json.Marshal(map[string]any{
-		"status":   state,
-		"inflight": s.inflight.Load(),
-	})
+	resp := HealthzResponse{
+		Status:   state,
+		Inflight: s.inflight.Load(),
+		Degraded: degraded,
+		Failing:  reg.Failing(),
+	}
+	body, _ := json.Marshal(resp)
 	writeJSON(w, http.StatusOK, body)
 }
 

@@ -56,6 +56,10 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) (int,
 	if err := decodeBody(r, &req); err != nil {
 		return decodeStatus(err), err
 	}
+	// Session traffic survives until the last shed tier.
+	if err := s.admitSession(); err != nil {
+		return errStatus(err, http.StatusServiceUnavailable), err
+	}
 	cfg := session.Config{
 		Kind:          session.Kind(req.Kind),
 		Pipe:          s.backend.Compress,
@@ -143,6 +147,9 @@ func (s *Server) handleSessionFrames(w http.ResponseWriter, r *http.Request) (in
 	if s.draining.Load() {
 		return http.StatusServiceUnavailable, errDraining
 	}
+	if err := s.admitSession(); err != nil {
+		return errStatus(err, http.StatusServiceUnavailable), err
+	}
 
 	// An HTTP/1.x handler that writes while still reading needs explicit
 	// full-duplex mode — otherwise the first result write closes the
@@ -204,7 +211,10 @@ func (s *Server) handleSessionFrames(w http.ResponseWriter, r *http.Request) (in
 	wrote := false
 	kind := sess.Config().Kind
 	emit := func(fr session.FrameResult) error {
-		rec := SessionResult{Index: fr.Index, BlocksTotal: fr.Blocks, BlocksReused: fr.Reused}
+		rec := SessionResult{Index: fr.Index, BlocksTotal: fr.Blocks, BlocksReused: fr.Reused, Degraded: s.degraded()}
+		if rec.Degraded {
+			s.m.degradedResp()
+		}
 		if fr.Err != nil {
 			eb := errorBody(http.StatusBadRequest, wrapErr(http.StatusBadRequest, CodeFrameFailed, "frame failed", fr.Err))
 			rec.Error = &eb

@@ -150,6 +150,12 @@ func NewCaptureRequest(scene ImageWire, seed *int64) CaptureRequest {
 // CaptureResponse carries the 4-bit frame readout.
 type CaptureResponse struct {
 	Frame FrameWire `json:"frame"`
+	// Degraded flags a response served while the accelerator was running
+	// degraded (retired rows on the digital fallback, or unrecovered ABFT
+	// detections) — mirrored by the X-Lightator-Degraded header. Absent
+	// on healthy responses, so pre-fault golden bodies are unchanged
+	// (docs/FAULTS.md#the-wire-contract).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // CompressRequest asks for capture + compressive acquisition of a scene.
@@ -168,6 +174,8 @@ func NewCompressRequest(scene ImageWire, seed *int64) CompressRequest {
 // CompressResponse carries the compressed activation plane.
 type CompressResponse struct {
 	Image ImageWire `json:"image"`
+	// Degraded flags degraded service (see CaptureResponse.Degraded).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // MatVecRequest asks for one optical matrix-vector product. Weights are
@@ -181,6 +189,8 @@ type MatVecRequest struct {
 // MatVecResponse carries the analog MAC results.
 type MatVecResponse struct {
 	Output []float64 `json:"output"`
+	// Degraded flags degraded service (see CaptureResponse.Degraded).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // ProcessRequest asks for capture + compressive acquisition + one
@@ -201,6 +211,8 @@ func NewProcessRequest(scene ImageWire, kernel string, seed *int64) ProcessReque
 // outside [0,1] — e.g. signed edge responses; the codec is range-agnostic.
 type ProcessResponse struct {
 	Plane ImageWire `json:"plane"`
+	// Degraded flags degraded service (see CaptureResponse.Degraded).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // InferRequest asks for compressed-domain CNN inference by a registered
@@ -227,6 +239,8 @@ type InferResponse struct {
 	Model  string    `json:"model"`
 	Logits []float64 `json:"logits"`
 	Class  int       `json:"class"`
+	// Degraded flags degraded service (see CaptureResponse.Degraded).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // ModelInfo describes one registered compressed-domain inference model.
@@ -362,6 +376,9 @@ type SessionResult struct {
 	// Error is set on per-frame failures (the frame still consumed its
 	// seed-chain index) and on stream-fatal records (index -1).
 	Error *ErrorResponse `json:"error,omitempty"`
+	// Degraded flags a frame served while the accelerator was degraded
+	// (see CaptureResponse.Degraded).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // SessionSummary is the trailing NDJSON record of a cleanly-finished
@@ -369,6 +386,19 @@ type SessionResult struct {
 type SessionSummary struct {
 	Done  bool          `json:"done"`
 	Stats session.Stats `json:"stats"`
+}
+
+// HealthzResponse is the liveness body (GET /healthz): always served
+// with 200 — degradation is reported, not fatal (docs/FAULTS.md).
+type HealthzResponse struct {
+	// Status is "ok", "degraded" or "draining" (draining wins: it is the
+	// terminal state an operator acts on).
+	Status   string `json:"status"`
+	Inflight int64  `json:"inflight"`
+	// Degraded reports whether any optical component is serving degraded
+	// output; Failing lists those components' labels, sorted.
+	Degraded bool     `json:"degraded"`
+	Failing  []string `json:"failing,omitempty"`
 }
 
 // SessionStatsResponse reports a session's cumulative counters

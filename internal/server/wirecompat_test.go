@@ -138,6 +138,44 @@ var wireFixtures = map[string]struct {
 			}
 		},
 	},
+	"error_deadline_exceeded.json": {
+		target: func() any { return &server.ErrorResponse{} },
+		check: func(t *testing.T, v any) {
+			r := v.(*server.ErrorResponse)
+			if r.Code != "deadline_exceeded" || r.Message == "" || r.Error == "" {
+				t.Errorf("deadline error response lost fields: %+v", r)
+			}
+		},
+	},
+	"error_degraded_unavailable.json": {
+		target: func() any { return &server.ErrorResponse{} },
+		check: func(t *testing.T, v any) {
+			r := v.(*server.ErrorResponse)
+			if r.Code != "degraded_unavailable" || r.Message == "" || r.Error == "" {
+				t.Errorf("degraded error response lost fields: %+v", r)
+			}
+		},
+	},
+	"error_shed_overload.json": {
+		target: func() any { return &server.ErrorResponse{} },
+		check: func(t *testing.T, v any) {
+			r := v.(*server.ErrorResponse)
+			if r.Code != "shed_overload" || r.Message == "" || r.Error == "" {
+				t.Errorf("shed error response lost fields: %+v", r)
+			}
+		},
+	},
+	"capture_response_degraded.json": {
+		// A degraded-flagged response: the flag must stay decodable, and
+		// (being omitempty) must never disturb pre-fault golden bodies.
+		target: func() any { return &server.CaptureResponse{} },
+		check: func(t *testing.T, v any) {
+			r := v.(*server.CaptureResponse)
+			if r.Frame.Rows != 2 || !r.Degraded {
+				t.Errorf("degraded capture response lost fields: %+v", r)
+			}
+		},
+	},
 	"error_response_legacy.json": {
 		// The pre-structured shape: just {"error": "..."} — old bodies
 		// (and old clients' expectations) must survive the new fields.

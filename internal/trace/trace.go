@@ -46,6 +46,11 @@ type OpCounts struct {
 	// optical stages, including pre-set CA banks — the base for thermal
 	// tuning and balanced-photodetector energy.
 	MRCoeffHolds int64 `json:"mr_coeff_holds"`
+	// ABFTChecks counts checksum-row verifications: the extra optical row
+	// readout plus digital Σ-comparison the ABFT layer samples per apply.
+	// Modeled like every other counter — applies divided by the matrix's
+	// verification stride (see docs/FAULTS.md#abft).
+	ABFTChecks int64 `json:"abft_checks,omitempty"`
 }
 
 // Add returns the element-wise sum.
@@ -56,6 +61,7 @@ func (c OpCounts) Add(o OpCounts) OpCounts {
 		ADCConversions:  c.ADCConversions + o.ADCConversions,
 		ComparatorFires: c.ComparatorFires + o.ComparatorFires,
 		MRCoeffHolds:    c.MRCoeffHolds + o.MRCoeffHolds,
+		ABFTChecks:      c.ABFTChecks + o.ABFTChecks,
 	}
 }
 
@@ -67,6 +73,7 @@ func (c OpCounts) Scale(n int64) OpCounts {
 		ADCConversions:  c.ADCConversions * n,
 		ComparatorFires: c.ComparatorFires * n,
 		MRCoeffHolds:    c.MRCoeffHolds * n,
+		ABFTChecks:      c.ABFTChecks * n,
 	}
 }
 
@@ -76,8 +83,12 @@ func (c OpCounts) IsZero() bool { return c == OpCounts{} }
 // String renders the counts in the compact key=value form used by the
 // X-Lightator-Ops response header.
 func (c OpCounts) String() string {
-	return fmt.Sprintf("mvm_rows=%d dac_settles=%d adc_conversions=%d comparator_fires=%d mr_coeff_holds=%d",
+	s := fmt.Sprintf("mvm_rows=%d dac_settles=%d adc_conversions=%d comparator_fires=%d mr_coeff_holds=%d",
 		c.MVMRows, c.DACSettles, c.ADCConversions, c.ComparatorFires, c.MRCoeffHolds)
+	if c.ABFTChecks != 0 {
+		s += fmt.Sprintf(" abft_checks=%d", c.ABFTChecks)
+	}
+	return s
 }
 
 // StageOps is a frame's op counts broken down by pipeline stage.

@@ -94,6 +94,7 @@ import (
 
 	"lightator/internal/arch"
 	"lightator/internal/energy"
+	"lightator/internal/fault"
 	"lightator/internal/infer"
 	"lightator/internal/kernels"
 	"lightator/internal/mapping"
@@ -129,7 +130,25 @@ type (
 	PipelineStats = pipeline.Stats
 	// BatchPerformanceReport aggregates per-frame simulation reports.
 	BatchPerformanceReport = arch.BatchReport
+	// FaultPlan is a deterministic fault-injection plan (see
+	// docs/FAULTS.md): a named set of seeded hardware faults — stuck or
+	// drifting MR coefficients, comparator stuck-ats, laser droop,
+	// transient bit-flips — activated on the optical core at construction.
+	FaultPlan = fault.Plan
+	// Fault is one injected hardware fault of a FaultPlan.
+	Fault = fault.Fault
+	// FaultWindow gates a fault in time: active iff a hash of the apply's
+	// derived seed lands inside Duty residues mod Period (zero Window =
+	// persistent), so activation is reproducible at any worker count.
+	FaultWindow = fault.Window
+	// ComponentHealth is a point-in-time copy of one component's
+	// fault-tolerance counters (ABFT checks, detections, recovery-ladder
+	// outcomes).
+	ComponentHealth = fault.HealthSnapshot
 )
+
+// ParseFaultPlan strictly decodes a JSON fault plan and validates it.
+func ParseFaultPlan(data []byte) (*FaultPlan, error) { return fault.ParsePlan(data) }
 
 // Fidelity levels.
 const (
@@ -197,6 +216,12 @@ type Config struct {
 	// batch derives its own stream from (Seed, i), making PhysicalNoisy
 	// batches reproducible regardless of worker count or scheduling.
 	Seed int64
+	// FaultPlan, when non-nil, activates deterministic fault injection on
+	// the optical core (chaos testing — see docs/FAULTS.md). Detected
+	// faults run the recovery ladder; surviving degradation is flagged on
+	// results and reported by the serving layer. nil (the default) injects
+	// nothing and costs nothing on the hot path.
+	FaultPlan *FaultPlan
 }
 
 // validate rejects configurations the deeper layers would only trip over
@@ -274,6 +299,15 @@ func New(cfg Config) (*Accelerator, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.FaultPlan != nil {
+		if err := cfg.FaultPlan.Validate(); err != nil {
+			return nil, fmt.Errorf("lightator: fault plan: %w", err)
+		}
+		// Before any matrix programs: labelled matrices compile the plan's
+		// matching faults when they register (the CA below, kernels,
+		// models, the pipeline MVM).
+		core.SetFaultPlan(cfg.FaultPlan)
+	}
 	acc := &Accelerator{
 		cfg: cfg, array: arr, core: core, params: energy.Default(),
 		kernPipes: make(map[string]*Pipeline), inferPipes: make(map[string]*Pipeline),
@@ -304,6 +338,16 @@ func New(cfg Config) (*Accelerator, error) {
 
 // Config returns the accelerator's configuration.
 func (a *Accelerator) Config() Config { return a.cfg }
+
+// Health reports every optical component's fault-tolerance counters
+// (ABFT checks, detections, recovery-ladder outcomes), sorted by
+// component label. All-zero without an active FaultPlan.
+func (a *Accelerator) Health() []ComponentHealth { return a.core.Health().Snapshot() }
+
+// Degraded reports whether any optical component is serving degraded
+// output: rows retired to the digital fallback, or unrecovered ABFT
+// detections (see docs/FAULTS.md#degradation).
+func (a *Accelerator) Degraded() bool { return a.core.Health().Degraded() }
 
 // Capture exposes the ADC-less acquisition path: Bayer mosaic, global-
 // shutter exposure and 15-comparator CRC readout to 4-bit codes.

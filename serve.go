@@ -153,6 +153,28 @@ type ServeOptions struct {
 	// SessionWindow is the default per-stream in-flight frame window —
 	// the connection-level backpressure bound (default 8).
 	SessionWindow int
+	// RequestTimeout bounds each compute request's wall time; a request
+	// that outlives it answers 504 deadline_exceeded (its frame may still
+	// complete inside its batch). 0 or negative disables.
+	RequestTimeout time.Duration
+	// ReadHeaderTimeout and IdleTimeout harden the HTTP listener against
+	// slow-loris clients and idle keep-alive pile-ups (defaults 10s and
+	// 120s; negative disables).
+	ReadHeaderTimeout time.Duration
+	IdleTimeout       time.Duration
+	// RejectDegraded turns degraded service into refusal: while any
+	// optical component is degraded, compute requests answer 503
+	// degraded_unavailable instead of a degraded-flagged 200
+	// (docs/FAULTS.md#the-wire-contract).
+	RejectDegraded bool
+	// ShedCacheMiss, ShedNonSession and ShedAll are the tiered load
+	// shedder's queue-occupancy thresholds in (0,1]: uncached bulk
+	// compute sheds first, then all non-session compute, then everything
+	// including session streams (defaults 0.75 / 0.90 / 0.98; negative
+	// disables a tier). See docs/FAULTS.md#load-shedding.
+	ShedCacheMiss  float64
+	ShedNonSession float64
+	ShedAll        float64
 }
 
 // NewServer builds the HTTP serving layer over this accelerator. The
@@ -281,5 +303,12 @@ func (a *Accelerator) NewServer(opts ServeOptions) (*Server, error) {
 		MaxSessions:        opts.MaxSessions,
 		SessionIdleTimeout: opts.SessionIdleTimeout,
 		SessionWindow:      opts.SessionWindow,
+		RequestTimeout:     opts.RequestTimeout,
+		ReadHeaderTimeout:  opts.ReadHeaderTimeout,
+		IdleTimeout:        opts.IdleTimeout,
+		RejectDegraded:     opts.RejectDegraded,
+		ShedCacheMiss:      opts.ShedCacheMiss,
+		ShedNonSession:     opts.ShedNonSession,
+		ShedAll:            opts.ShedAll,
 	})
 }
